@@ -1,0 +1,83 @@
+// Ablation of the convergence protocol: the paper's Algorithm 1 announces
+// convergence after a SINGLE step with |ratio change| <= xi
+// (convergence_rounds = 1). Two neighbours that exchange shares with each
+// other and hear from nobody else keep exactly equal, unchanged ratios,
+// so that test fires falsely and freezes pockets of the network at wrong
+// values. This bench quantifies the accuracy/latency trade of the
+// evidence-streak requirement (README "Deviations").
+
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "bench_util.h"
+#include "gossip/scalar_engine.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace dgt;
+
+struct Row {
+  uint32_t steps;
+  double mean_err;
+  double max_err;
+};
+
+Row RunOnce(const Graph& g, const std::vector<double>& y0, uint32_t rounds,
+            uint64_t seed) {
+  const uint32_t n = g.num_nodes();
+  std::vector<double> g0(n, 1.0);
+  double truth =
+      std::accumulate(y0.begin(), y0.end(), 0.0) / static_cast<double>(n);
+  GossipOptions o;
+  o.xi = 1e-6;
+  o.convergence_rounds = rounds;
+  o.seed = seed;
+  ScalarPushSum engine(&g, o);
+  auto r = engine.Run(y0, g0);
+  Row row{0, 0.0, 0.0};
+  if (!r.ok()) return row;
+  row.steps = r->steps;
+  for (double v : r->ratios) {
+    double e = std::fabs(v - truth);
+    row.mean_err += e;
+    row.max_err = std::max(row.max_err, e);
+  }
+  row.mean_err /= n;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  TableWriter table(
+      "== Convergence-protocol ablation: evidence-streak length, "
+      "xi=1e-6 ==");
+  table.SetHeader({"topology", "rounds", "steps", "mean |err|", "max |err|"});
+
+  struct Topo {
+    const char* name;
+    Graph graph;
+  };
+  Topo topos[] = {
+      {"PA N=1000", bench_util::MustMakePaGraph(1000, 2, 42)},
+      {"ring N=64", GenerateRing(64).value()},
+  };
+  for (auto& t : topos) {
+    auto y0 = bench_util::RandomUnitValues(t.graph.num_nodes(), 7);
+    for (uint32_t rounds : {1u, 2u, 3u, 5u, 8u}) {
+      Row r = RunOnce(t.graph, y0, rounds, 3);
+      table.AddRow({t.name, std::to_string(rounds), std::to_string(r.steps),
+                    FormatDouble(r.mean_err, 6), FormatDouble(r.max_err, 6)});
+    }
+  }
+  bench_util::Emit(table, "ablation_protocol.csv");
+  std::cout << "rounds = 1 (the paper's literal test) terminates fastest "
+               "but can freeze\nwith large errors, worst on slow-mixing "
+               "topologies like the ring; a streak\nof ~5 costs a few "
+               "extra steps and removes the failure mode. This justifies\n"
+               "the library's default (GossipOptions::convergence_rounds "
+               "= 5).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Fig. 3: gossip step counts for different network sizes N and
+// error bounds xi, differential push versus normal push. The paper's
+// claim: differential push's step count grows much more slowly with N
+// than normal push gossip.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "gossip/scalar_engine.h"
+
+int main() {
+  using namespace dgt;
+  using bench_util::MustMakePaGraph;
+  using bench_util::RandomUnitValues;
+
+  const uint32_t kSizes[] = {100, 500, 1000, 10000, 50000};
+  const double kXis[] = {1e-2, 1e-3, 1e-4, 1e-5};
+
+  TableWriter table(
+      "== Fig. 3: gossip steps to convergence (differential vs normal "
+      "push) ==");
+  table.SetHeader({"N", "xi", "diff steps", "push steps", "speedup"});
+
+  for (uint32_t n : kSizes) {
+    Graph g = MustMakePaGraph(n, 2, 42);
+    auto y0 = RandomUnitValues(n, 7);
+    std::vector<double> g0(n, 1.0);
+    for (double xi : kXis) {
+      uint32_t steps[2] = {0, 0};
+      int idx = 0;
+      for (auto strat :
+           {PushStrategy::kDifferential, PushStrategy::kUniform}) {
+        GossipOptions o;
+        o.strategy = strat;
+        o.xi = xi;
+        o.seed = 3;
+        ScalarPushSum engine(&g, o);
+        auto r = engine.Run(y0, g0);
+        if (!r.ok()) {
+          std::cerr << r.status().ToString() << "\n";
+          return 1;
+        }
+        steps[idx++] = r->steps;
+      }
+      table.AddRow({std::to_string(n), FormatDouble(xi, 5),
+                    std::to_string(steps[0]), std::to_string(steps[1]),
+                    FormatDouble(static_cast<double>(steps[1]) /
+                                     std::max(steps[0], 1u),
+                                 2)});
+    }
+  }
+  bench_util::Emit(table, "fig3_steps_vs_n.csv");
+  std::cout << "shape check (paper Fig. 3): differential step counts grow "
+               "slowly with N;\nnormal push blows up at large N, so the "
+               "speedup column rises with N.\n";
+  return 0;
+}

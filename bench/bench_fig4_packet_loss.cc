@@ -1,0 +1,52 @@
+// Reproduces Fig. 4: gossip step counts for N = 10000 under packet loss
+// (churn). A push lost with probability p is re-added at the sender, so
+// mass is conserved; the paper reports only a small increase in steps as
+// the loss probability grows.
+
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "bench_util.h"
+#include "gossip/scalar_engine.h"
+
+int main() {
+  using namespace dgt;
+  const uint32_t kN = 10000;
+  const double kLoss[] = {0.0, 0.05, 0.1, 0.2, 0.3};
+  const double kXis[] = {1e-2, 1e-3, 1e-4, 1e-5};
+
+  Graph g = bench_util::MustMakePaGraph(kN, 2, 42);
+  auto y0 = bench_util::RandomUnitValues(kN, 7);
+  std::vector<double> g0(kN, 1.0);
+  const double truth =
+      std::accumulate(y0.begin(), y0.end(), 0.0) / static_cast<double>(kN);
+
+  TableWriter table("== Fig. 4: gossip steps under packet loss, N=10000 ==");
+  table.SetHeader({"loss prob", "xi", "steps", "converged", "mean |err|"});
+  for (double p : kLoss) {
+    for (double xi : kXis) {
+      GossipOptions o;
+      o.strategy = PushStrategy::kDifferential;
+      o.xi = xi;
+      o.packet_loss_prob = p;
+      o.seed = 5;
+      ScalarPushSum engine(&g, o);
+      auto r = engine.Run(y0, g0);
+      if (!r.ok()) {
+        std::cerr << r.status().ToString() << "\n";
+        return 1;
+      }
+      double err = 0;
+      for (double v : r->ratios) err += std::fabs(v - truth);
+      err /= kN;
+      table.AddRow({FormatDouble(p, 2), FormatDouble(xi, 5),
+                    std::to_string(r->steps), r->converged ? "yes" : "no",
+                    FormatDouble(err, 6)});
+    }
+  }
+  bench_util::Emit(table, "fig4_packet_loss.csv");
+  std::cout << "shape check (paper Fig. 4): step counts rise only mildly "
+               "with the loss probability at every xi.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces Fig. 5: average RMS error (eq. 18) of the differential
+// gossip trust (GCLR, variant 4) under *group* collusion, for several
+// colluding group sizes and percentages of colluding peers.
+//
+// Experiment model (paper section 5.2): colluders report 1 about group
+// mates and 0 about everyone else; honest nodes have experienced the
+// colluders' poor service, so their direct trust in colluders is low and
+// the weight scheme w = a^(b t) gives colluders' opinions weight ~1 while
+// trusted honest partners' direct reports dominate the weighted term.
+// The error metric compares reputation at HONEST observers with and
+// without the attack (colluder rows are the attacker's own garbage).
+//
+// The paper does not state N for this figure; we use N = 512.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "collusion/collusion_model.h"
+#include "collusion/rms_error.h"
+#include "reputation/aggregation.h"
+
+namespace {
+
+using namespace dgt;
+
+std::vector<std::vector<double>> HonestRows(
+    const std::vector<std::vector<double>>& estimates,
+    const CollusionPlan& plan) {
+  std::vector<std::vector<double>> out;
+  for (NodeId i = 0; i < estimates.size(); ++i) {
+    if (!plan.IsColluder(i)) out.push_back(estimates[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t kN = 512;
+  const double kFractions[] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+  const uint32_t kGroupSizes[] = {4, 8, 16, 32};
+
+  Graph g = bench_util::MustMakePaGraph(kN, 2, 42);
+
+  AggregationOptions opts;
+  opts.gossip.xi = 1e-6;
+  // Strong weighting (the paper leaves a, b open): w = 8^(2t), so a fully
+  // trusted partner's direct report counts 64x a stranger's.
+  opts.weights.a = 8.0;
+  opts.weights.b = 2.0;
+  // Section 5.2 divides by N (eqs. 8-17), not the opinator count.
+  opts.denominator = DenominatorMode::kAllNodes;
+
+  // eq. (18) as printed divides by the colluded value r_ij, which is
+  // ill-conditioned when colluders drive estimates toward 0; normalise by
+  // the collusion-free reference instead (curve shapes unaffected).
+  RmsErrorOptions rms;
+  rms.normalization = RmsNormalization::kRelativeToReference;
+  rms.eps = 0.05;
+
+  TableWriter table(
+      "== Fig. 5: average RMS error vs % colluders (group collusion, "
+      "differential gossip trust) ==");
+  std::vector<std::string> header = {"% colluders"};
+  for (uint32_t gs : kGroupSizes) header.push_back("G=" + std::to_string(gs));
+  table.SetHeader(header);
+
+  for (double fraction : kFractions) {
+    std::vector<std::string> row = {FormatDouble(100 * fraction, 0)};
+    for (uint32_t gs : kGroupSizes) {
+      CollusionConfig cfg;
+      cfg.colluding_fraction = fraction;
+      cfg.group_size = gs;
+      cfg.seed = 33;
+      auto plan = MakeCollusionPlan(kN, cfg);
+      if (!plan.ok()) return 1;
+      Rng rng(7);
+      ExperimentTrust world =
+          BuildCollusionExperimentTrust(kN, *plan, {}, rng);
+      auto poisoned = ApplyCollusion(world.honest, *plan, cfg);
+      if (!poisoned.ok()) return 1;
+
+      auto clean = AggregateGclrVector(g, world.honest, opts);
+      auto dirty = AggregateGclrVector(g, *poisoned, opts);
+      if (!clean.ok() || !dirty.ok()) return 1;
+      auto err = AverageRmsError(HonestRows(dirty->estimates, *plan),
+                                 HonestRows(clean->estimates, *plan), rms);
+      if (!err.ok()) return 1;
+      row.push_back(FormatDouble(err.value(), 4));
+    }
+    table.AddRow(row);
+  }
+  bench_util::Emit(table, "fig5_group_collusion.csv");
+  std::cout << "shape check (paper Fig. 5): error grows with the colluding "
+               "percentage but stays moderate, and the group size makes "
+               "only a small difference.\n";
+  return 0;
+}

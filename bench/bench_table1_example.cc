@@ -1,0 +1,70 @@
+// Reproduces Table 1 (+ Fig. 2): the 10-node example network. Prints the
+// degree row, the differential push count row k, and the aggregated value
+// at each node after every iteration until convergence, exactly in the
+// paper's layout. Initial values are the paper's iteration-1 row; the run
+// must settle at their average (~0.4237) within a handful of iterations.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "gossip/scalar_engine.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace dgt;
+  auto graph = GeneratePaperExampleNetwork();
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+
+  const std::vector<double> y0 = {0.5653, 0.3091, 0.3629, 0.4765, 0.3080,
+                                  0.6433, 0.0668, 0.6257, 0.4386, 0.7015};
+  std::vector<double> g0(10, 1.0);
+  double truth = 0;
+  for (double v : y0) truth += v;
+  truth /= 10.0;
+
+  GossipOptions opts;
+  opts.strategy = PushStrategy::kDifferential;
+  opts.xi = 1e-3;
+  opts.seed = 2014;
+  opts.track_trace = true;
+  ScalarPushSum engine(&*graph, opts);
+  auto run = engine.Run(y0, g0);
+  if (!run.ok()) {
+    std::cerr << run.status().ToString() << "\n";
+    return 1;
+  }
+
+  TableWriter table(
+      "== Table 1: aggregated value after every iteration at each node ==");
+  std::vector<std::string> header = {"Node"};
+  for (int v = 1; v <= 10; ++v) header.push_back(std::to_string(v));
+  table.SetHeader(header);
+  std::vector<std::string> deg = {"degree"}, k = {"k"};
+  for (NodeId u = 0; u < 10; ++u) {
+    deg.push_back(std::to_string(graph->Degree(u)));
+    k.push_back(std::to_string(graph->DifferentialPushCount(u)));
+  }
+  table.AddRow(deg);
+  table.AddRow(k);
+  std::vector<std::string> row0 = {"itr=1"};
+  for (double v : y0) row0.push_back(FormatDouble(v, 4));
+  table.AddRow(row0);
+  // Print the first 8 post-initial iterations (the paper shows 8 rows),
+  // then every 4th until termination.
+  for (size_t m = 0; m < run->trace.size(); ++m) {
+    if (m >= 8 && m % 4 != 3 && m + 1 != run->trace.size()) continue;
+    std::vector<std::string> row = {"itr=" + std::to_string(m + 2)};
+    for (double v : run->trace[m]) row.push_back(FormatDouble(v, 4));
+    table.AddRow(row);
+  }
+  bench_util::Emit(table, "table1_example.csv");
+
+  std::cout << "true average = " << FormatDouble(truth, 4)
+            << ", terminated after " << run->steps
+            << " iterations (paper's table stops at itr=8; values there are"
+            << " already within ~0.01 of the average)\n";
+  return 0;
+}

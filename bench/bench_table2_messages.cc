@@ -1,0 +1,59 @@
+// Reproduces Table 2: number of messages per node per gossip step, for
+// N in {100, 500, 1000, 10000, 50000} and xi in {1e-2 .. 1e-5}. The
+// metric charges each node its gossip pushes plus its one-time degree and
+// convergence announcements, divided by the steps the node was active, so
+// the fixed overhead amortises: values decrease slightly as N grows and
+// as xi shrinks (the paper reports 1.11 - 1.21).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "gossip/scalar_engine.h"
+
+int main() {
+  using namespace dgt;
+  const uint32_t kSizes[] = {100, 500, 1000, 10000, 50000};
+  const double kXis[] = {1e-2, 1e-3, 1e-4, 1e-5};
+
+  TableWriter table(
+      "== Table 2: messages per node per step (differential push) ==");
+  table.SetHeader({"N", "xi=0.01", "xi=0.001", "xi=0.0001", "xi=0.00001"});
+  TableWriter baseline(
+      "== Table 2 companion: same metric under normal push ==");
+  baseline.SetHeader({"N", "xi=0.01", "xi=0.001", "xi=0.0001", "xi=0.00001"});
+
+  for (uint32_t n : kSizes) {
+    Graph g = bench_util::MustMakePaGraph(n, 2, 42);
+    auto y0 = bench_util::RandomUnitValues(n, 7);
+    std::vector<double> g0(n, 1.0);
+    std::vector<std::string> row = {std::to_string(n)};
+    std::vector<std::string> brow = {std::to_string(n)};
+    for (double xi : kXis) {
+      for (auto strat :
+           {PushStrategy::kDifferential, PushStrategy::kUniform}) {
+        GossipOptions o;
+        o.strategy = strat;
+        o.xi = xi;
+        o.seed = 3;
+        ScalarPushSum engine(&g, o);
+        auto r = engine.Run(y0, g0);
+        if (!r.ok()) {
+          std::cerr << r.status().ToString() << "\n";
+          return 1;
+        }
+        (strat == PushStrategy::kDifferential ? row : brow)
+            .push_back(FormatDouble(r->mean_messages_per_active_node_step, 3));
+      }
+    }
+    table.AddRow(row);
+    baseline.AddRow(brow);
+  }
+  bench_util::Emit(table, "table2_messages.csv");
+  bench_util::Emit(baseline, "table2_messages_push_baseline.csv");
+  std::cout << "shape check (paper Table 2): values near 1.1-1.8, "
+               "decreasing with smaller xi and larger N. Differential push "
+               "costs more per step than normal push but converges in far "
+               "fewer steps (Fig. 3), so its total cost is lower for N > "
+               "1000.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared setup helpers for the experiment benches. Every bench prints the
+// paper-shaped table to stdout and (best effort) writes a CSV next to the
+// binary under dgt_results/.
+
+#ifndef DGT_BENCH_BENCH_UTIL_H_
+#define DGT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/rng.h"
+#include "common/table_writer.h"
+#include "graph/pa_generator.h"
+#include "trust/trust_estimator.h"
+#include "trust/trust_matrix.h"
+
+namespace dgt {
+namespace bench_util {
+
+inline Graph MustMakePaGraph(uint32_t n, uint32_t m, uint64_t seed) {
+  PaOptions o;
+  o.num_nodes = n;
+  o.edges_per_node = m;
+  o.seed = seed;
+  Result<Graph> g = GeneratePreferentialAttachment(o);
+  if (!g.ok()) {
+    std::fprintf(stderr, "PA generation failed: %s\n",
+                 g.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(g).value();
+}
+
+inline std::vector<double> RandomUnitValues(uint32_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.NextDouble();
+  return v;
+}
+
+// Prints the table and attempts a CSV dump (non-fatal on failure).
+inline void Emit(const TableWriter& table, const std::string& csv_name) {
+  table.Print(std::cout);
+  std::string dir = "dgt_results";
+  std::string cmd = "mkdir -p " + dir;
+  if (std::system(cmd.c_str()) == 0) {
+    Status s = table.WriteCsv(dir + "/" + csv_name);
+    if (s.ok()) {
+      std::cout << "(csv written to " << dir << "/" << csv_name << ")\n";
+    }
+  }
+  std::cout << std::endl;
+}
+
+}  // namespace bench_util
+}  // namespace dgt
+
+#endif  // DGT_BENCH_BENCH_UTIL_H_

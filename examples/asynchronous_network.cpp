@@ -1,0 +1,97 @@
+// Asynchronous network example: the same differential gossip running (a)
+// in the paper's synchronous rounds, (b) as an event-driven process over
+// the section-3 link model (per-node timers, access+backbone+access
+// latency), and (c) over a live network where peers leave mid-gossip
+// (handing over their gossip pairs) and new peers join.
+//
+// Run: ./asynchronous_network [num_nodes]
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+
+#include "common/table_writer.h"
+#include "gossip/churn_engine.h"
+#include "gossip/scalar_engine.h"
+#include "graph/pa_generator.h"
+#include "net/async_gossip.h"
+
+int main(int argc, char** argv) {
+  const uint32_t n = argc > 1 ? std::atoi(argv[1]) : 1000;
+
+  dgt::PaOptions pa;
+  pa.num_nodes = n;
+  pa.edges_per_node = 2;
+  pa.seed = 61;
+  auto graph = dgt::GeneratePreferentialAttachment(pa);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+
+  dgt::Rng rng(62);
+  std::vector<double> y0(n), g0(n, 1.0);
+  for (auto& v : y0) v = rng.NextDouble();
+  const double truth =
+      std::accumulate(y0.begin(), y0.end(), 0.0) / static_cast<double>(n);
+
+  dgt::TableWriter table("differential gossip in three execution models:");
+  table.SetHeader({"model", "activations", "mean |err|", "notes"});
+
+  // (a) Synchronous rounds.
+  dgt::GossipOptions sync_opts;
+  sync_opts.xi = 1e-5;
+  sync_opts.seed = 63;
+  dgt::ScalarPushSum sync_engine(&*graph, sync_opts);
+  auto sync = sync_engine.Run(y0, g0);
+  if (!sync.ok()) return 1;
+  double sync_err = 0;
+  for (double v : sync->ratios) sync_err += std::fabs(v - truth);
+  table.AddRow({"synchronous rounds", std::to_string(sync->steps),
+                dgt::FormatDouble(sync_err / n, 6),
+                "the paper's discrete-time model"});
+
+  // (b) Event-driven over link latencies.
+  dgt::AsyncGossipOptions async_opts;
+  async_opts.xi = 1e-5;
+  async_opts.seed = 63;
+  async_opts.max_time = 100000;
+  dgt::AsyncPushSum async_engine(&*graph, async_opts);
+  auto async = async_engine.Run(y0, g0);
+  if (!async.ok()) return 1;
+  double async_err = 0;
+  for (double v : async->ratios) async_err += std::fabs(v - truth);
+  table.AddRow({"asynchronous (DES)",
+                std::to_string(async->max_node_firings) + " firings",
+                dgt::FormatDouble(async_err / n, 6),
+                "sim time " + dgt::FormatDouble(async->sim_time, 1) +
+                    ", " + std::to_string(async->events) + " events"});
+
+  // (c) Live churn: 2% of nodes leave, one joins per step, first 40 steps.
+  dgt::ChurnOptions churn;
+  churn.leave_prob = 0.002;
+  churn.join_rate = 1.0;
+  churn.churn_steps = 40;
+  dgt::ChurnPushSum churn_engine(*graph, sync_opts, churn);
+  auto churned = churn_engine.Run(y0, g0);
+  if (!churned.ok()) return 1;
+  double churn_err = 0;
+  uint32_t live = 0;
+  for (dgt::NodeId i = 0; i < churned->ratios.size(); ++i) {
+    if (!churned->alive[i]) continue;
+    churn_err += std::fabs(churned->ratios[i] - churned->expected_ratio);
+    ++live;
+  }
+  table.AddRow({"live churn", std::to_string(churned->steps),
+                dgt::FormatDouble(churn_err / live, 6),
+                std::to_string(churned->departures) + " left, " +
+                    std::to_string(churned->arrivals) +
+                    " joined (pairs handed over)"});
+
+  table.Print(std::cout);
+  std::cout << "\nall three settle on the (conserved) average; the paper's "
+               "synchronous rounds\nare a modelling convenience, not a "
+               "protocol requirement.\n";
+  return 0;
+}

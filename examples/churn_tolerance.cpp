@@ -1,0 +1,65 @@
+// Churn tolerance (the paper's Fig. 4 story): peer-to-peer gossip loses
+// packets when nodes leave; the pushing node re-adds the lost share to
+// itself so mass is conserved, and convergence degrades only mildly with
+// the loss probability.
+//
+// Run: ./churn_tolerance [num_nodes]
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+
+#include "common/table_writer.h"
+#include "gossip/scalar_engine.h"
+#include "graph/pa_generator.h"
+
+int main(int argc, char** argv) {
+  const uint32_t n = argc > 1 ? std::atoi(argv[1]) : 2000;
+
+  dgt::PaOptions pa;
+  pa.num_nodes = n;
+  pa.edges_per_node = 2;
+  pa.seed = 51;
+  auto graph = dgt::GeneratePreferentialAttachment(pa);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+
+  dgt::Rng rng(52);
+  std::vector<double> y0(n), g0(n, 1.0);
+  for (auto& v : y0) v = rng.NextDouble();
+  const double truth =
+      std::accumulate(y0.begin(), y0.end(), 0.0) / static_cast<double>(n);
+
+  dgt::TableWriter table("gossip under packet loss, N=" + std::to_string(n) +
+                         ", xi=1e-4:");
+  table.SetHeader({"loss prob", "steps", "converged", "mean |err|",
+                   "msgs/node/step"});
+  for (double loss : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    dgt::GossipOptions opts;
+    opts.strategy = dgt::PushStrategy::kDifferential;
+    opts.xi = 1e-4;
+    opts.packet_loss_prob = loss;
+    opts.seed = 53;
+    dgt::ScalarPushSum engine(&*graph, opts);
+    auto run = engine.Run(y0, g0);
+    if (!run.ok()) {
+      std::cerr << run.status().ToString() << "\n";
+      return 1;
+    }
+    double err = 0;
+    for (double v : run->ratios) err += std::abs(v - truth);
+    err /= n;
+    table.AddRow({dgt::FormatDouble(loss, 2), std::to_string(run->steps),
+                  run->converged ? "yes" : "no", dgt::FormatDouble(err, 5),
+                  dgt::FormatDouble(run->mean_messages_per_active_node_step,
+                                    3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nsteps grow only mildly with loss probability; the lost\n"
+               "shares bounce back to the sender, so mass (and hence the\n"
+               "average) is preserved exactly (paper Fig. 4).\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Walkthrough of the paper's §4.2 example (Fig. 2 / Table 1): a 10-node
+// network whose nodes gossip their initial values with differential push
+// and converge to the common average within a few iterations. Prints the
+// same table shape as Table 1: degree row, k row, then the aggregated
+// value at each node after every iteration.
+
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "gossip/scalar_engine.h"
+#include "graph/generators.h"
+
+int main() {
+  auto graph = dgt::GeneratePaperExampleNetwork();
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+
+  // The paper's Table 1 iteration-1 row doubles as the initial values.
+  const std::vector<double> y0 = {0.5653, 0.3091, 0.3629, 0.4765, 0.3080,
+                                  0.6433, 0.0668, 0.6257, 0.4386, 0.7015};
+  std::vector<double> g0(10, 1.0);
+  double truth = 0;
+  for (double v : y0) truth += v;
+  truth /= 10.0;
+
+  dgt::GossipOptions opts;
+  opts.strategy = dgt::PushStrategy::kDifferential;
+  opts.xi = 1e-3;
+  opts.seed = 2014;
+  opts.track_trace = true;
+
+  dgt::ScalarPushSum engine(&*graph, opts);
+  auto run = engine.Run(y0, g0);
+  if (!run.ok()) {
+    std::cerr << run.status().ToString() << "\n";
+    return 1;
+  }
+
+  dgt::TableWriter table(
+      "Table 1 reproduction: aggregated value after every iteration");
+  std::vector<std::string> header = {"Node"};
+  for (int node = 1; node <= 10; ++node) header.push_back(std::to_string(node));
+  table.SetHeader(header);
+
+  std::vector<std::string> deg_row = {"degree"};
+  std::vector<std::string> k_row = {"k"};
+  for (dgt::NodeId u = 0; u < 10; ++u) {
+    deg_row.push_back(std::to_string(graph->Degree(u)));
+    k_row.push_back(std::to_string(graph->DifferentialPushCount(u)));
+  }
+  table.AddRow(deg_row);
+  table.AddRow(k_row);
+
+  std::vector<std::string> init_row = {"itr=1"};
+  for (double v : y0) init_row.push_back(dgt::FormatDouble(v, 4));
+  table.AddRow(init_row);
+  for (size_t m = 0; m < run->trace.size(); ++m) {
+    std::vector<std::string> row = {"itr=" + std::to_string(m + 2)};
+    for (double v : run->trace[m]) row.push_back(dgt::FormatDouble(v, 4));
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\ntrue average = " << dgt::FormatDouble(truth, 4)
+            << "; every node converged to it within "
+            << run->trace.size() + 1 << " iterations (paper: 8)\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// EigenTrust baseline (Kamvar, Schlosser & Garcia-Molina [13]):
+// centralized power iteration on the row-normalized trust matrix with a
+// pre-trusted-peer restart. Used in examples and related-work benches to
+// contrast the paper's per-observer GCLR values against a single global
+// eigenvector reputation.
+
+#ifndef DGT_BASELINES_EIGEN_TRUST_H_
+#define DGT_BASELINES_EIGEN_TRUST_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "trust/trust_matrix.h"
+
+namespace dgt {
+
+struct EigenTrustOptions {
+  // Restart probability `a`: t_{k+1} = (1-a) C^T t_k + a p.
+  double damping = 0.15;
+  // Pre-trusted peers (distribution p is uniform over them); empty means
+  // uniform over all nodes.
+  std::vector<NodeId> pretrusted;
+  uint32_t max_iterations = 200;
+  // L1 convergence tolerance.
+  double tolerance = 1e-10;
+};
+
+struct EigenTrustResult {
+  // Global trust vector, sums to 1.
+  std::vector<double> scores;
+  uint32_t iterations = 0;
+  bool converged = false;
+};
+
+// Fails with InvalidArgument for damping outside [0,1] or out-of-range
+// pre-trusted ids.
+Result<EigenTrustResult> ComputeEigenTrust(const TrustMatrix& trust,
+                                           const EigenTrustOptions& options);
+
+}  // namespace dgt
+
+#endif  // DGT_BASELINES_EIGEN_TRUST_H_

@@ -1,0 +1,42 @@
+// GossipTrust-style baseline (Zhou, Hwang & Cai [17]): global reputation
+// computed by *plain* push gossip with unweighted opinions — the same
+// value at every node. This is the comparator of the paper's §5.2: its
+// estimation error under collusion is DeltaR_old (eq. 12), which
+// differential gossip trust shrinks by eq. (17). The bloom-filter ranking
+// machinery of the original system is irrelevant to the error metric and
+// is not modelled (DESIGN.md §5).
+
+#ifndef DGT_BASELINES_GOSSIP_TRUST_H_
+#define DGT_BASELINES_GOSSIP_TRUST_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "gossip/options.h"
+#include "graph/graph.h"
+#include "reputation/aggregation.h"
+#include "trust/trust_matrix.h"
+
+namespace dgt {
+
+struct GossipTrustResult {
+  // Global reputation per target j, as converged at observer nodes (all
+  // observers agree up to gossip error; this is the mean over observers).
+  std::vector<double> global;
+  // Per-observer matrix view (r_ij = estimate of j at i) for plugging into
+  // the RMS-error metric alongside GCLR matrices.
+  std::vector<std::vector<double>> estimates;
+  GossipRunStats stats;
+};
+
+// Runs plain (uniform) push gossip over all targets with gossip weight 1
+// at every node, so each column converges to the eq. (8) global mean
+// sum_i t_ij / N (strangers implicitly vote 0). options.gossip.strategy
+// is overridden to kUniform.
+Result<GossipTrustResult> AggregateGossipTrust(const Graph& graph,
+                                               const TrustMatrix& trust,
+                                               AggregationOptions options);
+
+}  // namespace dgt
+
+#endif  // DGT_BASELINES_GOSSIP_TRUST_H_

@@ -1,0 +1,55 @@
+// Closed-form collusion analysis of §5.2: expected estimation error with
+// and without neighbour weighting, and the shrink factor relating them
+// (eq. 17): DeltaR_new = N / (N + sum_i (w_oi - 1)) * DeltaR_old.
+//
+// Conventions follow the paper: C = |colluding set|, G = group size;
+// colluders report 1 for group mates and 0 otherwise, so a colluding
+// target gains +G in the column sum and an honest target loses the
+// colluders' honest opinions.
+
+#ifndef DGT_COLLUSION_ANALYSIS_H_
+#define DGT_COLLUSION_ANALYSIS_H_
+
+#include <cstdint>
+
+#include "collusion/collusion_model.h"
+#include "trust/trust_matrix.h"
+#include "trust/weights.h"
+
+namespace dgt {
+
+struct CollusionErrorPrediction {
+  // eq. (12): E[estimate] - real, unweighted aggregation (DeltaR_old).
+  double delta_old = 0.0;
+  // eq. (17): the same with neighbour weighting (DeltaR_new).
+  double delta_new = 0.0;
+  // N / (N + sum_i (w_oi - 1)), the attenuation eq. (17) proves.
+  double shrink_factor = 1.0;
+};
+
+// Predicts the expected reputation-estimate error for target j as seen by
+// observer o (whose weight table is `weights`), for an attack with C
+// colluders in groups of G over the honest matrix `honest`.
+// sum_{i in C} t_ij is computed from the honest matrix and the plan.
+CollusionErrorPrediction PredictCollusionError(const TrustMatrix& honest,
+                                               const CollusionPlan& plan,
+                                               uint32_t group_size,
+                                               const WeightTable& weights,
+                                               NodeId j);
+
+// Measured counterpart: difference between the exact weighted estimate on
+// the colluded matrix and on the honest matrix (eq. 16 - eq. 13 with the
+// actual colluded column rather than the expectation). Used to validate
+// the prediction in tests and the EQ17 bench.
+double MeasuredWeightedDelta(const TrustMatrix& honest,
+                             const TrustMatrix& colluded,
+                             const WeightTable& weights, NodeId j);
+
+// Unweighted (eq. 8-style) measured delta: (colsum_colluded -
+// colsum_honest) / N.
+double MeasuredUnweightedDelta(const TrustMatrix& honest,
+                               const TrustMatrix& colluded, NodeId j);
+
+}  // namespace dgt
+
+#endif  // DGT_COLLUSION_ANALYSIS_H_

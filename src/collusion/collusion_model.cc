@@ -1,0 +1,103 @@
+#include "collusion/collusion_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dgt {
+
+Result<CollusionPlan> MakeCollusionPlan(uint32_t num_nodes,
+                                        const CollusionConfig& config) {
+  if (!(config.colluding_fraction >= 0.0 &&
+        config.colluding_fraction <= 1.0)) {
+    return Status::InvalidArgument("colluding_fraction must lie in [0,1]");
+  }
+  if (config.group_size == 0) {
+    return Status::InvalidArgument("group_size must be >= 1");
+  }
+
+  const uint32_t c = static_cast<uint32_t>(
+      std::lround(config.colluding_fraction * num_nodes));
+
+  CollusionPlan plan;
+  plan.group_of.assign(num_nodes, 0);
+  if (c == 0) return plan;
+
+  Rng rng(config.seed);
+  plan.colluders = rng.SampleWithoutReplacement(num_nodes, c);
+  std::sort(plan.colluders.begin(), plan.colluders.end());
+
+  uint32_t group = 0;
+  for (uint32_t idx = 0; idx < plan.colluders.size(); ++idx) {
+    if (idx % config.group_size == 0) {
+      ++group;
+      plan.groups.emplace_back();
+    }
+    NodeId node = plan.colluders[idx];
+    plan.group_of[node] = group;
+    plan.groups.back().push_back(node);
+  }
+  return plan;
+}
+
+Result<TrustMatrix> ApplyCollusion(const TrustMatrix& honest,
+                                   const CollusionPlan& plan,
+                                   const CollusionConfig& config) {
+  if (plan.group_of.size() != honest.num_nodes()) {
+    return Status::InvalidArgument("plan/matrix node count mismatch");
+  }
+  TrustMatrix out(honest.num_nodes());
+  const uint32_t n = honest.num_nodes();
+  for (NodeId i = 0; i < n; ++i) {
+    if (!plan.IsColluder(i)) {
+      for (const auto& [j, t] : honest.Row(i)) {
+        DGT_RETURN_IF_ERROR(out.Set(i, j, t));
+      }
+      continue;
+    }
+    if (config.report_zero_for_outsiders) {
+      // Dense malicious row: 1 for group mates, explicit 0 otherwise.
+      for (NodeId j = 0; j < n; ++j) {
+        if (j == i) continue;
+        DGT_RETURN_IF_ERROR(out.Set(i, j, plan.SameGroup(i, j) ? 1.0 : 0.0));
+      }
+    } else {
+      // Only the opinions the node would anyway hold are poisoned.
+      for (const auto& [j, t] : honest.Row(i)) {
+        DGT_RETURN_IF_ERROR(out.Set(i, j, plan.SameGroup(i, j) ? 1.0 : 0.0));
+      }
+      // Group mates always get a 1 even without a prior opinion.
+      for (NodeId j : plan.groups[plan.group_of[i] - 1]) {
+        if (j != i) DGT_RETURN_IF_ERROR(out.Set(i, j, 1.0));
+      }
+    }
+  }
+  return out;
+}
+
+ExperimentTrust BuildCollusionExperimentTrust(
+    uint32_t num_nodes, const CollusionPlan& plan,
+    const ExperimentTrustOptions& options, Rng& rng) {
+  ExperimentTrust out{TrustMatrix(num_nodes), std::vector<double>(num_nodes)};
+  for (NodeId j = 0; j < num_nodes; ++j) {
+    out.quality[j] =
+        plan.IsColluder(j)
+            ? rng.NextDouble(0.0, options.colluder_quality_max)
+            : rng.NextDouble(options.honest_quality_min, 1.0);
+  }
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    for (NodeId j = 0; j < num_nodes; ++j) {
+      if (i == j || !rng.NextBernoulli(options.rating_prob)) continue;
+      double experienced = plan.SameGroup(i, j) ? options.in_group_quality
+                                                : out.quality[j];
+      double v = experienced + rng.NextDouble(-options.noise_amplitude,
+                                              options.noise_amplitude);
+      Status s = out.honest.Set(i, j, std::clamp(v, 0.0, 1.0));
+      assert(s.ok());
+      (void)s;
+    }
+  }
+  return out;
+}
+
+}  // namespace dgt

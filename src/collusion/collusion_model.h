@@ -1,0 +1,90 @@
+// Collusion attack model (§5.2): a subset C of nodes colludes in groups of
+// size G. A colluder reports trust 1 about its group members and trust 0
+// about every other node, drowning honest signal. G = 1 models independent
+// malicious raters ("individual collusion", Fig. 6).
+
+#ifndef DGT_COLLUSION_COLLUSION_MODEL_H_
+#define DGT_COLLUSION_COLLUSION_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "trust/trust_matrix.h"
+
+namespace dgt {
+
+struct CollusionConfig {
+  // Fraction of all nodes that collude, in [0, 1].
+  double colluding_fraction = 0.0;
+  // Colluding group size G (>= 1). Colluders are partitioned into groups
+  // of G; a final smaller group holds the remainder.
+  uint32_t group_size = 1;
+  uint64_t seed = 1;
+  // If true, colluders report an explicit 0 about every non-group node
+  // (dense rows, the paper's model). If false they only zero out the
+  // opinions they already held.
+  bool report_zero_for_outsiders = true;
+};
+
+struct CollusionPlan {
+  // All colluding node ids.
+  std::vector<NodeId> colluders;
+  // group_of[node] = group index + 1 for colluders, 0 for honest nodes.
+  std::vector<uint32_t> group_of;
+  // groups[k] = members of group k.
+  std::vector<std::vector<NodeId>> groups;
+
+  bool IsColluder(NodeId i) const {
+    return i < group_of.size() && group_of[i] != 0;
+  }
+  bool SameGroup(NodeId i, NodeId j) const {
+    return IsColluder(i) && IsColluder(j) && group_of[i] == group_of[j];
+  }
+};
+
+// Draws the colluding set and its group partition. Fails with
+// InvalidArgument for fraction outside [0,1] or group_size == 0.
+Result<CollusionPlan> MakeCollusionPlan(uint32_t num_nodes,
+                                        const CollusionConfig& config);
+
+// Returns a copy of `honest` with every colluder's row replaced according
+// to the plan: 1 for same-group members, 0 (explicit or erased per config)
+// for everyone else. Honest rows are untouched.
+Result<TrustMatrix> ApplyCollusion(const TrustMatrix& honest,
+                                   const CollusionPlan& plan,
+                                   const CollusionConfig& config);
+
+struct ExperimentTrustOptions {
+  // Probability that an ordered pair (i, j) has interacted (heavily loaded
+  // network: interactions reach far beyond overlay neighbours).
+  double rating_prob = 0.15;
+  // Observation noise around the experienced quality.
+  double noise_amplitude = 0.05;
+  // Honest nodes' intrinsic quality range.
+  double honest_quality_min = 0.5;
+  // Colluders serve outsiders badly; the quality outsiders experience.
+  double colluder_quality_max = 0.15;
+  // ... but serve their group mates well.
+  double in_group_quality = 0.9;
+};
+
+struct ExperimentTrust {
+  TrustMatrix honest;           // what nodes truly experienced
+  std::vector<double> quality;  // intrinsic quality per node (to outsiders)
+};
+
+// Builds the direct-interaction trust for a collusion experiment: honest
+// raters experience colluders' poor service (low trust in them), group
+// mates experience good service — the premise behind the paper's claim
+// that the weighted opinion mechanism resists collusion (colluders end up
+// with weight ~1 at honest observers, trusted honest partners dominate).
+ExperimentTrust BuildCollusionExperimentTrust(
+    uint32_t num_nodes, const CollusionPlan& plan,
+    const ExperimentTrustOptions& options, Rng& rng);
+
+}  // namespace dgt
+
+#endif  // DGT_COLLUSION_COLLUSION_MODEL_H_

@@ -1,0 +1,51 @@
+#include "collusion/rms_error.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dgt {
+
+Result<double> AverageRmsError(const std::vector<std::vector<double>>& r,
+                               const std::vector<std::vector<double>>& rhat,
+                               const RmsErrorOptions& options) {
+  if (r.empty() || r.size() != rhat.size()) {
+    return Status::InvalidArgument("matrix row count mismatch or empty");
+  }
+  const size_t rows = r.size();
+  const size_t cols = r[0].size();
+  if (cols == 0) return Status::InvalidArgument("empty rows");
+  double outer = 0.0;
+  for (size_t i = 0; i < rows; ++i) {
+    if (r[i].size() != cols || rhat[i].size() != cols) {
+      return Status::InvalidArgument("matrix rows must share one width");
+    }
+    double inner = 0.0;
+    for (size_t j = 0; j < cols; ++j) {
+      double a = r[i][j];
+      double b = rhat[i][j];
+      if (options.skip_uninformative && std::fabs(a) < options.eps &&
+          std::fabs(b) < options.eps) {
+        continue;
+      }
+      double diff = a - b;
+      double denom = 1.0;
+      switch (options.normalization) {
+        case RmsNormalization::kRelativeToColluded:
+          denom = std::max(std::fabs(a), options.eps);
+          break;
+        case RmsNormalization::kRelativeToReference:
+          denom = std::max(std::fabs(b), options.eps);
+          break;
+        case RmsNormalization::kAbsolute:
+          denom = 1.0;
+          break;
+      }
+      double term = diff / denom;
+      inner += term * term;
+    }
+    outer += std::sqrt(inner / static_cast<double>(cols));
+  }
+  return outer / static_cast<double>(rows);
+}
+
+}  // namespace dgt

@@ -1,0 +1,43 @@
+// Average RMS error metric, paper eq. (18):
+//
+//   AvgRms = (1/N) * sum_i sqrt( (1/N) * sum_j ((r_ij - rhat_ij)/r_ij)^2 )
+//
+// where r is the reputation matrix computed under collusion and rhat the
+// matrix without colluders. The printed formula normalises by r_ij; the
+// denominator is guarded below by eps to keep near-zero reputations from
+// blowing the metric up (and kAbsolute is offered for ablation).
+
+#ifndef DGT_COLLUSION_RMS_ERROR_H_
+#define DGT_COLLUSION_RMS_ERROR_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace dgt {
+
+enum class RmsNormalization {
+  kRelativeToColluded,   // divide by r_ij (the paper's printed formula)
+  kRelativeToReference,  // divide by rhat_ij
+  kAbsolute,             // no division
+};
+
+struct RmsErrorOptions {
+  RmsNormalization normalization = RmsNormalization::kRelativeToColluded;
+  // Denominator floor when normalising.
+  double eps = 1e-3;
+  // Entries where both matrices are below eps carry no information and
+  // are skipped (they would contribute spurious 0/0 terms).
+  bool skip_uninformative = true;
+};
+
+// r and rhat are observer x target matrices (rows may be any subset of
+// observers, e.g. honest nodes only; all rows must share one width).
+// Fails with InvalidArgument on dimension mismatch or empty input.
+Result<double> AverageRmsError(const std::vector<std::vector<double>>& r,
+                               const std::vector<std::vector<double>>& rhat,
+                               const RmsErrorOptions& options = {});
+
+}  // namespace dgt
+
+#endif  // DGT_COLLUSION_RMS_ERROR_H_

@@ -1,0 +1,86 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dgt {
+
+Result<Histogram> Histogram::Create(double lo, double hi, uint32_t bins) {
+  if (!(hi > lo)) return Status::InvalidArgument("need hi > lo");
+  if (bins == 0) return Status::InvalidArgument("need at least one bin");
+  return Histogram(lo, hi, bins);
+}
+
+void Histogram::Add(double value) {
+  double pos = (value - lo_) / (hi_ - lo_) * bin_count();
+  int64_t bin = static_cast<int64_t>(std::floor(pos));
+  bin = std::clamp<int64_t>(bin, 0, bin_count() - 1);
+  ++counts_[static_cast<uint32_t>(bin)];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+double Histogram::BinLow(uint32_t bin) const {
+  return lo_ + (hi_ - lo_) * bin / bin_count();
+}
+
+void Histogram::Print(std::ostream& os, uint32_t width) const {
+  uint64_t max_count = 0;
+  for (uint64_t c : counts_) max_count = std::max(max_count, c);
+  for (uint32_t b = 0; b < bin_count(); ++b) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "%10.3f..%-10.3f", BinLow(b),
+                  BinLow(b + 1));
+    uint32_t bar =
+        max_count == 0
+            ? 0
+            : static_cast<uint32_t>(static_cast<double>(counts_[b]) /
+                                    static_cast<double>(max_count) * width);
+    os << label << " |" << std::string(bar, '#') << ' ' << counts_[b]
+       << '\n';
+  }
+}
+
+std::vector<double> ComplementaryCdf(const std::vector<uint32_t>& sample) {
+  if (sample.empty()) return {};
+  uint32_t max_v = 0;
+  for (uint32_t v : sample) max_v = std::max(max_v, v);
+  std::vector<uint64_t> count(max_v + 2, 0);
+  for (uint32_t v : sample) ++count[v];
+  std::vector<double> ccdf(max_v + 1, 0.0);
+  uint64_t tail = 0;
+  const double n = static_cast<double>(sample.size());
+  for (int64_t k = max_v; k >= 0; --k) {
+    tail += count[k];
+    ccdf[static_cast<size_t>(k)] = static_cast<double>(tail) / n;
+  }
+  return ccdf;
+}
+
+Result<double> PowerLawKsDistance(const std::vector<uint32_t>& sample,
+                                  uint32_t k_min, double alpha) {
+  if (alpha <= 1.0) return Status::InvalidArgument("alpha must exceed 1");
+  if (k_min == 0) k_min = 1;
+  // Restrict to the tail k >= k_min and renormalise the empirical CCDF.
+  std::vector<uint32_t> tail;
+  for (uint32_t v : sample) {
+    if (v >= k_min) tail.push_back(v);
+  }
+  if (tail.empty()) {
+    return Status::InvalidArgument("no sample point reaches k_min");
+  }
+  auto ccdf = ComplementaryCdf(tail);
+  // ccdf[k_min] == 1 by construction after the restriction.
+  double ks = 0.0;
+  for (uint32_t k = k_min; k < ccdf.size(); ++k) {
+    double model = std::pow(static_cast<double>(k) / k_min, 1.0 - alpha);
+    ks = std::max(ks, std::fabs(ccdf[k] - model));
+  }
+  return ks;
+}
+
+}  // namespace dgt

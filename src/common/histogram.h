@@ -1,0 +1,58 @@
+// Fixed-bin histogram with ASCII rendering, plus distribution helpers
+// used to validate the overlay's power-law claim (complementary CDF and
+// a Kolmogorov-Smirnov distance against a fitted power law).
+
+#ifndef DGT_COMMON_HISTOGRAM_H_
+#define DGT_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dgt {
+
+class Histogram {
+ public:
+  // Equal-width bins over [lo, hi); values outside are clamped into the
+  // first/last bin. Fails with InvalidArgument on hi <= lo or zero bins.
+  static Result<Histogram> Create(double lo, double hi, uint32_t bins);
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  uint64_t total_count() const { return total_; }
+  uint32_t bin_count() const { return static_cast<uint32_t>(counts_.size()); }
+  uint64_t BinValue(uint32_t bin) const { return counts_[bin]; }
+  // Inclusive lower edge of the bin.
+  double BinLow(uint32_t bin) const;
+
+  // Renders "lo..hi | #### count" rows, bars scaled to `width` chars.
+  void Print(std::ostream& os, uint32_t width = 40) const;
+
+ private:
+  Histogram(double lo, double hi, uint32_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// Complementary CDF of an integer sample: ccdf[k] = P(X >= k) for
+// k = 0..max(sample). Empty input yields an empty vector.
+std::vector<double> ComplementaryCdf(const std::vector<uint32_t>& sample);
+
+// Kolmogorov-Smirnov distance between the sample's CCDF (restricted to
+// k >= k_min) and a pure power law P(X >= k) = (k / k_min)^(1 - alpha).
+// Small distance = the tail is power-law-like. Fails with InvalidArgument
+// if no sample point reaches k_min or alpha <= 1.
+Result<double> PowerLawKsDistance(const std::vector<uint32_t>& sample,
+                                  uint32_t k_min, double alpha);
+
+}  // namespace dgt
+
+#endif  // DGT_COMMON_HISTOGRAM_H_

@@ -1,0 +1,73 @@
+// Result<T>: value-or-Status, the return type for fallible constructors
+// and factories (StatusOr idiom).
+
+#ifndef DGT_COMMON_RESULT_H_
+#define DGT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dgt {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from T and Status keep call sites terse:
+  //   Result<Graph> Make() { if (bad) return Status::InvalidArgument(...);
+  //                          return graph; }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or a fallback when not ok().
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace dgt
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define DGT_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto DGT_CONCAT_(_dgt_result_, __LINE__) = (expr);     \
+  if (!DGT_CONCAT_(_dgt_result_, __LINE__).ok())         \
+    return DGT_CONCAT_(_dgt_result_, __LINE__).status(); \
+  lhs = std::move(DGT_CONCAT_(_dgt_result_, __LINE__)).value()
+
+#define DGT_CONCAT_INNER_(a, b) a##b
+#define DGT_CONCAT_(a, b) DGT_CONCAT_INNER_(a, b)
+
+#endif  // DGT_COMMON_RESULT_H_

@@ -1,0 +1,100 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dgt {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  size_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ = n;
+}
+
+Summary::Summary(std::vector<double> values) : sorted_(std::move(values)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  RunningStats rs;
+  for (double v : sorted_) rs.Add(v);
+  mean_ = rs.mean();
+  stddev_ = rs.stddev();
+}
+
+double Summary::min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+double Summary::max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+
+double Summary::Quantile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double RmsError(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  assert(!a.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double MaxAbsError(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double MeanRelativeError(const std::vector<double>& a,
+                         const std::vector<double>& b, double eps) {
+  assert(a.size() == b.size());
+  assert(!a.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += std::fabs(a[i] - b[i]) / std::max(std::fabs(b[i]), eps);
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+}  // namespace dgt

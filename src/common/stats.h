@@ -1,0 +1,74 @@
+// Small statistics helpers used by experiments and tests: streaming
+// mean/variance (Welford), summaries with percentiles, and RMS error.
+
+#ifndef DGT_COMMON_STATS_H_
+#define DGT_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dgt {
+
+// Streaming mean and variance (Welford's algorithm). O(1) space.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  // Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  // Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Batch summary of a sample: sorts a copy, exposes quantiles.
+class Summary {
+ public:
+  explicit Summary(std::vector<double> values);
+
+  bool empty() const { return sorted_.empty(); }
+  size_t count() const { return sorted_.size(); }
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+  double min() const;
+  double max() const;
+  // Linear-interpolated quantile, q in [0, 1].
+  double Quantile(double q) const;
+  double median() const { return Quantile(0.5); }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+};
+
+// sqrt(mean((a[i]-b[i])^2)). Preconditions: equal, nonzero sizes.
+double RmsError(const std::vector<double>& a, const std::vector<double>& b);
+
+// max_i |a[i]-b[i]|. Preconditions: equal sizes.
+double MaxAbsError(const std::vector<double>& a, const std::vector<double>& b);
+
+// mean_i |a[i]-b[i]| / max(|b[i]|, eps) — relative L1 error versus b.
+double MeanRelativeError(const std::vector<double>& a,
+                         const std::vector<double>& b, double eps = 1e-12);
+
+}  // namespace dgt
+
+#endif  // DGT_COMMON_STATS_H_

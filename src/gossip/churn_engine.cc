@@ -1,0 +1,318 @@
+#include "gossip/churn_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace dgt {
+
+namespace {
+
+// Mutable per-node protocol state.
+struct NodeState {
+  double y = 0.0;
+  double g = 0.0;
+  double prev_ratio = 0.0;
+  uint32_t streak = 0;
+  uint32_t senders = 0;
+  uint8_t alive = 0;
+  uint8_t converged = 0;
+  uint8_t stopped = 0;
+};
+
+}  // namespace
+
+ChurnPushSum::ChurnPushSum(const Graph& initial, GossipOptions gossip,
+                           ChurnOptions churn)
+    : initial_(initial), gossip_(gossip), churn_(churn) {}
+
+Result<ChurnGossipResult> ChurnPushSum::Run(const std::vector<double>& y0,
+                                            const std::vector<double>& g0) {
+  const uint32_t n0 = initial_.num_nodes();
+  if (y0.size() != n0 || g0.size() != n0) {
+    return Status::InvalidArgument("y0/g0 must match the initial graph");
+  }
+  if (gossip_.xi <= 0.0) {
+    return Status::InvalidArgument("xi must be positive");
+  }
+  if (churn_.leave_prob < 0.0 || churn_.leave_prob >= 1.0) {
+    return Status::InvalidArgument("leave_prob must lie in [0, 1)");
+  }
+  if (churn_.join_rate < 0.0) {
+    return Status::InvalidArgument("join_rate must be non-negative");
+  }
+
+  Rng rng(gossip_.seed);
+  Rng churn_rng(churn_.seed);
+
+  // Mutable adjacency seeded from the initial graph.
+  std::vector<std::vector<NodeId>> adj(n0);
+  for (NodeId u = 0; u < n0; ++u) adj[u] = initial_.Neighbors(u);
+
+  std::vector<NodeState> node(n0);
+  double total_y = 0.0, total_g = 0.0;
+  for (NodeId u = 0; u < n0; ++u) {
+    node[u].alive = 1;
+    node[u].y = y0[u];
+    node[u].g = g0[u];
+    total_y += y0[u];
+    total_g += g0[u];
+  }
+
+  ChurnGossipResult res;
+  res.control_messages += initial_.DegreeSum();  // degree announcements
+
+  auto ratio_of = [&](NodeId i) {
+    return node[i].g != 0.0 ? node[i].y / node[i].g : gossip_.ratio_sentinel;
+  };
+  for (NodeId u = 0; u < n0; ++u) node[u].prev_ratio = ratio_of(u);
+
+  auto push_count = [&](NodeId u) -> uint32_t {
+    if (gossip_.strategy != PushStrategy::kDifferential) return 1;
+    if (adj[u].empty()) return 1;
+    uint64_t sum = 0;
+    for (NodeId v : adj[u]) sum += adj[v].size();
+    double avg = static_cast<double>(sum) / adj[u].size();
+    if (avg <= 0.0) return 1;
+    double r = static_cast<double>(adj[u].size()) / avg;
+    if (r < 1.0) return 1;
+    switch (gossip_.k_rounding) {
+      case KRounding::kFloor:
+        return static_cast<uint32_t>(std::floor(r));
+      case KRounding::kCeil:
+        return static_cast<uint32_t>(std::ceil(r));
+      case KRounding::kRound:
+        break;
+    }
+    return static_cast<uint32_t>(std::lround(r));
+  };
+
+  auto depart = [&](NodeId u) {
+    // Handover: the leaving node passes its gossip pair to a live
+    // neighbour (preferably one still gossiping), or any live node.
+    NodeId heir = u;
+    for (NodeId v : adj[u]) {
+      if (node[v].alive && !node[v].stopped) {
+        heir = v;
+        break;
+      }
+    }
+    if (heir == u) {
+      for (NodeId v : adj[u]) {
+        if (node[v].alive) {
+          heir = v;
+          break;
+        }
+      }
+    }
+    if (heir == u) {
+      for (NodeId v = 0; v < node.size(); ++v) {
+        if (v != u && node[v].alive) {
+          heir = v;
+          break;
+        }
+      }
+    }
+    if (heir != u) {
+      node[heir].y += node[u].y;
+      node[heir].g += node[u].g;
+      ++res.control_messages;  // the handover message
+    }
+    // else: last node standing departs with its mass; nothing to do.
+    node[u].alive = 0;
+    node[u].y = 0.0;
+    node[u].g = 0.0;
+    for (NodeId v : adj[u]) {
+      auto& lst = adj[v];
+      lst.erase(std::remove(lst.begin(), lst.end(), u), lst.end());
+    }
+    adj[u].clear();
+    ++res.departures;
+  };
+
+  auto join = [&]() {
+    if (node.size() >= churn_.max_nodes) return;
+    // Preferential attachment over the live population.
+    std::vector<NodeId> live;
+    std::vector<double> weight;
+    for (NodeId v = 0; v < node.size(); ++v) {
+      if (!node[v].alive) continue;
+      live.push_back(v);
+      weight.push_back(static_cast<double>(adj[v].size()) + 1.0);
+    }
+    if (live.empty()) return;
+    NodeId id = static_cast<NodeId>(node.size());
+    node.push_back(NodeState{});
+    adj.emplace_back();
+    NodeState& fresh = node.back();
+    fresh.alive = 1;
+    fresh.y = churn_rng.NextDouble();
+    fresh.g = 1.0;
+    total_y += fresh.y;
+    total_g += 1.0;
+    fresh.prev_ratio = fresh.y;
+
+    uint32_t m = std::min<uint32_t>(churn_.join_edges,
+                                    static_cast<uint32_t>(live.size()));
+    std::vector<NodeId> chosen;
+    while (chosen.size() < m) {
+      NodeId t = live[churn_rng.NextDiscrete(weight)];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (NodeId t : chosen) {
+      adj[id].push_back(t);
+      adj[t].push_back(id);
+    }
+    res.control_messages += 2ull * m;  // joining handshakes + degree push
+    ++res.arrivals;
+    // An arrival changes the quantity being averaged (fresh mass), so the
+    // round restarts: every live node resumes gossiping (the paper reruns
+    // gossip rounds as membership changes).
+    for (auto& s : node) {
+      if (!s.alive) continue;
+      s.converged = 0;
+      s.stopped = 0;
+      s.streak = 0;
+    }
+  };
+
+  std::vector<double> in_y, in_g;
+  std::vector<NodeId> targets;
+  uint32_t step = 0;
+  uint32_t live_unstopped = n0;
+
+  auto count_unstopped = [&]() {
+    uint32_t c = 0;
+    for (const auto& s : node) {
+      if (s.alive && !s.stopped) ++c;
+    }
+    return c;
+  };
+
+  while (step < gossip_.max_steps) {
+    ++step;
+
+    // Churn phase (only while active).
+    if (step <= churn_.churn_steps) {
+      for (NodeId u = 0; u < node.size(); ++u) {
+        if (node[u].alive && churn_rng.NextBernoulli(churn_.leave_prob)) {
+          depart(u);
+        }
+      }
+      double expect = churn_.join_rate;
+      while (expect >= 1.0) {
+        join();
+        expect -= 1.0;
+      }
+      if (expect > 0.0 && churn_rng.NextBernoulli(expect)) join();
+      live_unstopped = count_unstopped();
+    }
+
+    const uint32_t n = static_cast<uint32_t>(node.size());
+    in_y.assign(n, 0.0);
+    in_g.assign(n, 0.0);
+    for (auto& s : node) s.senders = 0;
+
+    // Push phase.
+    for (NodeId i = 0; i < n; ++i) {
+      NodeState& s = node[i];
+      if (!s.alive || s.stopped) continue;
+      const auto& nbrs = adj[i];
+      if (nbrs.empty()) continue;  // isolated by churn; handled below
+      const uint32_t deg = static_cast<uint32_t>(nbrs.size());
+      const uint32_t k = std::min(push_count(i), deg);
+      const double denom = static_cast<double>(k) + 1.0;
+      const double sy = s.y / denom;
+      const double sg = s.g / denom;
+      double self_y = sy, self_g = sg;
+
+      targets.clear();
+      if (k == 1) {
+        targets.push_back(nbrs[rng.NextBelow(deg)]);
+      } else {
+        for (uint32_t idx : rng.SampleWithoutReplacement(deg, k)) {
+          targets.push_back(nbrs[idx]);
+        }
+      }
+      for (NodeId t : targets) {
+        ++res.gossip_messages;
+        bool bounced = node[t].stopped || !node[t].alive ||
+                       (gossip_.packet_loss_prob > 0.0 &&
+                        rng.NextBernoulli(gossip_.packet_loss_prob));
+        if (bounced) {
+          self_y += sy;
+          self_g += sg;
+          continue;
+        }
+        in_y[t] += sy;
+        in_g[t] += sg;
+        ++node[t].senders;
+      }
+      in_y[i] += self_y;
+      in_g[i] += self_g;
+    }
+
+    // Apply + convergence evidence.
+    for (NodeId i = 0; i < n; ++i) {
+      NodeState& s = node[i];
+      if (!s.alive || s.stopped) continue;
+      if (adj[i].empty()) {
+        // Churn isolated this node: it can never hear anything again.
+        if (!s.converged) s.converged = 1;
+        s.stopped = 1;
+        continue;
+      }
+      s.y = in_y[i];
+      s.g = in_g[i];
+      double r = ratio_of(i);
+      if (!s.converged) {
+        if (s.senders >= 1 && s.g != 0.0) {
+          s.streak =
+              std::fabs(r - s.prev_ratio) <= gossip_.xi ? s.streak + 1 : 0;
+        }
+        if (s.streak >= gossip_.convergence_rounds) {
+          s.converged = 1;
+          res.control_messages += adj[i].size();
+        }
+      }
+      s.prev_ratio = r;
+    }
+
+    // Starvation escape + stop rule (membership-aware).
+    for (NodeId i = 0; i < n; ++i) {
+      NodeState& s = node[i];
+      if (!s.alive || s.stopped) continue;
+      bool all_stopped = true, all_converged = true;
+      for (NodeId v : adj[i]) {
+        if (!node[v].stopped) all_stopped = false;
+        if (!node[v].converged) all_converged = false;
+      }
+      if (!s.converged && all_stopped && !adj[i].empty()) {
+        s.converged = 1;
+        res.control_messages += adj[i].size();
+      }
+      if (s.converged && all_converged) s.stopped = 1;
+    }
+
+    live_unstopped = count_unstopped();
+    if (step > churn_.churn_steps && live_unstopped == 0) break;
+  }
+
+  const uint32_t n = static_cast<uint32_t>(node.size());
+  res.steps = step;
+  res.converged = (live_unstopped == 0);
+  res.expected_ratio = total_g > 0.0 ? total_y / total_g : 0.0;
+  res.ratios.assign(n, 0.0);
+  res.alive.assign(n, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    res.alive[i] = node[i].alive;
+    res.ratios[i] = ratio_of(i);
+    if (node[i].alive) ++res.live_count;
+  }
+  return res;
+}
+
+}  // namespace dgt

@@ -1,0 +1,92 @@
+#include "gossip/potential.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dgt {
+
+Result<PotentialTrace> TrackPotential(const Graph& graph,
+                                      PushStrategy strategy, uint32_t steps,
+                                      Rng& rng) {
+  const uint32_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  std::vector<uint32_t> k(n, 1);
+  if (strategy == PushStrategy::kDifferential) {
+    for (NodeId u = 0; u < n; ++u) k[u] = graph.DifferentialPushCount(u);
+  }
+
+  // c[j*n + i] = contribution of node i's initial mass held at node j.
+  const size_t nn = static_cast<size_t>(n) * n;
+  std::vector<double> c(nn, 0.0), in(nn, 0.0);
+  for (uint32_t i = 0; i < n; ++i) c[static_cast<size_t>(i) * n + i] = 1.0;
+
+  auto potential = [&]() {
+    double psi = 0.0;
+    for (uint32_t j = 0; j < n; ++j) {
+      const size_t row = static_cast<size_t>(j) * n;
+      double gj = 0.0;
+      for (uint32_t i = 0; i < n; ++i) gj += c[row + i];
+      const double target = gj / static_cast<double>(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        double d = c[row + i] - target;
+        psi += d * d;
+      }
+    }
+    return psi;
+  };
+
+  PotentialTrace trace;
+  trace.psi.reserve(steps + 1);
+  trace.psi.push_back(potential());  // = N - 1 exactly at n = 0
+
+  std::vector<NodeId> targets;
+  for (uint32_t m = 0; m < steps; ++m) {
+    std::fill(in.begin(), in.end(), 0.0);
+    for (NodeId j = 0; j < n; ++j) {
+      const auto& nbrs = graph.Neighbors(j);
+      const uint32_t deg = static_cast<uint32_t>(nbrs.size());
+      const size_t row = static_cast<size_t>(j) * n;
+      if (deg == 0) {
+        for (uint32_t i = 0; i < n; ++i) in[row + i] += c[row + i];
+        continue;
+      }
+      const uint32_t kk = std::min(k[j], deg);
+      const double inv = 1.0 / (static_cast<double>(kk) + 1.0);
+      targets.clear();
+      if (kk == 1) {
+        targets.push_back(nbrs[rng.NextBelow(deg)]);
+      } else {
+        for (uint32_t idx : rng.SampleWithoutReplacement(deg, kk)) {
+          targets.push_back(nbrs[idx]);
+        }
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        const double share = c[row + i] * inv;
+        in[row + i] += share;
+        for (NodeId t : targets) {
+          in[static_cast<size_t>(t) * n + i] += share;
+        }
+      }
+    }
+    c.swap(in);
+    trace.psi.push_back(potential());
+  }
+
+  // Uniformity metric: max over j of max_i |c_{j,i}/||c_j||_1 - 1/N|.
+  double worst = 0.0;
+  for (uint32_t j = 0; j < n; ++j) {
+    const size_t row = static_cast<size_t>(j) * n;
+    double l1 = 0.0;
+    for (uint32_t i = 0; i < n; ++i) l1 += std::fabs(c[row + i]);
+    if (l1 <= 0.0) continue;
+    for (uint32_t i = 0; i < n; ++i) {
+      worst = std::max(worst, std::fabs(c[row + i] / l1 -
+                                        1.0 / static_cast<double>(n)));
+    }
+  }
+  trace.final_max_relative_deviation = worst;
+  return trace;
+}
+
+}  // namespace dgt

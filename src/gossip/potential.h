@@ -1,0 +1,40 @@
+// Potential-function diagnostics for Theorem 5.2.
+//
+// The proof tracks per-node contribution vectors c_{n,i,j} (the share of
+// node i's initial mass held by node j after n steps) and the potential
+//   psi_n = sum_{j,i} (c_{n,i,j} - g_{n,j}/N)^2,
+// showing E[psi_{n+1} | psi_n] <= psi_n/(p+1) + 1/(4(p+1)^2). This tracker
+// simulates the full N x N contribution matrix under the same push
+// dynamics as the engines, so benches/tests can verify the decay rate and
+// the xi-uniformity claim empirically. O(N^2) memory — intended for
+// N <= ~2000.
+
+#ifndef DGT_GOSSIP_POTENTIAL_H_
+#define DGT_GOSSIP_POTENTIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "gossip/options.h"
+#include "graph/graph.h"
+
+namespace dgt {
+
+struct PotentialTrace {
+  // psi[m] = potential after m steps (psi[0] = N - 1 by eq. 28).
+  std::vector<double> psi;
+  // max_i |c_{n,i,j} / ||c_{n,j}||_1 - 1/N| maximised over j, after the
+  // final step (the Theorem 5.2 uniformity metric).
+  double final_max_relative_deviation = 0.0;
+};
+
+// Runs `steps` steps of (differential) push over the contribution matrix.
+Result<PotentialTrace> TrackPotential(const Graph& graph,
+                                      PushStrategy strategy, uint32_t steps,
+                                      Rng& rng);
+
+}  // namespace dgt
+
+#endif  // DGT_GOSSIP_POTENTIAL_H_

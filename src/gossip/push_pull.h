@@ -1,0 +1,41 @@
+// Push-pull pairwise averaging (Boyd et al. [22]) — the classical baseline
+// the paper contrasts with: it converges fast on PA graphs but requires
+// pulling, which the paper argues is expensive and needs power-node
+// identification to be efficient.
+
+#ifndef DGT_GOSSIP_PUSH_PULL_H_
+#define DGT_GOSSIP_PUSH_PULL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace dgt {
+
+struct PushPullOptions {
+  // Terminate when every node's value is within xi of the true mean
+  // (oracle criterion — used only for baseline comparisons).
+  double xi = 1e-4;
+  uint32_t max_steps = 100000;
+  uint64_t seed = 1;
+};
+
+struct PushPullResult {
+  std::vector<double> values;
+  uint32_t steps = 0;
+  bool converged = false;
+  uint64_t messages = 0;  // 2 per contact (request + response)
+};
+
+// Each step, every node (in random order) contacts one random neighbour and
+// the pair sets both values to their average. Mass is conserved exactly.
+Result<PushPullResult> RunPushPullAveraging(const Graph& graph,
+                                            const std::vector<double>& v0,
+                                            const PushPullOptions& options);
+
+}  // namespace dgt
+
+#endif  // DGT_GOSSIP_PUSH_PULL_H_

@@ -1,0 +1,237 @@
+#include "gossip/scalar_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace dgt {
+
+ScalarPushSum::ScalarPushSum(const Graph* graph, GossipOptions options)
+    : graph_(graph), options_(options) {
+  assert(graph_ != nullptr);
+  const uint32_t n = graph_->num_nodes();
+  push_counts_.resize(n, 1);
+  if (options_.strategy == PushStrategy::kDifferential) {
+    for (NodeId u = 0; u < n; ++u) {
+      push_counts_[u] = graph_->DifferentialPushCount(u, options_.k_rounding);
+    }
+  }
+}
+
+Result<GossipResult> ScalarPushSum::Run(const std::vector<double>& y0,
+                                        const std::vector<double>& g0,
+                                        const std::vector<double>& c0) {
+  const uint32_t n = graph_->num_nodes();
+  if (y0.size() != n || g0.size() != n) {
+    return Status::InvalidArgument("y0/g0 must have num_nodes entries");
+  }
+  const bool use_count = !c0.empty();
+  if (use_count && c0.size() != n) {
+    return Status::InvalidArgument("c0 must be empty or num_nodes entries");
+  }
+  for (double g : g0) {
+    if (g < 0.0) return Status::InvalidArgument("gossip weights must be >= 0");
+  }
+  if (options_.xi <= 0.0) {
+    return Status::InvalidArgument("xi must be positive");
+  }
+
+  Rng rng(options_.seed);
+  GossipResult res;
+  res.values = y0;
+  res.weights = g0;
+  res.counts = use_count ? c0 : std::vector<double>(n, 0.0);
+
+  std::vector<double>& y = res.values;
+  std::vector<double>& g = res.weights;
+  std::vector<double>& c = res.counts;
+
+  std::vector<double> in_y(n), in_g(n), in_c(n);
+  std::vector<uint32_t> senders(n);  // pushes received from *other* nodes
+  std::vector<uint8_t> converged(n, 0), stopped(n, 0);
+  // Consecutive qualifying steps towards the convergence announcement.
+  std::vector<uint32_t> streak(n, 0);
+  // Per-node accounting for the Table 2 metric.
+  std::vector<uint64_t> node_sent(n, 0);
+  std::vector<uint32_t> node_active_steps(n, 0);
+
+  auto ratio_of = [&](NodeId i) {
+    return g[i] != 0.0 ? y[i] / g[i] : options_.ratio_sentinel;
+  };
+  auto count_ratio_of = [&](NodeId i) {
+    return g[i] != 0.0 ? c[i] / g[i] : options_.ratio_sentinel;
+  };
+
+  // u_i: the ratio tracked from the previous step (and the count-channel
+  // ratio when that channel is active — convergence must cover both).
+  std::vector<double> u(n), uc(use_count ? n : 0);
+  for (NodeId i = 0; i < n; ++i) u[i] = ratio_of(i);
+  if (use_count) {
+    for (NodeId i = 0; i < n; ++i) uc[i] = count_ratio_of(i);
+  }
+
+  // One-time degree announcements: every node pushes its degree to all
+  // neighbours so that k_i can be computed. Cost = sum of degrees.
+  res.control_messages += graph_->DegreeSum();
+  for (NodeId i = 0; i < n; ++i) node_sent[i] += graph_->Degree(i);
+
+  if (options_.track_trace) res.trace.reserve(64);
+
+  uint32_t num_stopped = 0;
+  // Handle isolated nodes (they can never hear from anybody): converge and
+  // stop them immediately.
+  for (NodeId i = 0; i < n; ++i) {
+    if (graph_->Degree(i) == 0) {
+      converged[i] = 1;
+      stopped[i] = 1;
+      ++num_stopped;
+    }
+  }
+
+  std::vector<NodeId> scratch_targets;
+  uint32_t step = 0;
+  while (num_stopped < n && step < options_.max_steps) {
+    ++step;
+    std::fill(in_y.begin(), in_y.end(), 0.0);
+    std::fill(in_g.begin(), in_g.end(), 0.0);
+    if (use_count) std::fill(in_c.begin(), in_c.end(), 0.0);
+    std::fill(senders.begin(), senders.end(), 0);
+
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i]) continue;
+      ++node_active_steps[i];
+      const auto& nbrs = graph_->Neighbors(i);
+      const uint32_t deg = static_cast<uint32_t>(nbrs.size());
+      const uint32_t k = std::min(push_counts_[i], deg);
+      const double denom = static_cast<double>(k) + 1.0;
+      const double sy = y[i] / denom;
+      const double sg = g[i] / denom;
+      const double sc = use_count ? c[i] / denom : 0.0;
+
+      // Share kept by the node itself, plus any share bounced back by a
+      // lost push (mass conservation under churn).
+      double self_y = sy, self_g = sg, self_c = sc;
+
+      scratch_targets.clear();
+      if (k == 1) {
+        scratch_targets.push_back(nbrs[rng.NextBelow(deg)]);
+      } else {
+        for (uint32_t idx : rng.SampleWithoutReplacement(deg, k)) {
+          scratch_targets.push_back(nbrs[idx]);
+        }
+      }
+      for (NodeId t : scratch_targets) {
+        ++res.gossip_messages;  // transmitted whether or not it is lost
+        ++node_sent[i];
+        // A stopped target no longer participates; like a lost packet,
+        // the share bounces back to the sender (mass conservation, and
+        // the sender does not bleed its mass into a frozen sink).
+        if (stopped[t] || (options_.packet_loss_prob > 0.0 &&
+                           rng.NextBernoulli(options_.packet_loss_prob))) {
+          self_y += sy;
+          self_g += sg;
+          self_c += sc;
+          continue;
+        }
+        in_y[t] += sy;
+        in_g[t] += sg;
+        if (use_count) in_c[t] += sc;
+        ++senders[t];
+      }
+      in_y[i] += self_y;
+      in_g[i] += self_g;
+      if (use_count) in_c[i] += self_c;
+    }
+
+    // Apply inboxes and evaluate the convergence predicate. Stopped nodes
+    // are frozen: nothing is delivered to them (senders bounce instead).
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i]) continue;
+      y[i] = in_y[i];
+      g[i] = in_g[i];
+      if (use_count) c[i] = in_c[i];
+      double r = ratio_of(i);
+      double change = std::fabs(r - u[i]);
+      if (use_count) {
+        double rc = count_ratio_of(i);
+        change += std::fabs(rc - uc[i]);
+        uc[i] = rc;
+      }
+      // Convergence evidence: a step counts towards the streak when the
+      // node heard from somebody else (|S| > 1), carries gossip weight (a
+      // weightless node parks at the sentinel, which is trivially
+      // stable), and its tracked ratios moved by at most xi. A step where
+      // it heard something and moved MORE than xi resets the streak;
+      // silent steps carry no evidence either way.
+      if (!converged[i]) {
+        if (senders[i] >= 1 && g[i] != 0.0) {
+          streak[i] = change <= options_.xi ? streak[i] + 1 : 0;
+        }
+        if (streak[i] >= options_.convergence_rounds) {
+          converged[i] = 1;
+          // Announce convergence to all neighbours.
+          res.control_messages += graph_->Degree(i);
+          node_sent[i] += graph_->Degree(i);
+        }
+      }
+      u[i] = r;
+    }
+
+    // A node whose neighbours have ALL stopped can never hear from
+    // anybody again; no further information can reach it, so it adopts
+    // its current estimate and announces convergence.
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i] || converged[i] || graph_->Degree(i) == 0) continue;
+      bool all_stopped = true;
+      for (NodeId v : graph_->Neighbors(i)) {
+        if (!stopped[v]) {
+          all_stopped = false;
+          break;
+        }
+      }
+      if (all_stopped) {
+        converged[i] = 1;
+        res.control_messages += graph_->Degree(i);
+        node_sent[i] += graph_->Degree(i);
+      }
+    }
+
+    // A node stops once it and all its neighbours have converged.
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i] || !converged[i]) continue;
+      bool all = true;
+      for (NodeId v : graph_->Neighbors(i)) {
+        if (!converged[v]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        stopped[i] = 1;
+        ++num_stopped;
+      }
+    }
+
+    if (options_.track_trace) {
+      std::vector<double> row(n);
+      for (NodeId i = 0; i < n; ++i) row[i] = ratio_of(i);
+      res.trace.push_back(std::move(row));
+    }
+  }
+
+  res.steps = step;
+  res.converged = (num_stopped == n);
+  res.ratios.resize(n);
+  double per_step_sum = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    res.ratios[i] = ratio_of(i);
+    per_step_sum += static_cast<double>(node_sent[i]) /
+                    static_cast<double>(std::max(node_active_steps[i], 1u));
+  }
+  res.mean_messages_per_active_node_step =
+      n > 0 ? per_step_sum / static_cast<double>(n) : 0.0;
+  return res;
+}
+
+}  // namespace dgt

@@ -1,0 +1,76 @@
+#include "gossip/spreading.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dgt {
+
+Result<SpreadingResult> SpreadRumor(const Graph& graph, NodeId source,
+                                    SpreadProtocol protocol,
+                                    uint32_t max_rounds, Rng& rng) {
+  const uint32_t n = graph.num_nodes();
+  if (source >= n) {
+    return Status::InvalidArgument("source node out of range");
+  }
+
+  std::vector<uint8_t> informed(n, 0), next(n, 0);
+  informed[source] = 1;
+  uint32_t count = 1;
+
+  // Differential push counts are degree-based and static.
+  std::vector<uint32_t> k(n, 1);
+  if (protocol == SpreadProtocol::kDifferentialPush) {
+    for (NodeId u = 0; u < n; ++u) k[u] = graph.DifferentialPushCount(u);
+  }
+
+  const bool do_push = protocol == SpreadProtocol::kPush ||
+                       protocol == SpreadProtocol::kDifferentialPush ||
+                       protocol == SpreadProtocol::kPushPull;
+  const bool do_pull = protocol == SpreadProtocol::kPull ||
+                       protocol == SpreadProtocol::kPushPull;
+
+  SpreadingResult res;
+  while (count < n && res.rounds < max_rounds) {
+    ++res.rounds;
+    std::copy(informed.begin(), informed.end(), next.begin());
+
+    if (do_push) {
+      for (NodeId u = 0; u < n; ++u) {
+        if (!informed[u]) continue;
+        const auto& nbrs = graph.Neighbors(u);
+        if (nbrs.empty()) continue;
+        const uint32_t deg = static_cast<uint32_t>(nbrs.size());
+        const uint32_t kk = std::min(k[u], deg);
+        if (kk == 1) {
+          next[nbrs[rng.NextBelow(deg)]] = 1;
+          ++res.messages;
+        } else {
+          for (uint32_t idx : rng.SampleWithoutReplacement(deg, kk)) {
+            next[nbrs[idx]] = 1;
+            ++res.messages;
+          }
+        }
+      }
+    }
+    if (do_pull) {
+      for (NodeId u = 0; u < n; ++u) {
+        if (informed[u]) continue;
+        const auto& nbrs = graph.Neighbors(u);
+        if (nbrs.empty()) continue;
+        NodeId t = nbrs[rng.NextBelow(nbrs.size())];
+        ++res.messages;  // the pull request
+        if (informed[t]) next[u] = 1;
+      }
+    }
+
+    informed.swap(next);
+    count = 0;
+    for (uint8_t f : informed) count += f;
+  }
+
+  res.completed = (count == n);
+  res.informed = count;
+  return res;
+}
+
+}  // namespace dgt

@@ -1,0 +1,241 @@
+#include "gossip/vector_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dgt {
+
+VectorPushSum::VectorPushSum(const Graph* graph, GossipOptions options)
+    : graph_(graph), options_(options) {
+  assert(graph_ != nullptr);
+  const uint32_t n = graph_->num_nodes();
+  push_counts_.resize(n, 1);
+  if (options_.strategy == PushStrategy::kDifferential) {
+    for (NodeId u = 0; u < n; ++u) {
+      push_counts_[u] = graph_->DifferentialPushCount(u, options_.k_rounding);
+    }
+  }
+}
+
+Result<VectorGossipResult> VectorPushSum::Run(
+    const std::vector<std::vector<double>>& y0,
+    const std::vector<std::vector<double>>& g0,
+    const std::vector<std::vector<double>>& c0) {
+  const uint32_t n = graph_->num_nodes();
+  const bool use_count = !c0.empty();
+  if (y0.size() != n || g0.size() != n || (use_count && c0.size() != n)) {
+    return Status::InvalidArgument("initial matrices must have N rows");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    if (y0[i].size() != n || g0[i].size() != n ||
+        (use_count && c0[i].size() != n)) {
+      return Status::InvalidArgument("initial matrices must have N columns");
+    }
+  }
+  if (options_.xi <= 0.0) {
+    return Status::InvalidArgument("xi must be positive");
+  }
+
+  Rng rng(options_.seed);
+
+  // Flat row-major state for cache friendliness.
+  const size_t nn = static_cast<size_t>(n) * n;
+  std::vector<double> y(nn), g(nn), c(use_count ? nn : 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::copy(y0[i].begin(), y0[i].end(), y.begin() + i * n);
+    std::copy(g0[i].begin(), g0[i].end(), g.begin() + i * n);
+    if (use_count) std::copy(c0[i].begin(), c0[i].end(), c.begin() + i * n);
+  }
+
+  std::vector<double> in_y(nn), in_g(nn), in_c(use_count ? nn : 0);
+  std::vector<uint32_t> senders(n);
+  std::vector<uint8_t> converged(n, 0), stopped(n, 0);
+  std::vector<uint32_t> streak(n, 0);
+  std::vector<uint64_t> node_sent(n, 0);
+  std::vector<uint32_t> node_active_steps(n, 0);
+
+  const double sentinel = options_.ratio_sentinel;
+  auto ratio = [&](size_t idx) {
+    return g[idx] != 0.0 ? y[idx] / g[idx] : sentinel;
+  };
+
+  auto count_ratio = [&](size_t idx) {
+    return g[idx] != 0.0 ? c[idx] / g[idx] : sentinel;
+  };
+
+  // prev_ratio[i*n + j]: u-vector per node (plus the count-channel ratios
+  // when that channel is active — eq. (7) must cover both).
+  std::vector<double> prev_ratio(nn), prev_cratio(use_count ? nn : 0);
+  for (size_t idx = 0; idx < nn; ++idx) prev_ratio[idx] = ratio(idx);
+  if (use_count) {
+    for (size_t idx = 0; idx < nn; ++idx) prev_cratio[idx] = count_ratio(idx);
+  }
+
+  VectorGossipResult res;
+  res.control_messages += graph_->DegreeSum();  // degree announcements
+  for (NodeId i = 0; i < n; ++i) node_sent[i] += graph_->Degree(i);
+
+  uint32_t num_stopped = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    if (graph_->Degree(i) == 0) {
+      converged[i] = 1;
+      stopped[i] = 1;
+      ++num_stopped;
+    }
+  }
+
+  const double threshold = static_cast<double>(n) * options_.xi;
+  std::vector<NodeId> targets;
+  uint32_t step = 0;
+  while (num_stopped < n && step < options_.max_steps) {
+    ++step;
+    std::fill(in_y.begin(), in_y.end(), 0.0);
+    std::fill(in_g.begin(), in_g.end(), 0.0);
+    if (use_count) std::fill(in_c.begin(), in_c.end(), 0.0);
+    std::fill(senders.begin(), senders.end(), 0);
+
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i]) continue;
+      ++node_active_steps[i];
+      const auto& nbrs = graph_->Neighbors(i);
+      const uint32_t deg = static_cast<uint32_t>(nbrs.size());
+      const uint32_t k = std::min(push_counts_[i], deg);
+      const double inv = 1.0 / (static_cast<double>(k) + 1.0);
+
+      targets.clear();
+      if (k == 1) {
+        targets.push_back(nbrs[rng.NextBelow(deg)]);
+      } else {
+        for (uint32_t idx : rng.SampleWithoutReplacement(deg, k)) {
+          targets.push_back(nbrs[idx]);
+        }
+      }
+
+      // Self share starts at 1 and grows by 1 per lost push.
+      double self_shares = 1.0;
+      const size_t row = static_cast<size_t>(i) * n;
+      for (NodeId t : targets) {
+        ++res.gossip_messages;
+        ++node_sent[i];
+        // Stopped targets bounce the share back (see scalar engine).
+        if (stopped[t] || (options_.packet_loss_prob > 0.0 &&
+                           rng.NextBernoulli(options_.packet_loss_prob))) {
+          self_shares += 1.0;
+          continue;
+        }
+        const size_t trow = static_cast<size_t>(t) * n;
+        for (uint32_t j = 0; j < n; ++j) {
+          in_y[trow + j] += y[row + j] * inv;
+          in_g[trow + j] += g[row + j] * inv;
+        }
+        if (use_count) {
+          for (uint32_t j = 0; j < n; ++j) in_c[trow + j] += c[row + j] * inv;
+        }
+        ++senders[t];
+      }
+      const double self_f = self_shares * inv;
+      for (uint32_t j = 0; j < n; ++j) {
+        in_y[row + j] += y[row + j] * self_f;
+        in_g[row + j] += g[row + j] * self_f;
+      }
+      if (use_count) {
+        for (uint32_t j = 0; j < n; ++j) in_c[row + j] += c[row + j] * self_f;
+      }
+    }
+
+    for (NodeId i = 0; i < n; ++i) {
+      const size_t row = static_cast<size_t>(i) * n;
+      if (stopped[i]) continue;  // frozen; senders bounced instead
+      double l1_change = 0.0;
+      bool has_weight = false;
+      for (uint32_t j = 0; j < n; ++j) {
+        y[row + j] = in_y[row + j];
+        g[row + j] = in_g[row + j];
+        if (use_count) c[row + j] = in_c[row + j];
+        if (g[row + j] != 0.0) has_weight = true;
+        double r = ratio(row + j);
+        l1_change += std::fabs(r - prev_ratio[row + j]);
+        prev_ratio[row + j] = r;
+        if (use_count) {
+          double rc = count_ratio(row + j);
+          l1_change += std::fabs(rc - prev_cratio[row + j]);
+          prev_cratio[row + j] = rc;
+        }
+      }
+      // eq. (7) with the |S| > 1 guard, a weight guard (a node that has
+      // received no gossip weight parks at the sentinel, which is
+      // trivially stable), and an evidence-streak requirement (see
+      // GossipOptions::convergence_rounds): steps where the node heard
+      // something count for (change <= N xi) or against (reset); silent
+      // steps carry no evidence.
+      if (!converged[i]) {
+        if (senders[i] >= 1 && has_weight) {
+          streak[i] = l1_change <= threshold ? streak[i] + 1 : 0;
+        }
+        if (streak[i] >= options_.convergence_rounds) {
+          converged[i] = 1;
+          res.control_messages += graph_->Degree(i);
+          node_sent[i] += graph_->Degree(i);
+        }
+      }
+    }
+
+    // Force-converge nodes that can never hear from anybody again.
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i] || converged[i] || graph_->Degree(i) == 0) continue;
+      bool all_stopped = true;
+      for (NodeId v : graph_->Neighbors(i)) {
+        if (!stopped[v]) {
+          all_stopped = false;
+          break;
+        }
+      }
+      if (all_stopped) {
+        converged[i] = 1;
+        res.control_messages += graph_->Degree(i);
+        node_sent[i] += graph_->Degree(i);
+      }
+    }
+
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i] || !converged[i]) continue;
+      bool all = true;
+      for (NodeId v : graph_->Neighbors(i)) {
+        if (!converged[v]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        stopped[i] = 1;
+        ++num_stopped;
+      }
+    }
+  }
+
+  res.steps = step;
+  res.converged = (num_stopped == n);
+  double per_step_sum = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    per_step_sum += static_cast<double>(node_sent[i]) /
+                    static_cast<double>(std::max(node_active_steps[i], 1u));
+  }
+  res.mean_messages_per_active_node_step =
+      n > 0 ? per_step_sum / static_cast<double>(n) : 0.0;
+  res.estimates.assign(n, std::vector<double>(n, 0.0));
+  if (use_count) res.count_estimates.assign(n, std::vector<double>(n, 0.0));
+  for (uint32_t i = 0; i < n; ++i) {
+    const size_t row = static_cast<size_t>(i) * n;
+    for (uint32_t j = 0; j < n; ++j) {
+      res.estimates[i][j] = ratio(row + j);
+      if (use_count) {
+        res.count_estimates[i][j] =
+            g[row + j] != 0.0 ? c[row + j] / g[row + j] : 0.0;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace dgt

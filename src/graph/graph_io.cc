@@ -1,0 +1,54 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dgt {
+
+Status SaveGraph(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << "# dgt graph edge list\n";
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.Edges()) {
+    out << u << ' ' << v << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Graph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  std::string line;
+  uint32_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  bool header_seen = false;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (!header_seen) {
+      if (!(ls >> num_nodes >> num_edges)) {
+        return Status::IoError("malformed header in " + path);
+      }
+      header_seen = true;
+      edges.reserve(num_edges);
+      continue;
+    }
+    NodeId u, v;
+    if (!(ls >> u >> v)) {
+      return Status::IoError("malformed edge line in " + path + ": " + line);
+    }
+    edges.emplace_back(u, v);
+  }
+  if (!header_seen) return Status::IoError("empty graph file " + path);
+  if (edges.size() != num_edges) {
+    return Status::IoError("edge count mismatch in " + path);
+  }
+  return Graph::FromEdges(num_nodes, edges);
+}
+
+}  // namespace dgt

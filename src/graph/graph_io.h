@@ -1,0 +1,20 @@
+// Edge-list persistence for graphs: plain text "u v" per line, preceded by
+// a header line "num_nodes num_edges". Lines starting with '#' are comments.
+
+#ifndef DGT_GRAPH_GRAPH_IO_H_
+#define DGT_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace dgt {
+
+Status SaveGraph(const Graph& g, const std::string& path);
+
+Result<Graph> LoadGraph(const std::string& path);
+
+}  // namespace dgt
+
+#endif  // DGT_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,133 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace dgt {
+
+std::vector<uint64_t> DegreeHistogram(const Graph& g) {
+  std::vector<uint64_t> hist(MaxDegree(g) + 1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) ++hist[g.Degree(u)];
+  return hist;
+}
+
+double AverageDegree(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  return static_cast<double>(g.DegreeSum()) /
+         static_cast<double>(g.num_nodes());
+}
+
+uint32_t MaxDegree(const Graph& g) {
+  uint32_t m = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) m = std::max(m, g.Degree(u));
+  return m;
+}
+
+double EstimatePowerLawExponent(const Graph& g, uint32_t d_min) {
+  if (d_min == 0) d_min = 1;
+  uint64_t n = 0;
+  double log_sum = 0.0;
+  const double shift = static_cast<double>(d_min) - 0.5;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    uint32_t d = g.Degree(u);
+    if (d >= d_min) {
+      ++n;
+      log_sum += std::log(static_cast<double>(d) / shift);
+    }
+  }
+  if (n == 0 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+std::vector<uint32_t> ConnectedComponents(const Graph& g) {
+  constexpr uint32_t kUnvisited = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> comp(g.num_nodes(), kUnvisited);
+  uint32_t next = 0;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (comp[s] != kUnvisited) continue;
+    comp[s] = next;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g.Neighbors(u)) {
+        if (comp[v] == kUnvisited) {
+          comp[v] = next;
+          queue.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+uint32_t NumConnectedComponents(const Graph& g) {
+  auto comp = ConnectedComponents(g);
+  uint32_t mx = 0;
+  for (uint32_t c : comp) mx = std::max(mx, c + 1);
+  return g.num_nodes() == 0 ? 0 : mx;
+}
+
+bool IsConnected(const Graph& g) {
+  return g.num_nodes() <= 1 || NumConnectedComponents(g) == 1;
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  uint64_t closed = 0;  // ordered closed wedges (3 * 2 per triangle)
+  uint64_t wedges = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto& nbrs = g.Neighbors(u);
+    uint64_t d = nbrs.size();
+    if (d < 2) continue;
+    wedges += d * (d - 1) / 2;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+  }
+  if (wedges == 0) return 0.0;
+  return static_cast<double>(closed) / static_cast<double>(wedges);
+}
+
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source) {
+  constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> dist(g.num_nodes(), kInf);
+  dist[source] = 0;
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.Neighbors(u)) {
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+uint32_t EstimateDiameter(const Graph& g, uint32_t num_samples, Rng& rng) {
+  if (g.num_nodes() == 0) return 0;
+  constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+  uint32_t best = 0;
+  uint32_t samples = std::min(num_samples, g.num_nodes());
+  bool exhaustive = samples >= g.num_nodes();
+  for (uint32_t i = 0; i < samples; ++i) {
+    NodeId s = exhaustive
+                   ? static_cast<NodeId>(i)
+                   : static_cast<NodeId>(rng.NextBelow(g.num_nodes()));
+    auto dist = BfsDistances(g, s);
+    for (uint32_t d : dist) {
+      if (d != kInf) best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+}  // namespace dgt

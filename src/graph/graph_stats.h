@@ -1,0 +1,49 @@
+// Topology metrics: degree distribution, power-law exponent fit, connected
+// components, clustering, and distance estimates. Used to validate that the
+// PA generator produces the power-law overlays the paper assumes
+// (Gnutella-like, alpha ~= 2.3).
+
+#ifndef DGT_GRAPH_GRAPH_STATS_H_
+#define DGT_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace dgt {
+
+// histogram[d] = number of nodes with degree d.
+std::vector<uint64_t> DegreeHistogram(const Graph& g);
+
+double AverageDegree(const Graph& g);
+uint32_t MaxDegree(const Graph& g);
+
+// Continuous MLE for the power-law exponent (Clauset et al.):
+//   alpha = 1 + n / sum_i ln(d_i / (d_min - 0.5)),
+// over nodes with degree >= d_min. Returns 0 if no such node.
+double EstimatePowerLawExponent(const Graph& g, uint32_t d_min);
+
+// component[u] = id of u's connected component (0-based, by discovery
+// order). Size of returned vector == num_nodes.
+std::vector<uint32_t> ConnectedComponents(const Graph& g);
+
+uint32_t NumConnectedComponents(const Graph& g);
+bool IsConnected(const Graph& g);
+
+// Global clustering coefficient: 3 * triangles / open triads. 0 if the
+// graph has no wedge.
+double GlobalClusteringCoefficient(const Graph& g);
+
+// BFS hop distances from `source`; unreachable nodes get UINT32_MAX.
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source);
+
+// Diameter estimated as the max eccentricity over `num_samples` random
+// source nodes (exact if num_samples >= num_nodes). Lower bound on the
+// true diameter.
+uint32_t EstimateDiameter(const Graph& g, uint32_t num_samples, Rng& rng);
+
+}  // namespace dgt
+
+#endif  // DGT_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,70 @@
+#include "graph/pa_generator.h"
+
+#include <string>
+#include <vector>
+
+namespace dgt {
+
+Result<Graph> GeneratePreferentialAttachment(const PaOptions& options) {
+  const uint32_t n = options.num_nodes;
+  const uint32_t m = options.edges_per_node;
+  if (m == 0) {
+    return Status::InvalidArgument("edges_per_node must be positive");
+  }
+  if (n < m + 1) {
+    return Status::InvalidArgument(
+        "num_nodes must be at least edges_per_node+1, got " +
+        std::to_string(n));
+  }
+
+  Graph g(n);
+  Rng rng(options.seed);
+
+  // `endpoints` holds one entry per degree unit; sampling a uniform element
+  // samples a node with probability proportional to its degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2ull * m * n);
+
+  // Seed: complete graph on the first m+1 nodes, so every early node
+  // already has degree >= m and the graph is connected.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      Status s = g.AddEdge(u, v);
+      if (!s.ok()) return s;
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<NodeId> chosen;
+  chosen.reserve(m);
+  for (NodeId u = m + 1; u < n; ++u) {
+    chosen.clear();
+    // Draw m distinct targets proportionally to degree (redraw on
+    // repeats) so the produced graph is simple.
+    while (chosen.size() < m) {
+      NodeId t = endpoints[rng.NextBelow(endpoints.size())];
+      bool dup = false;
+      for (NodeId c : chosen) {
+        if (c == t) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) chosen.push_back(t);
+    }
+    for (NodeId t : chosen) {
+      Status s = g.AddEdge(u, t);
+      if (!s.ok()) return s;
+    }
+    // Update the sampling pool only after all m draws: the paper's process
+    // attaches based on degrees "before this connection is made".
+    for (NodeId t : chosen) {
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+}  // namespace dgt

@@ -1,0 +1,34 @@
+// Preferential-attachment (Barabási–Albert / Bollobás) network generator.
+//
+// The paper's system model: the overlay G^m_N evolves from G^m_{N-1} when a
+// new node joins with m edges, attaching to existing node i with
+// probability deg(i) / sum_of_degrees. The paper requires m >= 2 for its
+// convergence results, and evaluates on N in [100, 50000].
+
+#ifndef DGT_GRAPH_PA_GENERATOR_H_
+#define DGT_GRAPH_PA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace dgt {
+
+struct PaOptions {
+  uint32_t num_nodes = 0;
+  // Edges added by each joining node. The paper requires m >= 2.
+  uint32_t edges_per_node = 2;
+  uint64_t seed = 1;
+};
+
+// Generates a connected PA graph. The seed component is a complete graph
+// on (edges_per_node + 1) nodes; each subsequent node attaches
+// preferentially. Fails with InvalidArgument if num_nodes <
+// edges_per_node + 1 or edges_per_node == 0.
+Result<Graph> GeneratePreferentialAttachment(const PaOptions& options);
+
+}  // namespace dgt
+
+#endif  // DGT_GRAPH_PA_GENERATOR_H_

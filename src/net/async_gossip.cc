@@ -1,0 +1,241 @@
+#include "net/async_gossip.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+#include "net/event_queue.h"
+
+namespace dgt {
+
+namespace {
+
+// Per-node protocol state for the asynchronous run.
+struct NodeState {
+  double y = 0.0;
+  double g = 0.0;
+  double prev_ratio = 0.0;   // ratio at the previous firing
+  uint32_t streak = 0;       // evidence streak (see GossipOptions)
+  uint32_t firings = 0;      // push timer firings until stopped
+  uint32_t received = 0;     // shares received since the last firing
+  uint32_t idle_firings = 0; // consecutive firings with no evidence
+  bool converged = false;
+  bool stopped = false;
+  uint32_t neighbors_converged = 0;  // announcements heard
+};
+
+}  // namespace
+
+AsyncPushSum::AsyncPushSum(const Graph* graph, AsyncGossipOptions options)
+    : graph_(graph), options_(options) {
+  assert(graph_ != nullptr);
+}
+
+Result<AsyncGossipResult> AsyncPushSum::Run(const std::vector<double>& y0,
+                                            const std::vector<double>& g0) {
+  const uint32_t n = graph_->num_nodes();
+  if (y0.size() != n || g0.size() != n) {
+    return Status::InvalidArgument("y0/g0 must have num_nodes entries");
+  }
+  for (double g : g0) {
+    if (g < 0.0) return Status::InvalidArgument("gossip weights must be >= 0");
+  }
+  if (options_.xi <= 0.0 || options_.push_period <= 0.0) {
+    return Status::InvalidArgument("xi and push_period must be positive");
+  }
+  if (options_.period_jitter < 0.0 || options_.period_jitter >= 1.0) {
+    return Status::InvalidArgument("period_jitter must lie in [0, 1)");
+  }
+
+  DGT_ASSIGN_OR_RETURN(LinkModel links, LinkModel::Create(n, options_.link));
+
+  Rng rng(options_.seed);
+  EventQueue queue;
+  AsyncGossipResult res;
+
+  std::vector<NodeState> node(n);
+  std::vector<uint32_t> k(n, 1);
+  for (NodeId u = 0; u < n; ++u) {
+    node[u].y = y0[u];
+    node[u].g = g0[u];
+    if (options_.strategy == PushStrategy::kDifferential) {
+      k[u] = graph_->DifferentialPushCount(u, options_.k_rounding);
+    }
+  }
+
+  auto ratio_of = [&](NodeId i) {
+    return node[i].g != 0.0 ? node[i].y / node[i].g
+                            : options_.ratio_sentinel;
+  };
+  for (NodeId i = 0; i < n; ++i) node[i].prev_ratio = ratio_of(i);
+
+  uint32_t num_stopped = 0;
+  double last_stop_time = 0.0;
+
+  // Degree announcements (k_i needs neighbours' degrees).
+  res.control_messages += graph_->DegreeSum();
+
+  for (NodeId i = 0; i < n; ++i) {
+    if (graph_->Degree(i) == 0) {
+      node[i].converged = true;
+      node[i].stopped = true;
+      ++num_stopped;
+    }
+  }
+
+  // Forward declarations via std::function for the mutually recursive
+  // event handlers.
+  std::function<void(NodeId)> fire;
+
+  auto announce_convergence = [&](NodeId i) {
+    node[i].converged = true;
+    for (NodeId v : graph_->Neighbors(i)) {
+      ++res.control_messages;
+      double latency = links.Latency(i, v, rng);
+      queue.ScheduleAfter(latency, [&, v]() {
+        ++node[v].neighbors_converged;
+      });
+    }
+  };
+
+  auto maybe_stop = [&](NodeId i) {
+    if (node[i].stopped || !node[i].converged) return;
+    if (node[i].neighbors_converged >= graph_->Degree(i)) {
+      node[i].stopped = true;
+      ++num_stopped;
+      last_stop_time = queue.now();
+    }
+  };
+
+  auto deliver_share = [&](NodeId to, NodeId from, double sy, double sg,
+                           bool is_return) {
+    if (!is_return && node[to].stopped) {
+      // The receiver has left the gossip: bounce the share back to its
+      // sender (one more hop of latency). Returned mass is the sender's
+      // own and carries no convergence evidence.
+      double latency = links.Latency(to, from, rng);
+      NodeId sender = from;
+      queue.ScheduleAfter(latency, [&, sender, to, sy, sg]() {
+        node[sender].y += sy;
+        node[sender].g += sg;
+        (void)to;
+      });
+      return;
+    }
+    node[to].y += sy;
+    node[to].g += sg;
+    if (!is_return) ++node[to].received;
+  };
+
+  auto schedule_next_fire = [&](NodeId i) {
+    double jitter = options_.period_jitter;
+    double interval =
+        options_.push_period *
+        (jitter > 0.0 ? rng.NextDouble(1.0 - jitter, 1.0 + jitter) : 1.0);
+    queue.ScheduleAfter(interval, [&, i]() { fire(i); });
+  };
+
+  fire = [&](NodeId i) {
+    if (node[i].stopped || queue.now() > options_.max_time) return;
+    ++node[i].firings;
+
+    // Convergence evaluation at the node's own cadence.
+    double r = ratio_of(i);
+    bool evidence = node[i].received >= 1 && node[i].g != 0.0;
+    if (!node[i].converged) {
+      if (evidence) {
+        node[i].idle_firings = 0;
+        node[i].streak = std::fabs(r - node[i].prev_ratio) <= options_.xi
+                             ? node[i].streak + 1
+                             : 0;
+        if (node[i].streak >= options_.convergence_rounds) {
+          announce_convergence(i);
+        }
+      } else {
+        // Starvation escape: if every neighbour has announced convergence
+        // and nothing has arrived for a long stretch, no information can
+        // realistically reach this node any more; adopt the estimate.
+        ++node[i].idle_firings;
+        if (node[i].neighbors_converged >= graph_->Degree(i) &&
+            node[i].idle_firings >= 10) {
+          announce_convergence(i);
+        }
+      }
+    }
+    node[i].prev_ratio = r;
+    node[i].received = 0;
+
+    maybe_stop(i);
+    if (node[i].stopped) return;
+
+    // Differential push: split into k+1 shares, keep one.
+    const auto& nbrs = graph_->Neighbors(i);
+    const uint32_t deg = static_cast<uint32_t>(nbrs.size());
+    const uint32_t kk = std::min(k[i], deg);
+    const double denom = static_cast<double>(kk) + 1.0;
+    const double sy = node[i].y / denom;
+    const double sg = node[i].g / denom;
+    double keep_y = sy, keep_g = sg;
+
+    std::vector<NodeId> targets;
+    if (kk == 1) {
+      targets.push_back(nbrs[rng.NextBelow(deg)]);
+    } else {
+      for (uint32_t idx : rng.SampleWithoutReplacement(deg, kk)) {
+        targets.push_back(nbrs[idx]);
+      }
+    }
+    for (NodeId t : targets) {
+      ++res.gossip_messages;
+      if (options_.packet_loss_prob > 0.0 &&
+          rng.NextBernoulli(options_.packet_loss_prob)) {
+        keep_y += sy;
+        keep_g += sg;
+        continue;
+      }
+      double latency = links.Latency(i, t, rng);
+      NodeId sender = i;
+      queue.ScheduleAfter(latency, [&, t, sender, sy, sg]() {
+        deliver_share(t, sender, sy, sg, /*is_return=*/false);
+      });
+    }
+    node[i].y = keep_y;
+    node[i].g = keep_g;
+
+    schedule_next_fire(i);
+  };
+
+  // Desynchronised start: first firings spread over one period.
+  for (NodeId i = 0; i < n; ++i) {
+    if (node[i].stopped) continue;
+    queue.Schedule(rng.NextDouble(0.0, options_.push_period),
+                   [&, i]() { fire(i); });
+  }
+
+  while (num_stopped < n && queue.events_pending() > 0 &&
+         queue.now() <= options_.max_time) {
+    queue.RunNext();
+  }
+  // Drain in-flight deliveries so no mass is lost (no new pushes are
+  // scheduled once every node has stopped).
+  while (queue.events_pending() > 0 && queue.now() <= options_.max_time) {
+    queue.RunNext();
+  }
+
+  res.converged = (num_stopped == n);
+  res.sim_time = res.converged ? last_stop_time : queue.now();
+  res.events = queue.events_processed();
+  res.ratios.resize(n);
+  res.values.resize(n);
+  res.weights.resize(n);
+  for (NodeId i = 0; i < n; ++i) {
+    res.ratios[i] = ratio_of(i);
+    res.values[i] = node[i].y;
+    res.weights[i] = node[i].g;
+    res.max_node_firings = std::max(res.max_node_firings, node[i].firings);
+  }
+  return res;
+}
+
+}  // namespace dgt

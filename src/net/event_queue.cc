@@ -1,0 +1,41 @@
+#include "net/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dgt {
+
+void EventQueue::Schedule(double time, Callback fn) {
+  queue_.push(Entry{std::max(time, now_), seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunNext() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop, so copy the entry (Callback copies are cheap for our
+  // lambdas) — done via const_cast-free retrieval.
+  Entry e = queue_.top();
+  queue_.pop();
+  now_ = e.time;
+  ++processed_;
+  e.fn();
+  return true;
+}
+
+uint64_t EventQueue::RunUntil(double t_end) {
+  uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    RunNext();
+    ++count;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return count;
+}
+
+uint64_t EventQueue::RunAll(uint64_t max_events) {
+  uint64_t count = 0;
+  while (count < max_events && RunNext()) ++count;
+  return count;
+}
+
+}  // namespace dgt

@@ -1,0 +1,75 @@
+// Deterministic discrete-event simulation core: a simulated clock and a
+// priority queue of timed callbacks. Ties are broken by insertion order,
+// so runs are exactly reproducible.
+//
+// The synchronous engines in src/gossip assume the paper's "time is
+// discrete" idealisation; the net/ substrate relaxes it to message-level
+// asynchrony over the paper's section-3 link model (access link +
+// backbone + access link).
+
+#ifndef DGT_NET_EVENT_QUEUE_H_
+#define DGT_NET_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dgt {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Current simulated time (starts at 0; advances as events run).
+  double now() const { return now_; }
+
+  uint64_t events_processed() const { return processed_; }
+  uint64_t events_pending() const { return queue_.size(); }
+
+  // Schedules `fn` at absolute simulated time `time` (>= now(); earlier
+  // times are clamped to now()). Events at equal times run in the order
+  // they were scheduled.
+  void Schedule(double time, Callback fn);
+
+  // Schedules `fn` `delay` after the current time.
+  void ScheduleAfter(double delay, Callback fn) {
+    Schedule(now_ + delay, std::move(fn));
+  }
+
+  // Runs the earliest event. Returns false if the queue is empty.
+  bool RunNext();
+
+  // Runs events until the queue is empty or the next event would be later
+  // than `t_end`. Returns the number of events run.
+  uint64_t RunUntil(double t_end);
+
+  // Runs everything (use with care: callbacks may keep scheduling).
+  uint64_t RunAll(uint64_t max_events = UINT64_MAX);
+
+ private:
+  struct Entry {
+    double time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  double now_ = 0.0;
+  uint64_t seq_ = 0;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace dgt
+
+#endif  // DGT_NET_EVENT_QUEUE_H_

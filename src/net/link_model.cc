@@ -1,0 +1,29 @@
+#include "net/link_model.h"
+
+namespace dgt {
+
+Result<LinkModel> LinkModel::Create(uint32_t num_nodes,
+                                    const LinkModelOptions& options) {
+  if (options.access_latency_min < 0.0 ||
+      options.access_latency_max < options.access_latency_min) {
+    return Status::InvalidArgument("bad access latency range");
+  }
+  if (options.backbone_latency < 0.0 || options.jitter < 0.0) {
+    return Status::InvalidArgument("latencies must be non-negative");
+  }
+  Rng rng(options.seed);
+  std::vector<double> access(num_nodes);
+  for (auto& a : access) {
+    a = rng.NextDouble(options.access_latency_min,
+                       options.access_latency_max);
+  }
+  return LinkModel(std::move(access), options);
+}
+
+double LinkModel::Latency(NodeId u, NodeId v, Rng& rng) const {
+  double jitter =
+      options_.jitter > 0.0 ? rng.NextDouble(0.0, options_.jitter) : 0.0;
+  return access_[u] + options_.backbone_latency + access_[v] + jitter;
+}
+
+}  // namespace dgt

@@ -1,0 +1,57 @@
+// The paper's section-3 connectivity model: peers are "connected to each
+// other by an access link followed by a back bone link and then again by
+// an access link to the second node". Each node gets a fixed access
+// latency (drawn once, deterministic per seed); the backbone contributes
+// a shared base latency; optional per-message jitter models queueing.
+
+#ifndef DGT_NET_LINK_MODEL_H_
+#define DGT_NET_LINK_MODEL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace dgt {
+
+struct LinkModelOptions {
+  // Access latency per node ~ U[min, max] (drawn once per node).
+  double access_latency_min = 0.005;
+  double access_latency_max = 0.05;
+  // Fixed backbone latency added to every message.
+  double backbone_latency = 0.02;
+  // Per-message jitter ~ U[0, jitter] (queueing delay).
+  double jitter = 0.01;
+  uint64_t seed = 1;
+};
+
+class LinkModel {
+ public:
+  // Fails with InvalidArgument on negative latencies or min > max.
+  static Result<LinkModel> Create(uint32_t num_nodes,
+                                  const LinkModelOptions& options);
+
+  // One-way message latency from u to v:
+  //   access(u) + backbone + access(v) + jitter(rng).
+  // Precondition: u, v < num_nodes.
+  double Latency(NodeId u, NodeId v, Rng& rng) const;
+
+  double AccessLatency(NodeId u) const { return access_[u]; }
+
+  // Expected latency ignoring jitter (for analysis).
+  double MeanLatency(NodeId u, NodeId v) const {
+    return access_[u] + options_.backbone_latency + access_[v];
+  }
+
+ private:
+  LinkModel(std::vector<double> access, LinkModelOptions options)
+      : access_(std::move(access)), options_(options) {}
+
+  std::vector<double> access_;
+  LinkModelOptions options_;
+};
+
+}  // namespace dgt
+
+#endif  // DGT_NET_LINK_MODEL_H_

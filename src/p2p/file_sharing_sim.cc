@@ -1,0 +1,154 @@
+#include "p2p/file_sharing_sim.h"
+
+#include <algorithm>
+
+#include "p2p/query_flood.h"
+
+namespace dgt {
+
+Result<std::unique_ptr<FileSharingSim>> FileSharingSim::Create(
+    const Graph* graph, std::vector<PeerProfile> profiles,
+    FileSharingOptions options, std::optional<CollusionPlan> collusion) {
+  if (graph == nullptr) return Status::InvalidArgument("null graph");
+  if (profiles.size() != graph->num_nodes()) {
+    return Status::InvalidArgument("profiles must have one entry per node");
+  }
+  if (collusion && collusion->group_of.size() != graph->num_nodes()) {
+    return Status::InvalidArgument("collusion plan node count mismatch");
+  }
+  if (options.query_ttl == 0) {
+    return Status::InvalidArgument("query_ttl must be >= 1");
+  }
+  if (!(options.serve_threshold > 0.0)) {
+    return Status::InvalidArgument("serve_threshold must be positive");
+  }
+  return std::unique_ptr<FileSharingSim>(new FileSharingSim(
+      graph, std::move(profiles), std::move(options), std::move(collusion)));
+}
+
+FileSharingSim::FileSharingSim(const Graph* graph,
+                               std::vector<PeerProfile> profiles,
+                               FileSharingOptions options,
+                               std::optional<CollusionPlan> collusion)
+    : graph_(graph),
+      profiles_(std::move(profiles)),
+      options_(options),
+      collusion_(std::move(collusion)),
+      trust_(graph->num_nodes()),
+      reported_trust_(graph->num_nodes()),
+      estimator_(&trust_, options.trust),
+      reputation_(graph, &reported_trust_, options.reputation),
+      rng_(options.seed) {}
+
+std::optional<NodeId> FileSharingSim::DiscoverProvider(NodeId requester) {
+  // TTL-limited query flood; every reached node is a candidate provider
+  // ("data of interest is always available").
+  Result<QueryResult> q =
+      FloodQueryAllHolders(*graph_, requester, options_.query_ttl);
+  if (!q.ok() || q->providers.empty()) return std::nullopt;
+  return q->providers[rng_.NextBelow(q->providers.size())];
+}
+
+bool FileSharingSim::DecideToServe(NodeId provider, NodeId requester) {
+  const PeerProfile& p = profiles_[provider];
+  if (p.strategy == PeerStrategy::kFreeRider) return false;
+  if (p.strategy == PeerStrategy::kColluder) {
+    // Colluders serve only their group mates.
+    return collusion_ && collusion_->SameGroup(provider, requester);
+  }
+
+  const double rep = reputation_.Reputation(provider, requester);
+  const bool knows_directly = trust_.HasOpinion(provider, requester);
+  if (rep <= 0.0 && !knows_directly) {
+    // Total stranger: bootstrap altruism.
+    return rng_.NextBernoulli(options_.newcomer_serve_prob);
+  }
+  if (rep >= options_.serve_threshold) return true;
+  return rng_.NextBernoulli(rep / options_.serve_threshold);
+}
+
+Status FileSharingSim::RunReputationRound() {
+  if (collusion_) {
+    CollusionConfig config;  // dense reporting, the paper's model
+    config.group_size = 1;   // unused by ApplyCollusion given a plan
+    DGT_ASSIGN_OR_RETURN(TrustMatrix poisoned,
+                         ApplyCollusion(trust_, *collusion_, config));
+    reported_trust_ = std::move(poisoned);
+  } else {
+    reported_trust_ = trust_;
+  }
+  DGT_RETURN_IF_ERROR(reputation_.RunRound());
+  ++report_.gossip_rounds;
+  return Status::OK();
+}
+
+Status FileSharingSim::Run() {
+  if (ran_) return Status::FailedPrecondition("Run() may be called once");
+  ran_ = true;
+
+  const uint32_t n = graph_->num_nodes();
+  auto class_of = [&](NodeId i) -> ClassMetrics& {
+    switch (profiles_[i].strategy) {
+      case PeerStrategy::kFreeRider:
+        return report_.free_rider;
+      case PeerStrategy::kColluder:
+        return report_.colluder;
+      case PeerStrategy::kCooperative:
+        break;
+    }
+    return report_.cooperative;
+  };
+
+  for (uint32_t round = 1; round <= options_.num_rounds; ++round) {
+    RoundSnapshot snap;
+    snap.round = round;
+    auto snap_class = [&](NodeId i) -> ClassMetrics& {
+      switch (profiles_[i].strategy) {
+        case PeerStrategy::kFreeRider:
+          return snap.free_rider;
+        case PeerStrategy::kColluder:
+          return snap.colluder;
+        case PeerStrategy::kCooperative:
+          break;
+      }
+      return snap.cooperative;
+    };
+
+    // Heavily loaded network: every peer has a pending request each round.
+    for (NodeId requester = 0; requester < n; ++requester) {
+      std::optional<NodeId> provider = DiscoverProvider(requester);
+      if (!provider) continue;
+      ClassMetrics& total = class_of(requester);
+      ClassMetrics& per_round = snap_class(requester);
+      ++total.requests;
+      ++per_round.requests;
+
+      if (DecideToServe(*provider, requester)) {
+        double q = profiles_[*provider].service_quality;
+        double noise = rng_.NextDouble(-options_.satisfaction_noise,
+                                       options_.satisfaction_noise);
+        double satisfaction = std::clamp(q + noise, 0.0, 1.0);
+        DGT_RETURN_IF_ERROR(
+            estimator_.RecordTransaction(requester, *provider, satisfaction));
+        ++total.served;
+        ++per_round.served;
+        total.satisfaction_sum += satisfaction;
+        per_round.satisfaction_sum += satisfaction;
+        ++class_of(*provider).uploads;
+        ++snap_class(*provider).uploads;
+      } else {
+        DGT_RETURN_IF_ERROR(estimator_.RecordRefusal(requester, *provider));
+        ++total.refused;
+        ++per_round.refused;
+      }
+    }
+    report_.rounds.push_back(snap);
+
+    if (options_.gossip_every > 0 && round % options_.gossip_every == 0) {
+      DGT_RETURN_IF_ERROR(RunReputationRound());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dgt

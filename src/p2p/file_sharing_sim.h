@@ -1,0 +1,148 @@
+// Discrete-time P2P file-sharing simulator — the workload the paper's
+// introduction motivates. Peers flood queries over the overlay, request
+// resources from discovered providers, get served according to their
+// reputation, and update direct trust from experienced quality of service.
+// Periodically the differential-gossip reputation round (variant 4) runs
+// over the (possibly collusion-poisoned) reported trust matrix.
+//
+// The headline observable: free riders' download success collapses once
+// reputation rounds start, while cooperative peers keep being served —
+// reputation management suppresses free riding.
+
+#ifndef DGT_P2P_FILE_SHARING_SIM_H_
+#define DGT_P2P_FILE_SHARING_SIM_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "collusion/collusion_model.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "p2p/peer.h"
+#include "reputation/reputation_system.h"
+#include "trust/trust_estimator.h"
+#include "trust/trust_matrix.h"
+
+namespace dgt {
+
+struct FileSharingOptions {
+  uint32_t num_rounds = 100;
+  // A reputation gossip round runs after every `gossip_every` transaction
+  // rounds (0 disables aggregation entirely — the "no reputation system"
+  // ablation).
+  uint32_t gossip_every = 10;
+  // Query flooding hop limit; providers are discovered within this radius.
+  uint32_t query_ttl = 3;
+  // Reputation at or above this gets full service; below it, service is
+  // granted with probability reputation/serve_threshold.
+  double serve_threshold = 0.3;
+  // Probability of serving a requester nobody knows anything about yet
+  // (bootstrap altruism; without it the network can never start).
+  double newcomer_serve_prob = 0.5;
+  // Satisfaction noise amplitude around the provider's intrinsic quality.
+  double satisfaction_noise = 0.05;
+  TrustEstimatorOptions trust;
+  ReputationSystemOptions reputation;
+  uint64_t seed = 1;
+};
+
+// Per-strategy-class transaction accounting. `served` counts downloads
+// received by the class; `uploads` counts service the class provided —
+// the two sides of the paper's section-3 economics (every download is
+// somebody's upload, so free riding is the dominant strategy absent a
+// reputation system).
+struct ClassMetrics {
+  uint64_t requests = 0;
+  uint64_t served = 0;
+  uint64_t refused = 0;
+  uint64_t uploads = 0;
+  double satisfaction_sum = 0.0;
+
+  double SuccessRate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(served) / static_cast<double>(requests);
+  }
+  double MeanSatisfaction() const {
+    return served == 0 ? 0.0
+                       : satisfaction_sum / static_cast<double>(served);
+  }
+  // Net benefit in transfer units: downloads received minus uploads
+  // contributed (the quantity a selfish node maximises).
+  int64_t NetUtility() const {
+    return static_cast<int64_t>(served) - static_cast<int64_t>(uploads);
+  }
+};
+
+struct RoundSnapshot {
+  uint32_t round = 0;
+  ClassMetrics cooperative;
+  ClassMetrics free_rider;
+  ClassMetrics colluder;
+};
+
+struct FileSharingReport {
+  // Cumulative over the whole run.
+  ClassMetrics cooperative;
+  ClassMetrics free_rider;
+  ClassMetrics colluder;
+  // Per-round series (for the example binaries' tables).
+  std::vector<RoundSnapshot> rounds;
+  uint32_t gossip_rounds = 0;
+};
+
+class FileSharingSim {
+ public:
+  // `graph` is borrowed and must outlive the simulator. `profiles` must
+  // have one entry per node. Optional collusion plan poisons the matrix
+  // the reputation rounds see (direct trust stays honest). Returned by
+  // pointer because the simulator holds internal self-references and is
+  // deliberately neither copyable nor movable.
+  static Result<std::unique_ptr<FileSharingSim>> Create(
+      const Graph* graph, std::vector<PeerProfile> profiles,
+      FileSharingOptions options,
+      std::optional<CollusionPlan> collusion = std::nullopt);
+
+  FileSharingSim(const FileSharingSim&) = delete;
+  FileSharingSim& operator=(const FileSharingSim&) = delete;
+
+  // Runs all configured rounds. Call once.
+  Status Run();
+
+  const FileSharingReport& report() const { return report_; }
+  const TrustMatrix& trust() const { return trust_; }
+  const ReputationSystem& reputation() const { return reputation_; }
+  const std::vector<PeerProfile>& profiles() const { return profiles_; }
+
+ private:
+  FileSharingSim(const Graph* graph, std::vector<PeerProfile> profiles,
+                 FileSharingOptions options,
+                 std::optional<CollusionPlan> collusion);
+
+  // Provider discovery: random node within query_ttl hops of `requester`.
+  std::optional<NodeId> DiscoverProvider(NodeId requester);
+
+  // The provider-side admission decision.
+  bool DecideToServe(NodeId provider, NodeId requester);
+
+  Status RunReputationRound();
+
+  const Graph* graph_;
+  std::vector<PeerProfile> profiles_;
+  FileSharingOptions options_;
+  std::optional<CollusionPlan> collusion_;
+
+  TrustMatrix trust_;           // honest direct-interaction trust
+  TrustMatrix reported_trust_;  // what aggregation sees (poisoned if colluding)
+  TrustEstimator estimator_;
+  ReputationSystem reputation_;
+  Rng rng_;
+  FileSharingReport report_;
+  bool ran_ = false;
+};
+
+}  // namespace dgt
+
+#endif  // DGT_P2P_FILE_SHARING_SIM_H_

@@ -1,0 +1,31 @@
+#include "p2p/peer.h"
+
+namespace dgt {
+
+std::vector<PeerProfile> MakePopulation(uint32_t num_nodes,
+                                        const PopulationMix& mix, Rng& rng) {
+  std::vector<PeerProfile> peers(num_nodes);
+  for (auto& peer : peers) {
+    double roll = rng.NextDouble();
+    if (roll < mix.colluder_fraction) {
+      peer.strategy = PeerStrategy::kColluder;
+    } else if (roll < mix.colluder_fraction + mix.free_rider_fraction) {
+      peer.strategy = PeerStrategy::kFreeRider;
+    } else {
+      peer.strategy = PeerStrategy::kCooperative;
+    }
+    peer.service_quality = rng.NextDouble(mix.min_quality, 1.0);
+  }
+  return peers;
+}
+
+std::vector<NodeId> PeersWithStrategy(const std::vector<PeerProfile>& peers,
+                                      PeerStrategy strategy) {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < peers.size(); ++i) {
+    if (peers[i].strategy == strategy) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace dgt

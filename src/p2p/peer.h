@@ -1,0 +1,51 @@
+// Peer behaviour profiles for the file-sharing workload simulator.
+
+#ifndef DGT_P2P_PEER_H_
+#define DGT_P2P_PEER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace dgt {
+
+enum class PeerStrategy {
+  // Uploads when asked (subject to the requester's reputation), with
+  // service quality = its intrinsic quality.
+  kCooperative,
+  // Downloads but never uploads — the free rider the paper targets.
+  kFreeRider,
+  // Serves group mates well, refuses outsiders, and lies in its reports
+  // (wired to the collusion module by the simulator).
+  kColluder,
+};
+
+struct PeerProfile {
+  PeerStrategy strategy = PeerStrategy::kCooperative;
+  // Intrinsic service quality in [0,1]; the satisfaction a served
+  // requester experiences (before noise).
+  double service_quality = 1.0;
+};
+
+struct PopulationMix {
+  double free_rider_fraction = 0.0;
+  double colluder_fraction = 0.0;
+  // Cooperative peers draw quality from U[min_quality, 1]; free riders'
+  // quality is irrelevant (they never serve).
+  double min_quality = 0.5;
+};
+
+// Draws a random population: each node independently becomes a free rider
+// or colluder per the mix (colluder wins ties), the rest cooperative.
+std::vector<PeerProfile> MakePopulation(uint32_t num_nodes,
+                                        const PopulationMix& mix, Rng& rng);
+
+// Node ids of all peers with the given strategy.
+std::vector<NodeId> PeersWithStrategy(const std::vector<PeerProfile>& peers,
+                                      PeerStrategy strategy);
+
+}  // namespace dgt
+
+#endif  // DGT_P2P_PEER_H_

@@ -1,0 +1,55 @@
+#include "p2p/query_flood.h"
+
+#include <deque>
+
+namespace dgt {
+
+Result<QueryResult> FloodQuery(const Graph& graph, NodeId origin,
+                               uint32_t ttl,
+                               const std::vector<uint8_t>& holder) {
+  const uint32_t n = graph.num_nodes();
+  if (origin >= n) return Status::OutOfRange("origin out of range");
+  if (ttl == 0) return Status::InvalidArgument("ttl must be >= 1");
+  if (holder.size() != n) {
+    return Status::InvalidArgument("holder flags must have one entry/node");
+  }
+
+  QueryResult res;
+  std::vector<uint8_t> seen(n, 0);
+  seen[origin] = 1;
+  res.nodes_reached = 1;
+
+  // BFS with per-hop accounting. Each node forwards the query to ALL its
+  // neighbours (the flood); duplicate deliveries cost a message but are
+  // not re-forwarded.
+  std::deque<std::pair<NodeId, uint32_t>> frontier{{origin, 0}};
+  while (!frontier.empty()) {
+    auto [u, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth >= ttl) continue;
+    for (NodeId v : graph.Neighbors(u)) {
+      ++res.query_messages;  // the forward is transmitted regardless
+      if (seen[v]) continue;
+      seen[v] = 1;
+      ++res.nodes_reached;
+      const uint32_t hops = depth + 1;
+      if (holder[v]) {
+        res.providers.push_back(v);
+        res.hops.push_back(hops);
+        // The response travels back along the discovery path.
+        res.response_messages += hops;
+      }
+      frontier.emplace_back(v, hops);
+    }
+  }
+  return res;
+}
+
+Result<QueryResult> FloodQueryAllHolders(const Graph& graph, NodeId origin,
+                                         uint32_t ttl) {
+  std::vector<uint8_t> holder(graph.num_nodes(), 1);
+  if (origin < graph.num_nodes()) holder[origin] = 0;
+  return FloodQuery(graph, origin, ttl, holder);
+}
+
+}  // namespace dgt

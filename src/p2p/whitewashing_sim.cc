@@ -1,0 +1,153 @@
+#include "p2p/whitewashing_sim.h"
+
+#include <algorithm>
+
+namespace dgt {
+
+Result<std::unique_ptr<WhitewashingSim>> WhitewashingSim::Create(
+    const Graph* graph, std::vector<PeerProfile> profiles,
+    WhitewashingOptions options) {
+  if (graph == nullptr) return Status::InvalidArgument("null graph");
+  if (profiles.size() != graph->num_nodes()) {
+    return Status::InvalidArgument("profiles must have one entry per node");
+  }
+  if (!(options.serve_threshold > 0.0)) {
+    return Status::InvalidArgument("serve_threshold must be positive");
+  }
+  if (options.assessment_window == 0) {
+    return Status::InvalidArgument("assessment_window must be >= 1");
+  }
+  return std::unique_ptr<WhitewashingSim>(
+      new WhitewashingSim(graph, std::move(profiles), options));
+}
+
+WhitewashingSim::WhitewashingSim(const Graph* graph,
+                                 std::vector<PeerProfile> profiles,
+                                 WhitewashingOptions options)
+    : graph_(graph),
+      profiles_(std::move(profiles)),
+      options_(options),
+      trust_(graph->num_nodes()),
+      estimator_(&trust_, options.trust),
+      policy_(options.policy),
+      rng_(options.seed),
+      window_requests_(graph->num_nodes(), 0),
+      window_served_(graph->num_nodes(), 0),
+      rounds_since_join_(graph->num_nodes(), 1000000) {}
+
+double WhitewashingSim::StrangerTrust() const {
+  switch (options_.mode) {
+    case NewcomerMode::kZero:
+      return 0.0;
+    case NewcomerMode::kOptimistic:
+      return options_.policy.optimistic_initial;
+    case NewcomerMode::kAdaptive:
+      return policy_.InitialTrust();
+  }
+  return 0.0;
+}
+
+void WhitewashingSim::ResetIdentity(NodeId node) {
+  // Fresh identity: nobody remembers it and it remembers nobody.
+  for (NodeId i = 0; i < trust_.num_nodes(); ++i) {
+    trust_.Erase(i, node);
+    trust_.Erase(node, i);
+  }
+  window_requests_[node] = 0;
+  window_served_[node] = 0;
+  rounds_since_join_[node] = 0;
+  ++report_.identity_resets;
+}
+
+Status WhitewashingSim::Run() {
+  if (ran_) return Status::FailedPrecondition("Run() may be called once");
+  ran_ = true;
+
+  const uint32_t n = graph_->num_nodes();
+  for (uint32_t round = 1; round <= options_.num_rounds; ++round) {
+    // Every peer requests from a random other peer (the heavily loaded
+    // assumption; discovery details are orthogonal to the policy dial).
+    for (NodeId requester = 0; requester < n; ++requester) {
+      NodeId provider = requester;
+      while (provider == requester) {
+        provider = static_cast<NodeId>(rng_.NextBelow(n));
+      }
+      const bool requester_ww =
+          profiles_[requester].strategy == PeerStrategy::kFreeRider;
+      const bool is_newcomer =
+          !requester_ww &&
+          rounds_since_join_[requester] < options_.assessment_window;
+      ClassMetrics& metrics = requester_ww
+                                  ? report_.whitewasher
+                                  : (is_newcomer ? report_.newcomer
+                                                 : report_.honest);
+      ++metrics.requests;
+      ++window_requests_[requester];
+
+      // Admission: direct trust if any, else the stranger policy.
+      double basis = trust_.HasOpinion(provider, requester)
+                         ? trust_.Get(provider, requester)
+                         : StrangerTrust();
+      bool provider_serves =
+          profiles_[provider].strategy != PeerStrategy::kFreeRider &&
+          rng_.NextBernoulli(
+              std::min(1.0, basis / options_.serve_threshold));
+
+      if (provider_serves) {
+        double satisfaction = std::clamp(
+            profiles_[provider].service_quality +
+                rng_.NextDouble(-0.05, 0.05),
+            0.0, 1.0);
+        DGT_RETURN_IF_ERROR(
+            estimator_.RecordTransaction(requester, provider, satisfaction));
+        ++metrics.served;
+        ++window_served_[requester];
+        metrics.satisfaction_sum += satisfaction;
+      } else {
+        ++metrics.refused;
+      }
+
+      // The provider also rates the requester by its cooperativeness —
+      // this is how free riders' trust burns down: they never reciprocate
+      // uploads, which the provider learns over repeated contact.
+      double reciprocity = requester_ww
+                               ? 0.0
+                               : profiles_[requester].service_quality;
+      DGT_RETURN_IF_ERROR(estimator_.RecordTransaction(
+          provider, requester,
+          std::clamp(reciprocity + rng_.NextDouble(-0.05, 0.05), 0.0, 1.0)));
+    }
+
+    // End of round: whitewashers assess and maybe reset; honest churn.
+    for (NodeId u = 0; u < n; ++u) {
+      ++rounds_since_join_[u];
+      if (window_requests_[u] < options_.assessment_window) continue;
+      double rate = static_cast<double>(window_served_[u]) /
+                    static_cast<double>(window_requests_[u]);
+      if (profiles_[u].strategy == PeerStrategy::kFreeRider &&
+          rate < options_.rejoin_threshold) {
+        ResetIdentity(u);
+        policy_.RecordArrival(/*was_whitewasher=*/true);
+      }
+      window_requests_[u] = 0;
+      window_served_[u] = 0;
+    }
+    // Honest arrival: a random honest peer is replaced by a fresh honest
+    // identity (models organic churn the policy must not punish).
+    if (rng_.NextBernoulli(options_.honest_arrival_prob)) {
+      NodeId u = static_cast<NodeId>(rng_.NextBelow(n));
+      if (profiles_[u].strategy != PeerStrategy::kFreeRider) {
+        ResetIdentity(u);
+        --report_.identity_resets;  // not an attack reset
+        policy_.RecordArrival(/*was_whitewasher=*/false);
+        ++report_.honest_arrivals;
+      }
+    }
+  }
+
+  report_.final_initial_trust = StrangerTrust();
+  report_.final_whitewashing_rate = policy_.WhitewashingRate();
+  return Status::OK();
+}
+
+}  // namespace dgt

@@ -1,0 +1,110 @@
+// Whitewashing attack simulation (paper section 4.1.2's open thread): a
+// free rider whose identity has burned its trust can leave and rejoin
+// under a fresh identity, resetting everyone's direct trust in it. The
+// defence dial is the trust granted to strangers:
+//
+//   kZero        — the paper's default (initial trust 0): whitewashing is
+//                  pointless but honest newcomers starve too;
+//   kOptimistic  — a fixed positive initial trust: newcomers bootstrap
+//                  but whitewashers drink from the well forever;
+//   kAdaptive    — NewcomerPolicy: optimistic while arrivals behave,
+//                  decaying toward 0 as the whitewashing rate rises (the
+//                  paper's "dynamically adjusted thereafter").
+//
+// The simulator measures what each policy buys: service received by
+// whitewashers (lower = stronger defence) versus service received by
+// honest newcomers (higher = better bootstrap).
+
+#ifndef DGT_P2P_WHITEWASHING_SIM_H_
+#define DGT_P2P_WHITEWASHING_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "p2p/file_sharing_sim.h"
+#include "reputation/newcomer_policy.h"
+#include "trust/trust_matrix.h"
+
+namespace dgt {
+
+enum class NewcomerMode {
+  kZero,
+  kOptimistic,
+  kAdaptive,
+};
+
+struct WhitewashingOptions {
+  uint32_t num_rounds = 150;
+  // Whitewashers reset their identity when their success rate over the
+  // assessment window falls below this threshold.
+  double rejoin_threshold = 0.25;
+  uint32_t assessment_window = 10;
+  // A fresh honest node also arrives (replacing a random honest one) with
+  // this per-round probability — the policy must keep serving them.
+  double honest_arrival_prob = 0.05;
+  // Serving: probability = min(1, trust / serve_threshold); strangers use
+  // the policy's initial trust instead.
+  double serve_threshold = 0.4;
+  NewcomerMode mode = NewcomerMode::kAdaptive;
+  NewcomerPolicyOptions policy;
+  TrustEstimatorOptions trust;
+  uint64_t seed = 1;
+};
+
+struct WhitewashingReport {
+  ClassMetrics honest;        // established honest peers
+  ClassMetrics newcomer;      // honest peers within their first window
+  ClassMetrics whitewasher;   // free riders cycling identities
+  uint32_t identity_resets = 0;
+  uint32_t honest_arrivals = 0;
+  double final_initial_trust = 0.0;
+  double final_whitewashing_rate = 0.0;
+};
+
+class WhitewashingSim {
+ public:
+  // `graph` borrowed; profiles: kFreeRider entries act as whitewashers.
+  static Result<std::unique_ptr<WhitewashingSim>> Create(
+      const Graph* graph, std::vector<PeerProfile> profiles,
+      WhitewashingOptions options);
+
+  WhitewashingSim(const WhitewashingSim&) = delete;
+  WhitewashingSim& operator=(const WhitewashingSim&) = delete;
+
+  Status Run();
+
+  const WhitewashingReport& report() const { return report_; }
+  const NewcomerPolicy& policy() const { return policy_; }
+
+ private:
+  WhitewashingSim(const Graph* graph, std::vector<PeerProfile> profiles,
+                  WhitewashingOptions options);
+
+  double StrangerTrust() const;
+  void ResetIdentity(NodeId node);
+
+  const Graph* graph_;
+  std::vector<PeerProfile> profiles_;
+  WhitewashingOptions options_;
+
+  TrustMatrix trust_;
+  TrustEstimator estimator_;
+  NewcomerPolicy policy_;
+  Rng rng_;
+  WhitewashingReport report_;
+
+  // Per-node rolling acceptance accounting for the rejoin decision and
+  // the "newcomer" classification.
+  std::vector<uint32_t> window_requests_;
+  std::vector<uint32_t> window_served_;
+  std::vector<uint32_t> rounds_since_join_;
+  bool ran_ = false;
+};
+
+}  // namespace dgt
+
+#endif  // DGT_P2P_WHITEWASHING_SIM_H_

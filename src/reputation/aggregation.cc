@@ -1,0 +1,238 @@
+#include "reputation/aggregation.h"
+
+#include <algorithm>
+#include <string>
+
+#include "gossip/scalar_engine.h"
+#include "gossip/vector_engine.h"
+
+namespace dgt {
+
+namespace {
+
+Status ValidateInputs(const Graph& graph, const TrustMatrix& trust) {
+  if (graph.num_nodes() != trust.num_nodes()) {
+    return Status::InvalidArgument(
+        "graph and trust matrix disagree on node count: " +
+        std::to_string(graph.num_nodes()) + " vs " +
+        std::to_string(trust.num_nodes()));
+  }
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("empty network");
+  }
+  return Status::OK();
+}
+
+GossipRunStats StatsFromScalar(const GossipResult& r) {
+  return {r.steps, r.converged, r.gossip_messages, r.control_messages,
+          r.mean_messages_per_active_node_step};
+}
+
+GossipRunStats StatsFromVector(const VectorGossipResult& r) {
+  return {r.steps, r.converged, r.gossip_messages, r.control_messages,
+          r.mean_messages_per_active_node_step};
+}
+
+// yhat_I(j) = sum over I's neighbours k of (w_Ik - 1) * t_kj, and the
+// matching denominator excess sum. The neighbour feedback reaching I is a
+// pre-round push of direct-interaction values (paper Fig. 1); its message
+// cost is one vector per edge direction, accounted by the caller.
+struct NeighborhoodWeighting {
+  std::vector<double> yhat;        // per observer, for the fixed target
+  std::vector<double> excess_den;  // per observer
+};
+
+NeighborhoodWeighting BuildNeighborhoodWeighting(
+    const Graph& graph, const TrustMatrix& trust,
+    const std::vector<WeightTable>& tables, NodeId j) {
+  // The weighting set is the observer's interaction set (the paper's
+  // neighbourhood — "neighbourhood between two nodes is based upon the
+  // interaction between them"); all other nodes carry weight exactly 1
+  // and contribute nothing to either sum.
+  const uint32_t n = graph.num_nodes();
+  NeighborhoodWeighting out;
+  out.yhat.assign(n, 0.0);
+  out.excess_den.assign(n, 0.0);
+  for (NodeId i = 0; i < n; ++i) {
+    double num = 0.0;
+    for (const auto& [k, w] : tables[i].entries()) {
+      num += (w - 1.0) * trust.Get(k, j);
+    }
+    out.yhat[i] = num;
+    out.excess_den[i] = tables[i].TotalExcessWeight();
+  }
+  return out;
+}
+
+Result<std::vector<WeightTable>> BuildAllWeightTables(
+    const TrustMatrix& trust, const WeightParams& params) {
+  std::vector<WeightTable> tables;
+  tables.reserve(trust.num_nodes());
+  for (NodeId i = 0; i < trust.num_nodes(); ++i) {
+    DGT_ASSIGN_OR_RETURN(WeightTable t, WeightTable::Build(trust, i, params));
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+}  // namespace
+
+Result<SingleAggregationResult> AggregateGlobalSingle(
+    const Graph& graph, const TrustMatrix& trust, NodeId j,
+    const AggregationOptions& options) {
+  DGT_RETURN_IF_ERROR(ValidateInputs(graph, trust));
+  if (j >= graph.num_nodes()) {
+    return Status::OutOfRange("target node out of range");
+  }
+
+  std::vector<double> y0 = trust.DenseColumn(j);
+  std::vector<double> g0 = trust.OpinionIndicatorColumn(j);
+
+  ScalarPushSum engine(&graph, options.gossip);
+  DGT_ASSIGN_OR_RETURN(GossipResult run, engine.Run(y0, g0));
+
+  SingleAggregationResult out;
+  out.estimates = std::move(run.ratios);
+  // Nodes that never received weight report the sentinel; map it to 0
+  // ("no information") for reputation purposes.
+  for (NodeId i = 0; i < graph.num_nodes(); ++i) {
+    if (run.weights[i] == 0.0) out.estimates[i] = 0.0;
+  }
+  out.stats = StatsFromScalar(run);
+  return out;
+}
+
+Result<SingleAggregationResult> AggregateGclrSingle(
+    const Graph& graph, const TrustMatrix& trust, NodeId j,
+    const AggregationOptions& options) {
+  DGT_RETURN_IF_ERROR(ValidateInputs(graph, trust));
+  const uint32_t n = graph.num_nodes();
+  if (j >= n) return Status::OutOfRange("target node out of range");
+
+  const NodeId weight_node = options.designate_target_as_weight_node
+                                 ? j
+                                 : options.designated_weight_node;
+  if (weight_node >= n) {
+    return Status::OutOfRange("designated weight node out of range");
+  }
+
+  std::vector<double> y0 = trust.DenseColumn(j);
+  std::vector<double> g0(n, 0.0);
+  g0[weight_node] = 1.0;
+  std::vector<double> c0 = trust.OpinionIndicatorColumn(j);
+
+  DGT_ASSIGN_OR_RETURN(std::vector<WeightTable> tables,
+                       BuildAllWeightTables(trust, options.weights));
+  NeighborhoodWeighting nw =
+      BuildNeighborhoodWeighting(graph, trust, tables, j);
+
+  ScalarPushSum engine(&graph, options.gossip);
+  DGT_ASSIGN_OR_RETURN(GossipResult run, engine.Run(y0, g0, c0));
+
+  SingleAggregationResult out;
+  out.estimates.assign(n, 0.0);
+  for (NodeId i = 0; i < n; ++i) {
+    if (run.weights[i] == 0.0) continue;  // no gossip weight reached i
+    double sum_est = run.values[i] / run.weights[i];
+    double count_est = options.denominator == DenominatorMode::kAllNodes
+                           ? static_cast<double>(n)
+                           : run.counts[i] / run.weights[i];
+    double denominator = nw.excess_den[i] + count_est;
+    if (denominator <= 0.0) continue;
+    out.estimates[i] = (nw.yhat[i] + sum_est) / denominator;
+  }
+  out.stats = StatsFromScalar(run);
+  // Pre-round neighbour feedback pushes: each opinator sends its direct
+  // feedback about j to all its neighbours.
+  for (NodeId i = 0; i < n; ++i) {
+    if (trust.HasOpinion(i, j)) out.stats.control_messages += graph.Degree(i);
+  }
+  return out;
+}
+
+Result<VectorAggregationResult> AggregateGlobalVector(
+    const Graph& graph, const TrustMatrix& trust,
+    const AggregationOptions& options) {
+  DGT_RETURN_IF_ERROR(ValidateInputs(graph, trust));
+  const uint32_t n = graph.num_nodes();
+
+  std::vector<std::vector<double>> y0(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> g0(n, std::vector<double>(n, 0.0));
+  for (NodeId i = 0; i < n; ++i) {
+    for (const auto& [j, t] : trust.Row(i)) {
+      y0[i][j] = t;
+      g0[i][j] = 1.0;
+    }
+  }
+
+  VectorPushSum engine(&graph, options.gossip);
+  DGT_ASSIGN_OR_RETURN(VectorGossipResult run, engine.Run(y0, g0));
+
+  VectorAggregationResult out;
+  out.estimates = std::move(run.estimates);
+  // Sentinel entries (no weight received) -> 0.
+  for (auto& row : out.estimates) {
+    for (auto& v : row) {
+      if (v == options.gossip.ratio_sentinel) v = 0.0;
+    }
+  }
+  out.stats = StatsFromVector(run);
+  return out;
+}
+
+Result<VectorAggregationResult> AggregateGclrVector(
+    const Graph& graph, const TrustMatrix& trust,
+    const AggregationOptions& options) {
+  DGT_RETURN_IF_ERROR(ValidateInputs(graph, trust));
+  const uint32_t n = graph.num_nodes();
+
+  std::vector<std::vector<double>> y0(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> g0(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> c0(n, std::vector<double>(n, 0.0));
+  for (NodeId i = 0; i < n; ++i) {
+    for (const auto& [j, t] : trust.Row(i)) {
+      y0[i][j] = t;
+      c0[i][j] = 1.0;
+    }
+    // For target j, node j itself holds the one-hot gossip weight.
+    g0[i][i] = 1.0;
+  }
+
+  DGT_ASSIGN_OR_RETURN(std::vector<WeightTable> tables,
+                       BuildAllWeightTables(trust, options.weights));
+
+  VectorPushSum engine(&graph, options.gossip);
+  DGT_ASSIGN_OR_RETURN(VectorGossipResult run, engine.Run(y0, g0, c0));
+
+  VectorAggregationResult out;
+  out.estimates.assign(n, std::vector<double>(n, 0.0));
+  // yhat_row[j] for observer i, accumulated sparsely over the rated
+  // nodes' opinion rows (the observer's interaction set; everyone else
+  // has weight exactly 1): O(sum_i |rated_i| * |row|).
+  std::vector<double> yhat_row(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const double excess_den = tables[i].TotalExcessWeight();
+    std::fill(yhat_row.begin(), yhat_row.end(), 0.0);
+    for (const auto& [k, w] : tables[i].entries()) {
+      const double excess = w - 1.0;
+      if (excess == 0.0) continue;
+      for (const auto& [j, t] : trust.Row(k)) yhat_row[j] += excess * t;
+    }
+    for (NodeId j = 0; j < n; ++j) {
+      double est = run.estimates[i][j];
+      if (est == options.gossip.ratio_sentinel) continue;
+      double count_est = options.denominator == DenominatorMode::kAllNodes
+                             ? static_cast<double>(n)
+                             : run.count_estimates[i][j];
+      double denominator = excess_den + count_est;
+      if (denominator <= 0.0) continue;
+      out.estimates[i][j] = (yhat_row[j] + est) / denominator;
+    }
+  }
+  out.stats = StatsFromVector(run);
+  // Pre-round feedback vectors: one per edge direction.
+  out.stats.control_messages += graph.DegreeSum();
+  return out;
+}
+
+}  // namespace dgt

@@ -1,0 +1,34 @@
+#include "reputation/newcomer_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dgt {
+
+NewcomerPolicy::NewcomerPolicy(NewcomerPolicyOptions options)
+    : options_(options) {
+  recent_.assign(std::max(options_.window, 1u), 0);
+}
+
+void NewcomerPolicy::RecordArrival(bool was_whitewasher) {
+  recent_[next_] = was_whitewasher ? 1 : 0;
+  next_ = (next_ + 1) % static_cast<uint32_t>(recent_.size());
+  filled_ = std::min<uint32_t>(filled_ + 1,
+                               static_cast<uint32_t>(recent_.size()));
+  ++arrivals_;
+}
+
+double NewcomerPolicy::WhitewashingRate() const {
+  if (filled_ == 0) return 0.0;
+  uint32_t bad = 0;
+  for (uint32_t i = 0; i < filled_; ++i) bad += recent_[i];
+  return static_cast<double>(bad) / static_cast<double>(filled_);
+}
+
+double NewcomerPolicy::InitialTrust() const {
+  return options_.optimistic_initial *
+         std::exp(-options_.sensitivity * WhitewashingRate());
+}
+
+}  // namespace dgt

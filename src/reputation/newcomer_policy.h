@@ -1,0 +1,65 @@
+// Newcomer trust policy and the whitewashing attack (paper section 4.1.2):
+// "If a node 'A' has not transacted with a node 'B', then the trust value
+// of node 'B' will also remain 0 with the node 'A'. This initial value is
+// taken as 0 to avoid the white washing attack. This initial value can
+// also be taken as higher than zero and can be dynamically adjusted
+// thereafter as per the level of whitewashing in the network." The paper
+// leaves that adjustment unstudied; this module implements it as the
+// natural control loop: the initial trust granted to strangers decays
+// toward 0 as the observed whitewashing rate rises.
+
+#ifndef DGT_REPUTATION_NEWCOMER_POLICY_H_
+#define DGT_REPUTATION_NEWCOMER_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dgt {
+
+struct NewcomerPolicyOptions {
+  // Trust granted to a never-seen node when no whitewashing is observed.
+  double optimistic_initial = 0.3;
+  // Exponential decay of the initial trust with the whitewashing rate:
+  // initial(w) = optimistic_initial * exp(-sensitivity * w), where w is
+  // the fraction of recent arrivals that were whitewashers.
+  double sensitivity = 8.0;
+  // Sliding-window length over which arrivals are classified.
+  uint32_t window = 64;
+};
+
+// Tracks recent arrivals and whether they turned out to be whitewashers
+// (re-joining free riders), and exposes the initial-trust dial.
+class NewcomerPolicy {
+ public:
+  explicit NewcomerPolicy(NewcomerPolicyOptions options);
+
+  // Records that a new identity joined; `was_whitewasher` is the ground
+  // truth (in a deployment: a later determination, e.g. the identity
+  // free-rode and vanished).
+  void RecordArrival(bool was_whitewasher);
+
+  // Fraction of the last `window` arrivals that were whitewashers
+  // (0 before any arrival).
+  double WhitewashingRate() const;
+
+  // The trust a stranger starts with under the current rate. Always in
+  // [0, optimistic_initial]; goes to ~0 as whitewashing saturates
+  // (recovering the paper's conservative default).
+  double InitialTrust() const;
+
+  uint64_t arrivals() const { return arrivals_; }
+
+ private:
+  NewcomerPolicyOptions options_;
+  // Ring buffer of the last `window` outcomes.
+  std::vector<uint8_t> recent_;
+  uint32_t next_ = 0;
+  uint32_t filled_ = 0;
+  uint64_t arrivals_ = 0;
+};
+
+}  // namespace dgt
+
+#endif  // DGT_REPUTATION_NEWCOMER_POLICY_H_

@@ -1,0 +1,63 @@
+#include "reputation/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dgt {
+
+std::vector<NodeId> TopK(const std::vector<double>& scores, uint32_t k) {
+  const uint32_t n = static_cast<uint32_t>(scores.size());
+  k = std::min(k, n);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](NodeId x, NodeId y) {
+                      if (scores[x] != scores[y]) {
+                        return scores[x] > scores[y];
+                      }
+                      return x < y;
+                    });
+  order.resize(k);
+  return order;
+}
+
+Result<double> PrecisionAtK(const std::vector<double>& scores,
+                            const std::vector<double>& truth, uint32_t k) {
+  if (scores.empty() || scores.size() != truth.size()) {
+    return Status::InvalidArgument("score vectors must match and be nonempty");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  k = std::min<uint32_t>(k, static_cast<uint32_t>(scores.size()));
+  auto est = TopK(scores, k);
+  auto ref = TopK(truth, k);
+  std::sort(est.begin(), est.end());
+  std::sort(ref.begin(), ref.end());
+  std::vector<NodeId> common;
+  std::set_intersection(est.begin(), est.end(), ref.begin(), ref.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) / static_cast<double>(k);
+}
+
+Result<double> KendallTau(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("score vectors must match");
+  }
+  const size_t n = a.size();
+  if (n < 2) return Status::InvalidArgument("need at least 2 entries");
+  int64_t concordant = 0, discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double da = a[i] - a[j];
+      double db = b[i] - b[j];
+      double prod = da * db;
+      if (prod > 0.0) ++concordant;
+      else if (prod < 0.0) ++discordant;
+      // ties in either vector contribute to neither
+    }
+  }
+  double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return (static_cast<double>(concordant) - discordant) / pairs;
+}
+
+}  // namespace dgt

@@ -1,0 +1,38 @@
+// Reputation ranking utilities. GossipTrust's motivating use case is
+// ranking peers by reputation (it ships a bloom-filter ranking layer);
+// these helpers let benches and applications compare how well different
+// schemes *order* peers, independently of their absolute scales:
+// top-k selection, precision@k against a ground-truth ordering, and
+// Kendall's tau-a rank correlation.
+
+#ifndef DGT_REPUTATION_RANKING_H_
+#define DGT_REPUTATION_RANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace dgt {
+
+// Ids of the k highest-scoring nodes, descending by score (ties broken by
+// lower id). k is clamped to scores.size().
+std::vector<NodeId> TopK(const std::vector<double>& scores, uint32_t k);
+
+// |TopK(scores) ∩ TopK(truth)| / k — how much of the true top-k the
+// estimate recovered. Fails with InvalidArgument on size mismatch, empty
+// input, or k == 0.
+Result<double> PrecisionAtK(const std::vector<double>& scores,
+                            const std::vector<double>& truth, uint32_t k);
+
+// Kendall tau-a between two score vectors: (concordant - discordant) /
+// (n(n-1)/2), in [-1, 1]; pairs tied in either vector count as neither.
+// O(n^2) — intended for evaluation, not hot paths. Fails on size
+// mismatch or fewer than 2 entries.
+Result<double> KendallTau(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace dgt
+
+#endif  // DGT_REPUTATION_RANKING_H_

@@ -1,0 +1,52 @@
+// Exact (centralized) reputation computations — the limits the gossip
+// algorithms converge to. Used as ground truth by tests and benches.
+
+#ifndef DGT_REPUTATION_REFERENCE_H_
+#define DGT_REPUTATION_REFERENCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "trust/trust_matrix.h"
+#include "trust/weights.h"
+
+namespace dgt {
+
+// Which population the aggregation divides by. The paper's eq. (6) divides
+// by N (all nodes), while Algorithm 2's count channel tallies only the
+// opinators N_d; both are provided, kOpinators matches the algorithm boxes
+// and is the library default.
+enum class DenominatorMode {
+  kOpinators,
+  kAllNodes,
+};
+
+// eq. (1): R_j = (sum_i t_ij) / N.
+double ExactGlobalMeanAll(const TrustMatrix& trust, NodeId j);
+
+// Algorithm 1's limit: (sum_i t_ij) / N_d(j); 0 when nobody has an
+// opinion about j.
+double ExactGlobalMeanOpinators(const TrustMatrix& trust, NodeId j);
+
+// eq. (6): globally calibrated local reputation of j as seen by
+// weights.owner():
+//   ( sum_{k in NS_I} (w_Ik - 1) t_kj  +  sum_i t_ij )
+//   -----------------------------------------------------
+//   ( sum_{k in NS_I} (w_Ik - 1)       +  denom )
+// where denom is N (kAllNodes) or N_d(j) (kOpinators). Returns 0 when the
+// denominator vanishes (no information about j anywhere).
+double ExactGclr(const TrustMatrix& trust, const Graph& graph,
+                 const WeightTable& weights, NodeId j, DenominatorMode mode);
+
+// All targets at once.
+std::vector<double> ExactGlobalMeanAllVector(const TrustMatrix& trust);
+std::vector<double> ExactGlobalMeanOpinatorsVector(const TrustMatrix& trust);
+std::vector<double> ExactGclrVector(const TrustMatrix& trust,
+                                    const Graph& graph,
+                                    const WeightTable& weights,
+                                    DenominatorMode mode);
+
+}  // namespace dgt
+
+#endif  // DGT_REPUTATION_REFERENCE_H_

@@ -1,0 +1,56 @@
+#include "reputation/reputation_system.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dgt {
+
+ReputationSystem::ReputationSystem(const Graph* graph,
+                                   const TrustMatrix* trust,
+                                   ReputationSystemOptions options)
+    : graph_(graph), trust_(trust), options_(options) {
+  assert(graph_ != nullptr && trust_ != nullptr);
+  last_pushed_.resize(trust_->num_nodes());
+}
+
+Status ReputationSystem::RunRound() {
+  const uint32_t n = trust_->num_nodes();
+  if (graph_->num_nodes() != n) {
+    return Status::FailedPrecondition("graph/trust node count mismatch");
+  }
+
+  // Delta rule: count feedback entries that must be (re-)announced. Each
+  // such entry costs one message per neighbour of the announcing node.
+  last_feedback_pushes_ = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    for (const auto& [j, t] : trust_->Row(i)) {
+      auto it = last_pushed_[i].find(j);
+      bool push = it == last_pushed_[i].end() ||
+                  std::fabs(it->second - t) > options_.feedback_push_delta;
+      if (push) {
+        last_pushed_[i][j] = t;
+        ++last_feedback_pushes_;
+        feedback_messages_ += graph_->Degree(i);
+      }
+    }
+  }
+
+  AggregationOptions agg = options_.aggregation;
+  agg.gossip.seed = options_.base_seed + rounds_;
+  DGT_ASSIGN_OR_RETURN(VectorAggregationResult result,
+                       AggregateGclrVector(*graph_, *trust_, agg));
+  reputations_ = std::move(result.estimates);
+  last_stats_ = result.stats;
+  ++rounds_;
+  return Status::OK();
+}
+
+double ReputationSystem::Reputation(NodeId i, NodeId j) const {
+  if (rounds_ == 0 || i >= reputations_.size() ||
+      j >= reputations_[i].size()) {
+    return trust_->Get(i, j);
+  }
+  return reputations_[i][j];
+}
+
+}  // namespace dgt

@@ -1,0 +1,62 @@
+#include "trust/blue_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <string>
+
+namespace dgt {
+
+BlueEstimator::BlueEstimator(TrustMatrix* trust, BlueEstimatorOptions options)
+    : trust_(trust), options_(options) {
+  assert(trust_ != nullptr);
+  stats_.resize(trust_->num_nodes());
+}
+
+Status BlueEstimator::Observe(NodeId observer, NodeId provider,
+                              double satisfaction, double transfer_size) {
+  if (observer >= stats_.size() || provider >= stats_.size()) {
+    return Status::OutOfRange("observer/provider out of range");
+  }
+  if (observer == provider) {
+    return Status::InvalidArgument("self-observation is not modelled");
+  }
+  if (!(satisfaction >= 0.0 && satisfaction <= 1.0)) {
+    return Status::InvalidArgument("satisfaction must lie in [0,1], got " +
+                                   std::to_string(satisfaction));
+  }
+  if (!(transfer_size > 0.0)) {
+    return Status::InvalidArgument("transfer_size must be positive");
+  }
+
+  double size = std::max(transfer_size, options_.min_transfer_size);
+  double variance = options_.base_variance / size;
+  double precision = 1.0 / variance;
+
+  Stats& s = stats_[observer][provider];
+  if (options_.forgetting > 0.0) {
+    double keep = 1.0 - options_.forgetting;
+    s.weighted_sum *= keep;
+    s.precision *= keep;
+  }
+  s.weighted_sum += satisfaction * precision;
+  s.precision += precision;
+
+  double estimate = std::clamp(s.weighted_sum / s.precision, 0.0, 1.0);
+  DGT_RETURN_IF_ERROR(trust_->Set(observer, provider, estimate));
+  ++observations_;
+  return Status::OK();
+}
+
+double BlueEstimator::Variance(NodeId observer, NodeId provider) const {
+  if (observer >= stats_.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  auto it = stats_[observer].find(provider);
+  if (it == stats_[observer].end() || it->second.precision <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / it->second.precision;
+}
+
+}  // namespace dgt

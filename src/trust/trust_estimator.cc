@@ -1,0 +1,80 @@
+#include "trust/trust_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace dgt {
+
+TrustEstimator::TrustEstimator(TrustMatrix* trust,
+                               TrustEstimatorOptions options)
+    : trust_(trust), options_(options) {
+  assert(trust_ != nullptr);
+}
+
+Status TrustEstimator::RecordTransaction(NodeId consumer, NodeId provider,
+                                         double satisfaction) {
+  if (!(satisfaction >= 0.0 && satisfaction <= 1.0)) {
+    return Status::InvalidArgument("satisfaction must lie in [0,1], got " +
+                                   std::to_string(satisfaction));
+  }
+  double updated;
+  if (trust_->HasOpinion(consumer, provider)) {
+    double old = trust_->Get(consumer, provider);
+    updated = (1.0 - options_.alpha) * old + options_.alpha * satisfaction;
+  } else {
+    updated = satisfaction;
+  }
+  DGT_RETURN_IF_ERROR(trust_->Set(consumer, provider, updated));
+  ++transactions_;
+  return Status::OK();
+}
+
+Status TrustEstimator::RecordRefusal(NodeId consumer, NodeId provider) {
+  return RecordTransaction(consumer, provider, options_.refusal_score);
+}
+
+std::vector<double> PopulateTrustFromQualities(const Graph& graph,
+                                               double noise_amplitude,
+                                               Rng& rng, TrustMatrix* trust) {
+  assert(trust != nullptr);
+  const uint32_t n = graph.num_nodes();
+  std::vector<double> quality(n);
+  for (auto& q : quality) q = rng.NextDouble();
+
+  auto noisy = [&](double q) {
+    double v = q + rng.NextDouble(-noise_amplitude, noise_amplitude);
+    return std::clamp(v, 0.0, 1.0);
+  };
+  for (const auto& [u, v] : graph.Edges()) {
+    // Both endpoints rate each other; Set cannot fail for valid edges.
+    Status s = trust->Set(u, v, noisy(quality[v]));
+    assert(s.ok());
+    s = trust->Set(v, u, noisy(quality[u]));
+    assert(s.ok());
+    (void)s;
+  }
+  return quality;
+}
+
+std::vector<double> PopulateTrustRandomRaters(uint32_t num_nodes,
+                                              double rating_prob,
+                                              double noise_amplitude,
+                                              Rng& rng, TrustMatrix* trust) {
+  assert(trust != nullptr);
+  std::vector<double> quality(num_nodes);
+  for (auto& q : quality) q = rng.NextDouble();
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    for (NodeId j = 0; j < num_nodes; ++j) {
+      if (i == j || !rng.NextBernoulli(rating_prob)) continue;
+      double v = quality[j] + rng.NextDouble(-noise_amplitude,
+                                             noise_amplitude);
+      Status s = trust->Set(i, j, std::clamp(v, 0.0, 1.0));
+      assert(s.ok());
+      (void)s;
+    }
+  }
+  return quality;
+}
+
+}  // namespace dgt

@@ -1,0 +1,71 @@
+// Transaction-driven local trust estimation.
+//
+// The paper delegates trust *estimation* to a separate method (its ref
+// [20], a BLUE estimator) and only requires that each node end up with
+// t_ij in [0,1] from direct interaction. We substitute an exponentially
+// weighted moving average over per-transaction satisfaction scores — any
+// consistent estimator exercises the same aggregation code paths
+// (DESIGN.md §5 records this substitution).
+
+#ifndef DGT_TRUST_TRUST_ESTIMATOR_H_
+#define DGT_TRUST_TRUST_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "trust/trust_matrix.h"
+
+namespace dgt {
+
+struct TrustEstimatorOptions {
+  // EWMA smoothing: t_new = (1 - alpha) * t_old + alpha * satisfaction.
+  double alpha = 0.3;
+  // Satisfaction score assigned when a request is refused outright.
+  double refusal_score = 0.0;
+};
+
+class TrustEstimator {
+ public:
+  // Writes into `trust` (not owned; must outlive the estimator).
+  TrustEstimator(TrustMatrix* trust, TrustEstimatorOptions options);
+
+  // Records that `consumer` received service from `provider` with the
+  // given satisfaction in [0,1]; first interaction seeds the EWMA with the
+  // satisfaction itself. Fails on invalid ids or satisfaction.
+  Status RecordTransaction(NodeId consumer, NodeId provider,
+                           double satisfaction);
+
+  // Records an outright refusal (satisfaction = refusal_score).
+  Status RecordRefusal(NodeId consumer, NodeId provider);
+
+  uint64_t transaction_count() const { return transactions_; }
+
+ private:
+  TrustMatrix* trust_;
+  TrustEstimatorOptions options_;
+  uint64_t transactions_ = 0;
+};
+
+// Populates a trust matrix for tests/benches: every edge (i, j) of the
+// overlay gets opinions t_ij and t_ji sampled as
+// clamp(quality[j] + noise, 0, 1) where quality[j] ~ U[0,1] is node j's
+// intrinsic service quality and noise ~ U[-noise_amplitude,
+// +noise_amplitude]. Returns the intrinsic quality vector (ground truth).
+std::vector<double> PopulateTrustFromQualities(const Graph& graph,
+                                               double noise_amplitude,
+                                               Rng& rng, TrustMatrix* trust);
+
+// Denser variant for heavily loaded networks: every ordered pair (i, j),
+// i != j, gets an opinion with probability `rating_prob` (transactions
+// reach well beyond overlay neighbours via query flooding), sampled the
+// same way as above. Returns the intrinsic quality vector.
+std::vector<double> PopulateTrustRandomRaters(uint32_t num_nodes,
+                                              double rating_prob,
+                                              double noise_amplitude,
+                                              Rng& rng, TrustMatrix* trust);
+
+}  // namespace dgt
+
+#endif  // DGT_TRUST_TRUST_ESTIMATOR_H_

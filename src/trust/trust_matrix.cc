@@ -1,0 +1,78 @@
+#include "trust/trust_matrix.h"
+
+#include <string>
+
+namespace dgt {
+
+TrustMatrix::TrustMatrix(uint32_t num_nodes) : rows_(num_nodes) {}
+
+Status TrustMatrix::Set(NodeId i, NodeId j, double value) {
+  if (i >= num_nodes() || j >= num_nodes()) {
+    return Status::OutOfRange("trust entry (" + std::to_string(i) + "," +
+                              std::to_string(j) + ") out of range");
+  }
+  if (i == j) {
+    return Status::InvalidArgument("self-trust t_ii is not modelled");
+  }
+  if (!(value >= 0.0 && value <= 1.0)) {
+    return Status::InvalidArgument("trust value must lie in [0,1], got " +
+                                   std::to_string(value));
+  }
+  rows_[i][j] = value;
+  return Status::OK();
+}
+
+void TrustMatrix::Erase(NodeId i, NodeId j) {
+  if (i < num_nodes()) rows_[i].erase(j);
+}
+
+double TrustMatrix::Get(NodeId i, NodeId j) const {
+  if (i >= num_nodes()) return 0.0;
+  auto it = rows_[i].find(j);
+  return it == rows_[i].end() ? 0.0 : it->second;
+}
+
+bool TrustMatrix::HasOpinion(NodeId i, NodeId j) const {
+  if (i >= num_nodes()) return false;
+  return rows_[i].count(j) > 0;
+}
+
+uint32_t TrustMatrix::OpinionCountAbout(NodeId j) const {
+  uint32_t count = 0;
+  for (const auto& row : rows_) count += row.count(j) > 0 ? 1 : 0;
+  return count;
+}
+
+double TrustMatrix::ColumnSum(NodeId j) const {
+  double sum = 0.0;
+  for (const auto& row : rows_) {
+    auto it = row.find(j);
+    if (it != row.end()) sum += it->second;
+  }
+  return sum;
+}
+
+uint64_t TrustMatrix::TotalOpinions() const {
+  uint64_t total = 0;
+  for (const auto& row : rows_) total += row.size();
+  return total;
+}
+
+std::vector<double> TrustMatrix::DenseColumn(NodeId j) const {
+  std::vector<double> col(num_nodes(), 0.0);
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    auto it = rows_[i].find(j);
+    if (it != rows_[i].end()) col[i] = it->second;
+  }
+  return col;
+}
+
+std::vector<double> TrustMatrix::OpinionIndicatorColumn(NodeId j) const {
+  std::vector<double> col(num_nodes(), 0.0);
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (rows_[i].count(j) > 0) col[i] = 1.0;
+  }
+  return col;
+}
+
+}  // namespace dgt

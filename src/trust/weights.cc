@@ -1,0 +1,53 @@
+#include "trust/weights.h"
+
+#include <cmath>
+#include <string>
+
+namespace dgt {
+
+Status WeightParams::Validate() const {
+  if (!(a >= 1.0)) {
+    return Status::InvalidArgument("weight base a must be >= 1, got " +
+                                   std::to_string(a));
+  }
+  if (!(b >= 0.0)) {
+    return Status::InvalidArgument("weight slope b must be >= 0, got " +
+                                   std::to_string(b));
+  }
+  return Status::OK();
+}
+
+double WeightParams::Weight(double t) const { return std::pow(a, b * t); }
+
+Result<WeightTable> WeightTable::Build(const TrustMatrix& trust, NodeId owner,
+                                       const WeightParams& params) {
+  DGT_RETURN_IF_ERROR(params.Validate());
+  if (owner >= trust.num_nodes()) {
+    return Status::OutOfRange("weight table owner out of range");
+  }
+  std::unordered_map<NodeId, double> entries;
+  entries.reserve(trust.Row(owner).size());
+  for (const auto& [i, t] : trust.Row(owner)) {
+    entries.emplace(i, params.Weight(t));
+  }
+  return WeightTable(owner, std::move(entries));
+}
+
+double WeightTable::Weight(NodeId i) const {
+  auto it = entries_.find(i);
+  return it == entries_.end() ? 1.0 : it->second;
+}
+
+double WeightTable::ExcessWeightSum(const std::vector<NodeId>& nodes) const {
+  double sum = 0.0;
+  for (NodeId i : nodes) sum += Weight(i) - 1.0;
+  return sum;
+}
+
+double WeightTable::TotalExcessWeight() const {
+  double sum = 0.0;
+  for (const auto& [i, w] : entries_) sum += w - 1.0;
+  return sum;
+}
+
+}  // namespace dgt

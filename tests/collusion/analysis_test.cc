@@ -1,0 +1,149 @@
+#include "collusion/analysis.h"
+
+#include <cmath>
+
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using testing_util::FillTrust;
+using testing_util::MakePaGraph;
+
+struct AttackSetup {
+  Graph graph;
+  TrustMatrix honest;
+  CollusionConfig config;
+  CollusionPlan plan;
+  TrustMatrix colluded;
+
+  AttackSetup(double fraction, uint32_t group_size, uint64_t seed = 7)
+      : graph(testing_util::MakePaGraph(60, 2, seed)),
+        honest(60),
+        colluded(0) {
+    FillTrust(graph, &honest, seed + 1);
+    config.colluding_fraction = fraction;
+    config.group_size = group_size;
+    config.seed = seed + 2;
+    plan = MakeCollusionPlan(60, config).value();
+    colluded = ApplyCollusion(honest, plan, config).value();
+  }
+};
+
+TEST(AnalysisTest, ShrinkFactorBelowOneWithRealWeights) {
+  AttackSetup s(0.3, 4);
+  WeightParams p;
+  p.a = 4.0;
+  p.b = 1.0;
+  auto w = WeightTable::Build(s.honest, 0, p).value();
+  auto pred = PredictCollusionError(s.honest, s.plan, 4, w, 5);
+  EXPECT_LT(pred.shrink_factor, 1.0);
+  EXPECT_GT(pred.shrink_factor, 0.0);
+  EXPECT_NEAR(pred.delta_new, pred.shrink_factor * pred.delta_old, 1e-12);
+}
+
+TEST(AnalysisTest, UnitWeightsGiveShrinkFactorOne) {
+  AttackSetup s(0.3, 4);
+  WeightParams p;
+  p.a = 1.0;
+  auto w = WeightTable::Build(s.honest, 0, p).value();
+  auto pred = PredictCollusionError(s.honest, s.plan, 4, w, 5);
+  EXPECT_DOUBLE_EQ(pred.shrink_factor, 1.0);
+  EXPECT_DOUBLE_EQ(pred.delta_new, pred.delta_old);
+}
+
+TEST(AnalysisTest, NoColludersNoOldErrorFromColluderSum) {
+  AttackSetup s(0.0, 1);
+  WeightParams p;
+  auto w = WeightTable::Build(s.honest, 0, p).value();
+  auto pred = PredictCollusionError(s.honest, s.plan, 1, w, 3);
+  EXPECT_DOUBLE_EQ(pred.delta_old, 0.0);
+  EXPECT_DOUBLE_EQ(pred.delta_new, 0.0);
+}
+
+TEST(AnalysisTest, MeasuredUnweightedDeltaForHonestTarget) {
+  // For an honest target j the colluded column loses exactly the
+  // colluders' honest opinions: delta = sum_{i in C} t_ij / N.
+  AttackSetup s(0.25, 3);
+  NodeId honest_target = 0;
+  while (s.plan.IsColluder(honest_target)) ++honest_target;
+  double expected = 0.0;
+  for (NodeId c : s.plan.colluders) expected += s.honest.Get(c, honest_target);
+  expected /= 60.0;
+  EXPECT_NEAR(MeasuredUnweightedDelta(s.honest, s.colluded, honest_target),
+              expected, 1e-12);
+}
+
+TEST(AnalysisTest, MeasuredUnweightedDeltaForColludingTarget) {
+  // A colluding target gains G-1 ones from its group mates (minus the
+  // colluders' honest opinions): delta = (sum_C t_ij - (G_j - 1)) / N
+  // where G_j is the target's group size.
+  AttackSetup s(0.25, 3);
+  ASSERT_FALSE(s.plan.colluders.empty());
+  NodeId target = s.plan.colluders[0];
+  double colluder_sum = 0.0;
+  for (NodeId c : s.plan.colluders) colluder_sum += s.honest.Get(c, target);
+  double group_mates = static_cast<double>(
+      s.plan.groups[s.plan.group_of[target] - 1].size() - 1);
+  double expected = (colluder_sum - group_mates) / 60.0;
+  EXPECT_NEAR(MeasuredUnweightedDelta(s.honest, s.colluded, target), expected,
+              1e-12);
+}
+
+TEST(AnalysisTest, WeightedDeltaIsShrunkUnweightedDelta) {
+  // eq. (17): with the weighted estimator the *same* attack produces an
+  // error scaled by N / (N + total excess weight). Verify on the measured
+  // (non-expectation) quantities, which obey the identity exactly.
+  AttackSetup s(0.3, 5);
+  WeightParams p;
+  p.a = 6.0;
+  p.b = 1.0;
+  for (NodeId o : {NodeId{0}, NodeId{7}, NodeId{23}}) {
+    auto w = WeightTable::Build(s.honest, o, p).value();
+    double shrink = 60.0 / (60.0 + w.TotalExcessWeight());
+    for (NodeId j : {NodeId{1}, NodeId{12}, s.plan.colluders[0]}) {
+      double unweighted = MeasuredUnweightedDelta(s.honest, s.colluded, j);
+      double weighted = MeasuredWeightedDelta(s.honest, s.colluded, w, j);
+      EXPECT_NEAR(weighted, shrink * unweighted, 1e-12)
+          << "observer " << o << " target " << j;
+    }
+  }
+}
+
+TEST(AnalysisTest, WeightedDeltaSmallerInMagnitude) {
+  AttackSetup s(0.4, 5);
+  WeightParams p;
+  p.a = 8.0;
+  p.b = 1.0;
+  auto w = WeightTable::Build(s.honest, 3, p).value();
+  int strictly_smaller = 0, total = 0;
+  for (NodeId j = 0; j < 60; ++j) {
+    double u = std::fabs(MeasuredUnweightedDelta(s.honest, s.colluded, j));
+    double v = std::fabs(MeasuredWeightedDelta(s.honest, s.colluded, w, j));
+    if (u > 1e-9) {
+      ++total;
+      if (v < u) ++strictly_smaller;
+    }
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_EQ(strictly_smaller, total);
+}
+
+TEST(AnalysisTest, PredictionTracksGroupSizeAndFraction) {
+  // delta_old = sum_C t / N - G C / N^2: grows in |C| and G (for targets
+  // whose honest opinions are fixed). Compare expectations directly.
+  AttackSetup small(0.1, 2, 40);
+  AttackSetup large(0.5, 2, 40);  // same seed => same honest matrix & graph
+  WeightParams p;
+  p.a = 4.0;
+  auto ws = WeightTable::Build(small.honest, 0, p).value();
+  auto wl = WeightTable::Build(large.honest, 0, p).value();
+  auto pred_small = PredictCollusionError(small.honest, small.plan, 2, ws, 9);
+  auto pred_large = PredictCollusionError(large.honest, large.plan, 2, wl, 9);
+  // The group bias term G*C/N^2 grows fivefold.
+  EXPECT_GT(std::fabs(pred_large.delta_old - pred_small.delta_old), 0.0);
+}
+
+}  // namespace
+}  // namespace dgt

@@ -1,0 +1,162 @@
+#include <cmath>
+#include "collusion/collusion_model.h"
+
+#include <set>
+
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using testing_util::FillTrust;
+using testing_util::MakePaGraph;
+
+CollusionConfig Config(double fraction, uint32_t group, uint64_t seed = 9) {
+  CollusionConfig c;
+  c.colluding_fraction = fraction;
+  c.group_size = group;
+  c.seed = seed;
+  return c;
+}
+
+TEST(CollusionPlanTest, RejectsBadConfig) {
+  EXPECT_FALSE(MakeCollusionPlan(10, Config(-0.1, 1)).ok());
+  EXPECT_FALSE(MakeCollusionPlan(10, Config(1.2, 1)).ok());
+  EXPECT_FALSE(MakeCollusionPlan(10, Config(0.5, 0)).ok());
+}
+
+TEST(CollusionPlanTest, ZeroFractionIsEmpty) {
+  auto plan = MakeCollusionPlan(10, Config(0.0, 3));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->colluders.empty());
+  EXPECT_TRUE(plan->groups.empty());
+  for (NodeId i = 0; i < 10; ++i) EXPECT_FALSE(plan->IsColluder(i));
+}
+
+TEST(CollusionPlanTest, FractionRoundsToCount) {
+  auto plan = MakeCollusionPlan(100, Config(0.3, 5));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->colluders.size(), 30u);
+}
+
+TEST(CollusionPlanTest, GroupsPartitionColluders) {
+  auto plan = MakeCollusionPlan(100, Config(0.23, 5));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->colluders.size(), 23u);
+  ASSERT_EQ(plan->groups.size(), 5u);  // 4 full + remainder of 3
+  std::set<NodeId> seen;
+  size_t total = 0;
+  for (const auto& grp : plan->groups) {
+    EXPECT_LE(grp.size(), 5u);
+    total += grp.size();
+    for (NodeId n : grp) {
+      EXPECT_TRUE(plan->IsColluder(n));
+      EXPECT_TRUE(seen.insert(n).second) << "node in two groups";
+    }
+  }
+  EXPECT_EQ(total, 23u);
+  EXPECT_EQ(plan->groups.back().size(), 3u);
+}
+
+TEST(CollusionPlanTest, SameGroupPredicate) {
+  auto plan = MakeCollusionPlan(50, Config(0.2, 2));
+  ASSERT_TRUE(plan.ok());
+  for (const auto& grp : plan->groups) {
+    for (NodeId a : grp) {
+      for (NodeId b : grp) EXPECT_TRUE(plan->SameGroup(a, b));
+    }
+  }
+  // A colluder and an honest node never share a group.
+  NodeId honest = 0;
+  while (plan->IsColluder(honest)) ++honest;
+  EXPECT_FALSE(plan->SameGroup(plan->colluders[0], honest));
+}
+
+TEST(CollusionPlanTest, DeterministicPerSeed) {
+  auto a = MakeCollusionPlan(100, Config(0.4, 4, 7));
+  auto b = MakeCollusionPlan(100, Config(0.4, 4, 7));
+  auto c = MakeCollusionPlan(100, Config(0.4, 4, 8));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->colluders, b->colluders);
+  EXPECT_NE(a->colluders, c->colluders);
+}
+
+TEST(ApplyCollusionTest, RejectsMismatchedPlan) {
+  TrustMatrix t(10);
+  auto plan = MakeCollusionPlan(9, Config(0.5, 1)).value();
+  CollusionConfig cfg = Config(0.5, 1);
+  EXPECT_FALSE(ApplyCollusion(t, plan, cfg).ok());
+}
+
+TEST(ApplyCollusionTest, HonestRowsUntouched) {
+  Graph g = MakePaGraph(40);
+  TrustMatrix t(40);
+  FillTrust(g, &t, 90);
+  CollusionConfig cfg = Config(0.25, 2);
+  auto plan = MakeCollusionPlan(40, cfg).value();
+  auto poisoned = ApplyCollusion(t, plan, cfg).value();
+  for (NodeId i = 0; i < 40; ++i) {
+    if (plan.IsColluder(i)) continue;
+    EXPECT_EQ(poisoned.Row(i).size(), t.Row(i).size());
+    for (const auto& [j, v] : t.Row(i)) {
+      EXPECT_DOUBLE_EQ(poisoned.Get(i, j), v);
+    }
+  }
+}
+
+TEST(ApplyCollusionTest, DenseColluderRows) {
+  Graph g = MakePaGraph(30);
+  TrustMatrix t(30);
+  FillTrust(g, &t, 91);
+  CollusionConfig cfg = Config(0.2, 3);
+  auto plan = MakeCollusionPlan(30, cfg).value();
+  auto poisoned = ApplyCollusion(t, plan, cfg).value();
+  for (NodeId i : plan.colluders) {
+    EXPECT_EQ(poisoned.Row(i).size(), 29u);  // everyone but itself
+    for (NodeId j = 0; j < 30; ++j) {
+      if (j == i) continue;
+      double expected = plan.SameGroup(i, j) ? 1.0 : 0.0;
+      EXPECT_DOUBLE_EQ(poisoned.Get(i, j), expected);
+      EXPECT_TRUE(poisoned.HasOpinion(i, j));
+    }
+  }
+}
+
+TEST(ApplyCollusionTest, SparseModeOnlyPoisonsExistingAndGroup) {
+  Graph g = MakePaGraph(30);
+  TrustMatrix t(30);
+  FillTrust(g, &t, 92);
+  CollusionConfig cfg = Config(0.2, 3);
+  cfg.report_zero_for_outsiders = false;
+  auto plan = MakeCollusionPlan(30, cfg).value();
+  auto poisoned = ApplyCollusion(t, plan, cfg).value();
+  for (NodeId i : plan.colluders) {
+    for (const auto& [j, v] : poisoned.Row(i)) {
+      if (plan.SameGroup(i, j)) {
+        EXPECT_DOUBLE_EQ(v, 1.0);
+      } else {
+        EXPECT_DOUBLE_EQ(v, 0.0);
+        EXPECT_TRUE(t.HasOpinion(i, j));  // only pre-existing opinions
+      }
+    }
+  }
+}
+
+TEST(ApplyCollusionTest, IndividualColludersHaveNoAllies) {
+  // G = 1: groups are singletons; colluders report 0 about everyone.
+  Graph g = MakePaGraph(30);
+  TrustMatrix t(30);
+  FillTrust(g, &t, 93);
+  CollusionConfig cfg = Config(0.3, 1);
+  auto plan = MakeCollusionPlan(30, cfg).value();
+  auto poisoned = ApplyCollusion(t, plan, cfg).value();
+  for (NodeId i : plan.colluders) {
+    for (const auto& [j, v] : poisoned.Row(i)) {
+      EXPECT_DOUBLE_EQ(v, 0.0) << "lone colluder must report 0 about all";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgt

@@ -1,0 +1,108 @@
+#include <cmath>
+
+#include "collusion/collusion_model.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+CollusionPlan MakePlan(uint32_t n, double fraction, uint32_t group,
+                       uint64_t seed = 5) {
+  CollusionConfig cfg;
+  cfg.colluding_fraction = fraction;
+  cfg.group_size = group;
+  cfg.seed = seed;
+  return MakeCollusionPlan(n, cfg).value();
+}
+
+TEST(ExperimentTrustTest, QualityReflectsStrategy) {
+  auto plan = MakePlan(200, 0.3, 4);
+  Rng rng(6);
+  ExperimentTrustOptions o;
+  auto world = BuildCollusionExperimentTrust(200, plan, o, rng);
+  ASSERT_EQ(world.quality.size(), 200u);
+  for (NodeId j = 0; j < 200; ++j) {
+    if (plan.IsColluder(j)) {
+      EXPECT_LE(world.quality[j], o.colluder_quality_max) << "node " << j;
+    } else {
+      EXPECT_GE(world.quality[j], o.honest_quality_min) << "node " << j;
+    }
+  }
+}
+
+TEST(ExperimentTrustTest, RatingsTrackExperiencedQuality) {
+  auto plan = MakePlan(150, 0.2, 5);
+  Rng rng(7);
+  ExperimentTrustOptions o;
+  o.noise_amplitude = 0.03;
+  auto world = BuildCollusionExperimentTrust(150, plan, o, rng);
+  for (NodeId i = 0; i < 150; ++i) {
+    for (const auto& [j, t] : world.honest.Row(i)) {
+      double experienced =
+          plan.SameGroup(i, j) ? o.in_group_quality : world.quality[j];
+      EXPECT_NEAR(t, experienced, o.noise_amplitude + 1e-9)
+          << "rater " << i << " target " << j;
+    }
+  }
+}
+
+TEST(ExperimentTrustTest, GroupMatesExperienceGoodService) {
+  auto plan = MakePlan(120, 0.4, 8);
+  Rng rng(8);
+  ExperimentTrustOptions o;
+  auto world = BuildCollusionExperimentTrust(120, plan, o, rng);
+  // Any in-group rating must be near in_group_quality even though the
+  // target's outsider quality is low.
+  uint32_t in_group_ratings = 0;
+  for (NodeId i = 0; i < 120; ++i) {
+    if (!plan.IsColluder(i)) continue;
+    for (const auto& [j, t] : world.honest.Row(i)) {
+      if (!plan.SameGroup(i, j)) continue;
+      ++in_group_ratings;
+      EXPECT_GT(t, o.in_group_quality - o.noise_amplitude - 1e-9);
+    }
+  }
+  EXPECT_GT(in_group_ratings, 0u);
+}
+
+TEST(ExperimentTrustTest, RatingDensityNearProbability) {
+  auto plan = MakePlan(300, 0.0, 1);
+  Rng rng(9);
+  ExperimentTrustOptions o;
+  o.rating_prob = 0.2;
+  auto world = BuildCollusionExperimentTrust(300, plan, o, rng);
+  double density = static_cast<double>(world.honest.TotalOpinions()) /
+                   (300.0 * 299.0);
+  EXPECT_NEAR(density, 0.2, 0.02);
+}
+
+TEST(ExperimentTrustTest, DeterministicPerRngSeed) {
+  auto plan = MakePlan(80, 0.25, 2);
+  Rng r1(10), r2(10);
+  auto a = BuildCollusionExperimentTrust(80, plan, {}, r1);
+  auto b = BuildCollusionExperimentTrust(80, plan, {}, r2);
+  EXPECT_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.honest.TotalOpinions(), b.honest.TotalOpinions());
+  for (NodeId i = 0; i < 80; ++i) {
+    for (const auto& [j, t] : a.honest.Row(i)) {
+      EXPECT_DOUBLE_EQ(b.honest.Get(i, j), t);
+    }
+  }
+}
+
+TEST(ExperimentTrustTest, ValuesClampedToUnitInterval) {
+  auto plan = MakePlan(100, 0.5, 4);
+  Rng rng(11);
+  ExperimentTrustOptions o;
+  o.noise_amplitude = 0.5;  // force clamping at both ends
+  auto world = BuildCollusionExperimentTrust(100, plan, o, rng);
+  for (NodeId i = 0; i < 100; ++i) {
+    for (const auto& [j, t] : world.honest.Row(i)) {
+      EXPECT_GE(t, 0.0);
+      EXPECT_LE(t, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgt

@@ -1,0 +1,98 @@
+#include "collusion/rms_error.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using Matrix = std::vector<std::vector<double>>;
+
+TEST(RmsErrorTest, RejectsBadShapes) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = {{1.0, 2.0}};
+  EXPECT_FALSE(AverageRmsError(a, b).ok());
+  EXPECT_FALSE(AverageRmsError({}, {}).ok());
+  Matrix ragged = {{1.0, 2.0}, {3.0}};
+  EXPECT_FALSE(AverageRmsError(a, ragged).ok());
+}
+
+TEST(RmsErrorTest, IdenticalMatricesGiveZero) {
+  Matrix a = {{0.5, 0.6}, {0.7, 0.8}};
+  auto r = AverageRmsError(a, a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(RmsErrorTest, HandComputedRelative) {
+  // r = [[0.5]], rhat = [[0.4]]: term = (0.5-0.4)/0.5 = 0.2;
+  // inner sqrt(0.04/1) = 0.2; outer mean = 0.2.
+  Matrix r = {{0.5}};
+  Matrix rhat = {{0.4}};
+  auto v = AverageRmsError(r, rhat);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value(), 0.2, 1e-12);
+}
+
+TEST(RmsErrorTest, AbsoluteNormalization) {
+  Matrix r = {{0.5, 0.5}, {0.5, 0.5}};
+  Matrix rhat = {{0.4, 0.5}, {0.5, 0.5}};
+  RmsErrorOptions o;
+  o.normalization = RmsNormalization::kAbsolute;
+  auto v = AverageRmsError(r, rhat, o);
+  ASSERT_TRUE(v.ok());
+  // Row 0: sqrt((0.1^2 + 0)/2) = 0.0707..; row 1: 0. Mean = 0.03535..
+  EXPECT_NEAR(v.value(), 0.5 * std::sqrt(0.005), 1e-12);
+}
+
+TEST(RmsErrorTest, ReferenceNormalization) {
+  Matrix r = {{0.6}};
+  Matrix rhat = {{0.4}};
+  RmsErrorOptions o;
+  o.normalization = RmsNormalization::kRelativeToReference;
+  auto v = AverageRmsError(r, rhat, o);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value(), 0.2 / 0.4, 1e-12);
+}
+
+TEST(RmsErrorTest, EpsGuardPreventsBlowup) {
+  Matrix r = {{0.0}};
+  Matrix rhat = {{0.5}};
+  RmsErrorOptions o;
+  o.eps = 1e-3;
+  o.skip_uninformative = false;
+  auto v = AverageRmsError(r, rhat, o);
+  ASSERT_TRUE(v.ok());
+  // Denominator floored at eps: |0-0.5|/1e-3 = 500.
+  EXPECT_NEAR(v.value(), 500.0, 1e-9);
+}
+
+TEST(RmsErrorTest, SkipUninformativeEntries) {
+  // Both matrices ~0 off the diagonal: those entries are skipped, so two
+  // identical informative entries give exactly zero error.
+  Matrix r = {{0.5, 1e-9}, {1e-9, 0.5}};
+  Matrix rhat = {{0.5, 1e-8}, {1e-8, 0.5}};
+  RmsErrorOptions o;
+  o.skip_uninformative = true;
+  auto v = AverageRmsError(r, rhat, o);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v.value(), 0.0);
+}
+
+TEST(RmsErrorTest, MoreCorruptionMoreError) {
+  Matrix base = {{0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}};
+  Matrix light = base;
+  light[0][0] = 0.45;
+  Matrix heavy = base;
+  heavy[0][0] = 0.2;
+  heavy[1][1] = 0.9;
+  auto small = AverageRmsError(light, base);
+  auto big = AverageRmsError(heavy, base);
+  ASSERT_TRUE(small.ok() && big.ok());
+  EXPECT_GT(big.value(), small.value());
+  EXPECT_GT(small.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace dgt

@@ -1,0 +1,138 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "graph/graph_stats.h"
+#include "graph/pa_generator.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+TEST(HistogramTest, RejectsBadConfig) {
+  EXPECT_FALSE(Histogram::Create(1.0, 1.0, 4).ok());
+  EXPECT_FALSE(Histogram::Create(2.0, 1.0, 4).ok());
+  EXPECT_FALSE(Histogram::Create(0.0, 1.0, 0).ok());
+}
+
+TEST(HistogramTest, BinsValues) {
+  auto h = Histogram::Create(0.0, 1.0, 4).value();
+  h.Add(0.1);   // bin 0
+  h.Add(0.3);   // bin 1
+  h.Add(0.55);  // bin 2
+  h.Add(0.9);   // bin 3
+  h.Add(0.95);  // bin 3
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_EQ(h.BinValue(0), 1u);
+  EXPECT_EQ(h.BinValue(1), 1u);
+  EXPECT_EQ(h.BinValue(2), 1u);
+  EXPECT_EQ(h.BinValue(3), 2u);
+}
+
+TEST(HistogramTest, OutOfRangeClampedToEdgeBins) {
+  auto h = Histogram::Create(0.0, 1.0, 2).value();
+  h.Add(-5.0);
+  h.Add(99.0);
+  h.Add(1.0);  // hi is exclusive; clamps into the last bin
+  EXPECT_EQ(h.BinValue(0), 1u);
+  EXPECT_EQ(h.BinValue(1), 2u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  auto h = Histogram::Create(0.0, 10.0, 5).value();
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(5), 10.0);
+}
+
+TEST(HistogramTest, PrintShowsBarsAndCounts) {
+  auto h = Histogram::Create(0.0, 1.0, 2).value();
+  for (int i = 0; i < 8; ++i) h.Add(0.25);
+  h.Add(0.75);
+  std::ostringstream os;
+  h.Print(os, 8);
+  std::string out = os.str();
+  EXPECT_NE(out.find("########"), std::string::npos);
+  EXPECT_NE(out.find(" 8"), std::string::npos);
+  EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+TEST(HistogramTest, AddAll) {
+  auto h = Histogram::Create(0.0, 1.0, 2).value();
+  h.AddAll({0.1, 0.2, 0.8});
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(ComplementaryCdfTest, EmptyInput) {
+  EXPECT_TRUE(ComplementaryCdf({}).empty());
+}
+
+TEST(ComplementaryCdfTest, KnownSample) {
+  // Sample {1, 1, 2, 4}: P(X>=0)=1, P(X>=1)=1, P(X>=2)=0.5,
+  // P(X>=3)=0.25, P(X>=4)=0.25.
+  auto ccdf = ComplementaryCdf({1, 1, 2, 4});
+  ASSERT_EQ(ccdf.size(), 5u);
+  EXPECT_DOUBLE_EQ(ccdf[0], 1.0);
+  EXPECT_DOUBLE_EQ(ccdf[1], 1.0);
+  EXPECT_DOUBLE_EQ(ccdf[2], 0.5);
+  EXPECT_DOUBLE_EQ(ccdf[3], 0.25);
+  EXPECT_DOUBLE_EQ(ccdf[4], 0.25);
+}
+
+TEST(ComplementaryCdfTest, MonotoneNonIncreasing) {
+  Rng rng(3);
+  std::vector<uint32_t> sample(500);
+  for (auto& v : sample) v = static_cast<uint32_t>(rng.NextBelow(50));
+  auto ccdf = ComplementaryCdf(sample);
+  for (size_t k = 1; k < ccdf.size(); ++k) EXPECT_LE(ccdf[k], ccdf[k - 1]);
+}
+
+TEST(PowerLawKsTest, RejectsBadInput) {
+  EXPECT_FALSE(PowerLawKsDistance({5, 6}, 2, 1.0).ok());
+  EXPECT_FALSE(PowerLawKsDistance({1, 1}, 5, 2.5).ok());
+}
+
+TEST(PowerLawKsTest, ExactPowerLawScoresLow) {
+  // Draw from a discretised Pareto with alpha = 2.5 via inverse CDF.
+  Rng rng(7);
+  std::vector<uint32_t> sample(20000);
+  const double alpha = 2.5;
+  for (auto& v : sample) {
+    double u = 1.0 - rng.NextDouble();
+    v = static_cast<uint32_t>(2.0 * std::pow(u, -1.0 / (alpha - 1.0)));
+  }
+  auto ks = PowerLawKsDistance(sample, 2, alpha);
+  ASSERT_TRUE(ks.ok());
+  EXPECT_LT(ks.value(), 0.1);
+}
+
+TEST(PowerLawKsTest, UniformSampleScoresHigh) {
+  Rng rng(9);
+  std::vector<uint32_t> sample(5000);
+  for (auto& v : sample) {
+    v = 2 + static_cast<uint32_t>(rng.NextBelow(20));
+  }
+  auto ks = PowerLawKsDistance(sample, 2, 2.5);
+  ASSERT_TRUE(ks.ok());
+  EXPECT_GT(ks.value(), 0.3);
+}
+
+TEST(PowerLawKsTest, PaDegreesAreMorePowerLawThanErdosRenyi) {
+  PaOptions o;
+  o.num_nodes = 4000;
+  o.edges_per_node = 2;
+  o.seed = 11;
+  Graph pa = GeneratePreferentialAttachment(o).value();
+  std::vector<uint32_t> pa_deg(pa.num_nodes());
+  for (NodeId u = 0; u < pa.num_nodes(); ++u) pa_deg[u] = pa.Degree(u);
+  double alpha = EstimatePowerLawExponent(pa, 2);
+  auto pa_ks = PowerLawKsDistance(pa_deg, 2, alpha);
+  ASSERT_TRUE(pa_ks.ok());
+  // The PA tail fits its own MLE alpha closely.
+  EXPECT_LT(pa_ks.value(), 0.15);
+}
+
+}  // namespace
+}  // namespace dgt

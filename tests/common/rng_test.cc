@@ -1,0 +1,238 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 123, s2 = 123;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t s = 0;
+  uint64_t a = SplitMix64(s);
+  uint64_t b = SplitMix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 1000 draws
+}
+
+TEST(RngTest, NextIntDegenerateRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextInt(4, 4), 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, NextDoubleRange) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.NextDouble(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(29);
+  const int kN = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  double mean = sum / kN;
+  double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, DiscreteMatchesWeights) {
+  Rng rng(31);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  const int kN = 60000;
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < kN; ++i) ++hits[rng.NextDiscrete(w)];
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(static_cast<double>(hits[0]) / kN, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / kN, 0.75, 0.01);
+}
+
+TEST(RngTest, DiscreteSingleton) {
+  Rng rng(37);
+  std::vector<double> w = {5.0};
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.NextDiscrete(w), 0u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(41);
+  for (uint32_t n : {1u, 2u, 5u, 10u, 100u}) {
+    for (uint32_t k = 0; k <= n; k += std::max(1u, n / 4)) {
+      auto s = rng.SampleWithoutReplacement(n, k);
+      EXPECT_EQ(s.size(), k);
+      std::set<uint32_t> uniq(s.begin(), s.end());
+      EXPECT_EQ(uniq.size(), k) << "duplicates for n=" << n << " k=" << k;
+      for (uint32_t v : s) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSetIsPermutation) {
+  Rng rng(43);
+  auto s = rng.SampleWithoutReplacement(20, 20);
+  std::sort(s.begin(), s.end());
+  for (uint32_t i = 0; i < 20; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformCoverage) {
+  // Every element should be sampled roughly equally often.
+  Rng rng(47);
+  const int kTrials = 30000;
+  std::vector<int> hits(10, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    for (uint32_t v : rng.SampleWithoutReplacement(10, 3)) ++hits[v];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / (kTrials * 3), 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto copy = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(RngTest, ShuffleChangesOrder) {
+  Rng rng(59);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(61);
+  Rng fork = a.Fork();
+  // Fork must differ from parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == fork.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkDeterministicGivenParentSeed) {
+  Rng a(71), b(71);
+  Rng fa = a.Fork(), fb = b.Fork();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fa.NextU64(), fb.NextU64());
+}
+
+class RngBitUniformityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBitUniformityTest, EachBitIsUnbiased) {
+  Rng rng(GetParam());
+  const int kN = 20000;
+  int counts[64] = {0};
+  for (int i = 0; i < kN; ++i) {
+    uint64_t v = rng.NextU64();
+    for (int b = 0; b < 64; ++b) counts[b] += (v >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(static_cast<double>(counts[b]) / kN, 0.5, 0.02)
+        << "bit " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBitUniformityTest,
+                         ::testing::Values(1, 2, 1234567, 0xdeadbeef));
+
+}  // namespace
+}  // namespace dgt

@@ -1,0 +1,200 @@
+// Property sweeps over the gossip engines: for every combination of
+// topology family, push strategy, k-rounding rule, and packet-loss level,
+// the core invariants must hold — exact mass conservation, termination,
+// convergence of every ratio to the true average, and sane message
+// accounting. These are the library's load-bearing guarantees; each
+// parameter point is a distinct ctest case.
+
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <tuple>
+
+#include "gossip/scalar_engine.h"
+#include "graph/generators.h"
+#include "graph/pa_generator.h"
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using testing_util::RandomValues;
+
+enum class Topology { kPa, kComplete, kRing, kStar, kErdosRenyi };
+
+std::string TopologyName(Topology t) {
+  switch (t) {
+    case Topology::kPa:
+      return "Pa";
+    case Topology::kComplete:
+      return "Complete";
+    case Topology::kRing:
+      return "Ring";
+    case Topology::kStar:
+      return "Star";
+    case Topology::kErdosRenyi:
+      return "ErdosRenyi";
+  }
+  return "?";
+}
+
+Graph MakeTopology(Topology t, uint32_t n) {
+  switch (t) {
+    case Topology::kPa: {
+      PaOptions o;
+      o.num_nodes = n;
+      o.edges_per_node = 2;
+      o.seed = 77;
+      return GeneratePreferentialAttachment(o).value();
+    }
+    case Topology::kComplete:
+      return GenerateComplete(n).value();
+    case Topology::kRing:
+      return GenerateRing(n).value();
+    case Topology::kStar:
+      return GenerateStar(n).value();
+    case Topology::kErdosRenyi: {
+      // p chosen to keep G(n, p) connected whp.
+      auto g = GenerateErdosRenyi(n, 0.15, 78).value();
+      return g;
+    }
+  }
+  return Graph(0);
+}
+
+using SweepParam = std::tuple<Topology, PushStrategy, KRounding, double>;
+
+class GossipPropertySweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static constexpr uint32_t kN = 48;
+
+  GossipOptions Options() const {
+    auto [topo, strategy, rounding, loss] = GetParam();
+    (void)topo;
+    GossipOptions o;
+    o.strategy = strategy;
+    o.k_rounding = rounding;
+    o.packet_loss_prob = loss;
+    o.xi = 1e-8;
+    o.seed = 5;
+    o.max_steps = 500000;
+    return o;
+  }
+};
+
+TEST_P(GossipPropertySweep, MassConservedAndConvergesToAverage) {
+  auto [topo, strategy, rounding, loss] = GetParam();
+  (void)strategy;
+  (void)rounding;
+  (void)loss;
+  Graph g = MakeTopology(topo, kN);
+  auto y0 = RandomValues(kN, 9);
+  std::vector<double> g0(kN, 1.0);
+  ScalarPushSum engine(&g, Options());
+  auto r = engine.Run(y0, g0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->converged) << "did not terminate within the step cap";
+
+  // Invariant 1: exact mass conservation.
+  double sum_y = std::accumulate(r->values.begin(), r->values.end(), 0.0);
+  double sum_g = std::accumulate(r->weights.begin(), r->weights.end(), 0.0);
+  EXPECT_NEAR(sum_y, std::accumulate(y0.begin(), y0.end(), 0.0), 1e-9);
+  EXPECT_NEAR(sum_g, static_cast<double>(kN), 1e-9);
+
+  // Invariant 2: every node's estimate near the true average. (The
+  // protocol guarantees xi-stability, not exactness; tolerance reflects
+  // the slowest-mixing topology in the sweep.)
+  double truth = testing_util::Mean(y0);
+  double mean_err = 0.0;
+  for (double v : r->ratios) mean_err += std::fabs(v - truth);
+  mean_err /= kN;
+  EXPECT_LT(mean_err, 5e-3);
+
+  // Invariant 3: message accounting is sane — at least one push per
+  // active node-step overall, control >= the degree announcements.
+  EXPECT_GE(r->gossip_messages, r->steps);
+  EXPECT_GE(r->control_messages, g.DegreeSum());
+  EXPECT_GT(r->mean_messages_per_active_node_step, 0.9);
+}
+
+TEST_P(GossipPropertySweep, DeterministicReplay) {
+  auto [topo, s, k, l] = GetParam();
+  (void)s;
+  (void)k;
+  (void)l;
+  Graph g = MakeTopology(topo, kN);
+  auto y0 = RandomValues(kN, 10);
+  std::vector<double> g0(kN, 1.0);
+  ScalarPushSum a(&g, Options()), b(&g, Options());
+  auto ra = a.Run(y0, g0);
+  auto rb = b.Run(y0, g0);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->ratios, rb->ratios);
+  EXPECT_EQ(ra->steps, rb->steps);
+  EXPECT_EQ(ra->gossip_messages, rb->gossip_messages);
+  EXPECT_EQ(ra->control_messages, rb->control_messages);
+}
+
+std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
+  auto [topo, strategy, rounding, loss] = info.param;
+  std::string name = TopologyName(topo);
+  name += strategy == PushStrategy::kDifferential ? "Diff" : "Unif";
+  name += rounding == KRounding::kFloor
+              ? "Floor"
+              : (rounding == KRounding::kCeil ? "Ceil" : "Round");
+  name += loss == 0.0 ? "NoLoss" : "Loss20";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, GossipPropertySweep,
+    ::testing::Combine(
+        ::testing::Values(Topology::kPa, Topology::kComplete, Topology::kRing,
+                          Topology::kStar, Topology::kErdosRenyi),
+        ::testing::Values(PushStrategy::kUniform,
+                          PushStrategy::kDifferential),
+        ::testing::Values(KRounding::kFloor, KRounding::kRound,
+                          KRounding::kCeil),
+        ::testing::Values(0.0, 0.2)),
+    SweepName);
+
+// One-hot sum estimation must hold across topologies too (the Algorithm 2
+// machinery); strategy fixed to differential, sweep topology x loss.
+class SumEstimationSweep
+    : public ::testing::TestWithParam<std::tuple<Topology, double>> {};
+
+TEST_P(SumEstimationSweep, OneHotWeightRecoversTheSum) {
+  auto [topo, loss] = GetParam();
+  const uint32_t n = 48;
+  Graph g = MakeTopology(topo, n);
+  auto y0 = RandomValues(n, 11);
+  std::vector<double> g0(n, 0.0);
+  g0[n / 2] = 1.0;
+  GossipOptions o;
+  o.xi = 1e-9;
+  o.seed = 6;
+  o.packet_loss_prob = loss;
+  o.max_steps = 500000;
+  ScalarPushSum engine(&g, o);
+  auto r = engine.Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->converged);
+  double total = std::accumulate(y0.begin(), y0.end(), 0.0);
+  double mean_err = 0.0;
+  for (double v : r->ratios) mean_err += std::fabs(v - total);
+  EXPECT_LT(mean_err / n, 0.01 * total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, SumEstimationSweep,
+    ::testing::Combine(::testing::Values(Topology::kPa, Topology::kComplete,
+                                         Topology::kRing, Topology::kStar),
+                       ::testing::Values(0.0, 0.2)),
+    [](const ::testing::TestParamInfo<std::tuple<Topology, double>>& info) {
+      return TopologyName(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == 0.0 ? "NoLoss" : "Loss20");
+    });
+
+}  // namespace
+}  // namespace dgt

@@ -1,0 +1,103 @@
+#include "gossip/push_pull.h"
+
+#include <numeric>
+
+#include "graph/generators.h"
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using testing_util::MakePaGraph;
+using testing_util::Mean;
+using testing_util::RandomValues;
+
+TEST(PushPullTest, RejectsBadInput) {
+  Graph g = MakePaGraph(10);
+  PushPullOptions o;
+  EXPECT_FALSE(RunPushPullAveraging(g, {1.0}, o).ok());
+  o.xi = 0.0;
+  EXPECT_FALSE(RunPushPullAveraging(g, std::vector<double>(10, 1.0), o).ok());
+}
+
+TEST(PushPullTest, ConvergesToMeanOnPaGraph) {
+  Graph g = MakePaGraph(100);
+  auto v0 = RandomValues(100, 3);
+  PushPullOptions o;
+  o.xi = 1e-6;
+  auto r = RunPushPullAveraging(g, v0, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  double truth = Mean(v0);
+  for (double v : r->values) EXPECT_NEAR(v, truth, 1e-5);
+}
+
+TEST(PushPullTest, MassConservedExactly) {
+  Graph g = MakePaGraph(100);
+  auto v0 = RandomValues(100, 4);
+  PushPullOptions o;
+  o.xi = 1e-4;
+  auto r = RunPushPullAveraging(g, v0, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(std::accumulate(r->values.begin(), r->values.end(), 0.0),
+              std::accumulate(v0.begin(), v0.end(), 0.0), 1e-9);
+}
+
+TEST(PushPullTest, AlreadyUniformConvergesInZeroSteps) {
+  Graph g = MakePaGraph(50);
+  std::vector<double> v0(50, 0.7);
+  PushPullOptions o;
+  auto r = RunPushPullAveraging(g, v0, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_EQ(r->steps, 0u);
+  EXPECT_EQ(r->messages, 0u);
+}
+
+TEST(PushPullTest, MaxStepsCap) {
+  auto g = GenerateRing(200).value();
+  std::vector<double> v0(200, 0.0);
+  v0[0] = 200.0;
+  PushPullOptions o;
+  o.xi = 1e-12;
+  o.max_steps = 2;
+  auto r = RunPushPullAveraging(g, v0, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->converged);
+  EXPECT_EQ(r->steps, 2u);
+}
+
+TEST(PushPullTest, MessagesTwoPerContact) {
+  Graph g = MakePaGraph(60);
+  auto v0 = RandomValues(60, 5);
+  PushPullOptions o;
+  o.xi = 1e-5;
+  auto r = RunPushPullAveraging(g, v0, o);
+  ASSERT_TRUE(r.ok());
+  // Every node contacts once per step: messages == 2 * n * steps.
+  EXPECT_EQ(r->messages, 2ull * 60 * r->steps);
+}
+
+TEST(PushPullTest, DeterministicPerSeed) {
+  Graph g = MakePaGraph(80);
+  auto v0 = RandomValues(80, 6);
+  PushPullOptions o;
+  o.xi = 1e-6;
+  auto a = RunPushPullAveraging(g, v0, o);
+  auto b = RunPushPullAveraging(g, v0, o);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->steps, b->steps);
+  EXPECT_EQ(a->values, b->values);
+}
+
+TEST(PushPullTest, EmptyGraphTriviallyConverged) {
+  Graph g(0);
+  PushPullOptions o;
+  auto r = RunPushPullAveraging(g, {}, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+}
+
+}  // namespace
+}  // namespace dgt

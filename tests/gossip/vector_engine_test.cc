@@ -1,0 +1,224 @@
+#include "gossip/vector_engine.h"
+
+#include <numeric>
+
+#include "gossip/scalar_engine.h"
+#include "graph/generators.h"
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using testing_util::MakePaGraph;
+using testing_util::Mean;
+using testing_util::RandomValues;
+
+GossipOptions Opts(double xi = 1e-8, uint64_t seed = 3) {
+  GossipOptions o;
+  o.strategy = PushStrategy::kDifferential;
+  o.xi = xi;
+  o.seed = seed;
+  return o;
+}
+
+std::vector<std::vector<double>> Matrix(uint32_t n, double fill) {
+  return std::vector<std::vector<double>>(n, std::vector<double>(n, fill));
+}
+
+TEST(VectorEngineTest, RejectsBadDimensions) {
+  Graph g = MakePaGraph(10);
+  VectorPushSum engine(&g, Opts());
+  EXPECT_FALSE(engine.Run(Matrix(9, 0.0), Matrix(10, 1.0)).ok());
+  auto ragged = Matrix(10, 0.0);
+  ragged[4].pop_back();
+  EXPECT_FALSE(engine.Run(ragged, Matrix(10, 1.0)).ok());
+  EXPECT_FALSE(engine.Run(Matrix(10, 0.0), Matrix(10, 1.0), Matrix(9, 0.0))
+                   .ok());
+}
+
+TEST(VectorEngineTest, AllColumnsConvergeToColumnAverages) {
+  const uint32_t n = 40;
+  Graph g = MakePaGraph(n);
+  auto y0 = Matrix(n, 0.0);
+  auto g0 = Matrix(n, 1.0);
+  Rng rng(5);
+  std::vector<double> truth(n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      y0[i][j] = rng.NextDouble();
+      truth[j] += y0[i][j];
+    }
+  }
+  for (auto& t : truth) t /= n;
+
+  VectorPushSum engine(&g, Opts(1e-9));
+  auto r = engine.Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(r->estimates[i][j], truth[j], 5e-3)
+          << "node " << i << " target " << j;
+    }
+  }
+}
+
+TEST(VectorEngineTest, MatchesScalarEngineLimitPerColumn) {
+  // The vector engine must converge to the same per-column limits as a
+  // scalar run (they share the aggregation semantics).
+  const uint32_t n = 30;
+  Graph g = MakePaGraph(n, 2, 11);
+  auto y0 = Matrix(n, 0.0);
+  auto g0 = Matrix(n, 0.0);
+  Rng rng(6);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (rng.NextBernoulli(0.3)) {
+        y0[i][j] = rng.NextDouble();
+        g0[i][j] = 1.0;
+      }
+    }
+  }
+  VectorPushSum vec(&g, Opts(1e-10));
+  auto rv = vec.Run(y0, g0);
+  ASSERT_TRUE(rv.ok());
+
+  // Column 7 via the scalar engine.
+  std::vector<double> yc(n), gc(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    yc[i] = y0[i][7];
+    gc[i] = g0[i][7];
+  }
+  ScalarPushSum scal(&g, Opts(1e-10));
+  auto rs = scal.Run(yc, gc);
+  ASSERT_TRUE(rs.ok());
+  // Both approximate sum(yc)/sum(gc) wherever weight reached.
+  double truth = std::accumulate(yc.begin(), yc.end(), 0.0) /
+                 std::accumulate(gc.begin(), gc.end(), 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(rv->estimates[i][7], truth, 5e-3);
+    EXPECT_NEAR(rs->ratios[i], truth, 5e-3);
+  }
+}
+
+TEST(VectorEngineTest, CountChannelTracksOpinators) {
+  const uint32_t n = 30;
+  Graph g = MakePaGraph(n, 2, 12);
+  auto y0 = Matrix(n, 0.0);
+  auto g0 = Matrix(n, 0.0);
+  auto c0 = Matrix(n, 0.0);
+  // One-hot weight at node j for each column j; 10 opinators per column.
+  std::vector<double> expected_count(n, 0.0);
+  Rng rng(7);
+  for (uint32_t j = 0; j < n; ++j) {
+    g0[j][j] = 1.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(0.35)) {
+        c0[i][j] = 1.0;
+        expected_count[j] += 1.0;
+      }
+    }
+  }
+  VectorPushSum engine(&g, Opts(1e-10));
+  auto r = engine.Run(y0, g0, c0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->count_estimates.empty());
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(r->count_estimates[i][j], expected_count[j], 0.5)
+          << "node " << i << " target " << j;
+    }
+  }
+}
+
+TEST(VectorEngineTest, MassConservedPerColumn) {
+  const uint32_t n = 25;
+  Graph g = MakePaGraph(n, 2, 13);
+  auto y0 = Matrix(n, 0.0);
+  auto g0 = Matrix(n, 1.0);
+  Rng rng(8);
+  std::vector<double> col_sum(n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      y0[i][j] = rng.NextDouble();
+      col_sum[j] += y0[i][j];
+    }
+  }
+  GossipOptions o = Opts(1e-6);
+  o.packet_loss_prob = 0.2;  // loss must not destroy mass either
+  VectorPushSum engine(&g, o);
+  auto r = engine.Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  // Recover final y by estimate * weight is not exposed; instead verify
+  // the converged estimates are consistent with conserved mass:
+  // every estimate approximates col_sum[j] / n.
+  for (uint32_t j = 0; j < n; ++j) {
+    double expect = col_sum[j] / n;
+    for (uint32_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(r->estimates[i][j], expect, 0.05);
+    }
+  }
+}
+
+TEST(VectorEngineTest, DeterministicAcrossRuns) {
+  const uint32_t n = 20;
+  Graph g = MakePaGraph(n, 2, 14);
+  auto y0 = Matrix(n, 0.5);
+  auto g0 = Matrix(n, 1.0);
+  VectorPushSum a(&g, Opts()), b(&g, Opts());
+  auto ra = a.Run(y0, g0);
+  auto rb = b.Run(y0, g0);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->steps, rb->steps);
+  EXPECT_EQ(ra->estimates, rb->estimates);
+}
+
+TEST(VectorEngineTest, MaxStepsCap) {
+  const uint32_t n = 50;
+  Graph g = MakePaGraph(n, 2, 15);
+  auto y0 = Matrix(n, 0.1);
+  auto g0 = Matrix(n, 1.0);
+  GossipOptions o = Opts(1e-15);
+  o.max_steps = 3;
+  VectorPushSum engine(&g, o);
+  auto r = engine.Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->steps, 3u);
+  EXPECT_FALSE(r->converged);
+}
+
+TEST(VectorEngineTest, StatsPopulated) {
+  const uint32_t n = 40;
+  Graph g = MakePaGraph(n, 2, 16);
+  auto y0 = Matrix(n, 0.2);
+  auto g0 = Matrix(n, 1.0);
+  VectorPushSum engine(&g, Opts(1e-6));
+  auto r = engine.Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->gossip_messages, 0u);
+  EXPECT_GE(r->control_messages, g.DegreeSum());
+  EXPECT_GT(r->mean_messages_per_active_node_step, 0.5);
+}
+
+TEST(VectorEngineTest, SentinelForUnreachedWeight) {
+  // Disconnected pair: node 2 and 3 form their own component with no
+  // weight for column 0 -> sentinel at their entries for column 0.
+  auto g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  auto y0 = Matrix(4, 0.0);
+  auto g0 = Matrix(4, 0.0);
+  g0[0][0] = 1.0;  // weight for column 0 lives only in component {0,1}
+  y0[0][0] = 0.8;
+  GossipOptions o = Opts(1e-9);
+  VectorPushSum engine(&*g, o);
+  auto r = engine.Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->estimates[2][0], o.ratio_sentinel);
+  EXPECT_EQ(r->estimates[3][0], o.ratio_sentinel);
+  EXPECT_NEAR(r->estimates[0][0], 0.8, 1e-6);
+  EXPECT_NEAR(r->estimates[1][0], 0.8, 1e-6);
+}
+
+}  // namespace
+}  // namespace dgt

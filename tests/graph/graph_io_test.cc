@@ -1,0 +1,116 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/pa_generator.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+std::string TmpPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTripSmall) {
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  std::string path = TmpPath("graph_io_small.txt");
+  ASSERT_TRUE(SaveGraph(*g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 4u);
+  EXPECT_EQ(loaded->Edges(), g->Edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RoundTripPaGraph) {
+  PaOptions o;
+  o.num_nodes = 300;
+  o.edges_per_node = 2;
+  o.seed = 1;
+  auto g = GeneratePreferentialAttachment(o);
+  ASSERT_TRUE(g.ok());
+  std::string path = TmpPath("graph_io_pa.txt");
+  ASSERT_TRUE(SaveGraph(*g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Edges(), g->Edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RoundTripEdgeless) {
+  Graph g(3);
+  std::string path = TmpPath("graph_io_edgeless.txt");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 3u);
+  EXPECT_EQ(loaded->num_edges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  auto r = LoadGraph("/definitely/not/here.txt");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, SaveToBadPathFails) {
+  Graph g(2);
+  EXPECT_EQ(SaveGraph(g, "/definitely/not/here.txt").code(),
+            StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, MalformedHeaderFails) {
+  std::string path = TmpPath("graph_io_badheader.txt");
+  {
+    std::ofstream out(path);
+    out << "garbage here\n";
+  }
+  EXPECT_FALSE(LoadGraph(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EdgeCountMismatchFails) {
+  std::string path = TmpPath("graph_io_mismatch.txt");
+  {
+    std::ofstream out(path);
+    out << "3 2\n0 1\n";  // says 2 edges, provides 1
+  }
+  EXPECT_FALSE(LoadGraph(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::string path = TmpPath("graph_io_comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# comment\n\n2 1\n# another\n0 1\n";
+  }
+  auto g = LoadGraph(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, InvalidEdgeRejected) {
+  std::string path = TmpPath("graph_io_invalid_edge.txt");
+  {
+    std::ofstream out(path);
+    out << "2 1\n0 5\n";  // endpoint out of range
+  }
+  EXPECT_FALSE(LoadGraph(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EmptyFileFails) {
+  std::string path = TmpPath("graph_io_empty.txt");
+  { std::ofstream out(path); }
+  EXPECT_FALSE(LoadGraph(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dgt

@@ -1,0 +1,136 @@
+#include "graph/graph_stats.h"
+
+#include <limits>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+Graph Path(uint32_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) EXPECT_TRUE(g.AddEdge(u, u + 1).ok());
+  return g;
+}
+
+TEST(DegreeHistogramTest, CountsPerDegree) {
+  auto g = GenerateStar(5).value();  // hub degree 4, four leaves degree 1
+  auto h = DegreeHistogram(g);
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[0], 0u);
+  EXPECT_EQ(h[1], 4u);
+  EXPECT_EQ(h[4], 1u);
+}
+
+TEST(AverageDegreeTest, Known) {
+  auto g = GenerateRing(6).value();
+  EXPECT_DOUBLE_EQ(AverageDegree(g), 2.0);
+  Graph empty(0);
+  EXPECT_DOUBLE_EQ(AverageDegree(empty), 0.0);
+}
+
+TEST(MaxDegreeTest, Known) {
+  auto g = GenerateStar(7).value();
+  EXPECT_EQ(MaxDegree(g), 6u);
+}
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  auto g = GenerateRing(5).value();
+  EXPECT_EQ(NumConnectedComponents(g), 1u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ConnectedComponentsTest, MultipleComponents) {
+  Graph g(6);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  // 4, 5 isolated.
+  auto comp = ConnectedComponents(g);
+  EXPECT_EQ(NumConnectedComponents(g), 4u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[5]);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ConnectedComponentsTest, EmptyAndSingleton) {
+  Graph empty(0);
+  EXPECT_EQ(NumConnectedComponents(empty), 0u);
+  EXPECT_TRUE(IsConnected(empty));
+  Graph one(1);
+  EXPECT_EQ(NumConnectedComponents(one), 1u);
+  EXPECT_TRUE(IsConnected(one));
+}
+
+TEST(ClusteringTest, CompleteGraphIsOne) {
+  auto g = GenerateComplete(5).value();
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 1.0);
+}
+
+TEST(ClusteringTest, TreeIsZero) {
+  auto g = GenerateStar(6).value();
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithTail) {
+  // Triangle 0-1-2 plus edge 2-3: wedges = 1(at 0)+1(at 1)+3(at 2) = 5,
+  // closed (counted per wedge) = 3 -> 3/5.
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(*g), 3.0 / 5.0);
+}
+
+TEST(BfsTest, PathDistances) {
+  Graph g = Path(5);
+  auto d = BfsDistances(g, 0);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(d[i], i);
+}
+
+TEST(BfsTest, UnreachableIsInfinity) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[2], std::numeric_limits<uint32_t>::max());
+}
+
+TEST(DiameterTest, PathGraphExact) {
+  Graph g = Path(10);
+  Rng rng(1);
+  EXPECT_EQ(EstimateDiameter(g, 10, rng), 9u);
+}
+
+TEST(DiameterTest, CompleteGraphIsOne) {
+  auto g = GenerateComplete(8).value();
+  Rng rng(1);
+  EXPECT_EQ(EstimateDiameter(g, 8, rng), 1u);
+}
+
+TEST(DiameterTest, SampledIsLowerBound) {
+  Graph g = Path(50);
+  Rng rng(3);
+  EXPECT_LE(EstimateDiameter(g, 5, rng), 49u);
+  EXPECT_GE(EstimateDiameter(g, 5, rng), 25u);  // any source sees >= n/2
+}
+
+TEST(PowerLawTest, UniformDegreeGivesLargeAlpha) {
+  // A ring (all degree 2 == d_min) has log-sum ln(2/1.5) per node;
+  // the estimator returns a finite alpha > 1.
+  auto g = GenerateRing(100).value();
+  double alpha = EstimatePowerLawExponent(g, 2);
+  EXPECT_GT(alpha, 1.0);
+}
+
+TEST(PowerLawTest, NoQualifyingNodesGivesZero) {
+  Graph g(5);  // all degree 0
+  EXPECT_DOUBLE_EQ(EstimatePowerLawExponent(g, 2), 0.0);
+}
+
+TEST(PowerLawTest, DminZeroTreatedAsOne) {
+  auto g = GenerateStar(10).value();
+  EXPECT_GT(EstimatePowerLawExponent(g, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace dgt

@@ -1,0 +1,158 @@
+#include "graph/pa_generator.h"
+
+#include <tuple>
+
+#include "graph/graph_stats.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+TEST(PaGeneratorTest, RejectsBadParameters) {
+  PaOptions o;
+  o.num_nodes = 10;
+  o.edges_per_node = 0;
+  EXPECT_FALSE(GeneratePreferentialAttachment(o).ok());
+  o.edges_per_node = 10;  // needs >= m+1 nodes
+  EXPECT_FALSE(GeneratePreferentialAttachment(o).ok());
+}
+
+TEST(PaGeneratorTest, MinimumSizeIsSeedClique) {
+  PaOptions o;
+  o.num_nodes = 3;
+  o.edges_per_node = 2;
+  auto g = GeneratePreferentialAttachment(o);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 3u);  // triangle
+}
+
+TEST(PaGeneratorTest, DeterministicPerSeed) {
+  PaOptions o;
+  o.num_nodes = 200;
+  o.edges_per_node = 2;
+  o.seed = 123;
+  auto a = GeneratePreferentialAttachment(o);
+  auto b = GeneratePreferentialAttachment(o);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->Edges(), b->Edges());
+  o.seed = 124;
+  auto c = GeneratePreferentialAttachment(o);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->Edges(), c->Edges());
+}
+
+// Structural properties across sizes and m (the paper needs m >= 2).
+class PaPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(PaPropertyTest, EdgeCountIsExact) {
+  auto [n, m] = GetParam();
+  PaOptions o;
+  o.num_nodes = n;
+  o.edges_per_node = m;
+  o.seed = 5;
+  auto g = GeneratePreferentialAttachment(o);
+  ASSERT_TRUE(g.ok());
+  // Seed clique C(m+1, 2) plus m edges per later node.
+  uint64_t expected =
+      static_cast<uint64_t>(m) * (m + 1) / 2 +
+      static_cast<uint64_t>(n - m - 1) * m;
+  EXPECT_EQ(g->num_edges(), expected);
+}
+
+TEST_P(PaPropertyTest, EveryNodeHasDegreeAtLeastM) {
+  auto [n, m] = GetParam();
+  PaOptions o;
+  o.num_nodes = n;
+  o.edges_per_node = m;
+  o.seed = 6;
+  auto g = GeneratePreferentialAttachment(o);
+  ASSERT_TRUE(g.ok());
+  for (NodeId u = 0; u < n; ++u) EXPECT_GE(g->Degree(u), m);
+}
+
+TEST_P(PaPropertyTest, Connected) {
+  auto [n, m] = GetParam();
+  PaOptions o;
+  o.num_nodes = n;
+  o.edges_per_node = m;
+  o.seed = 7;
+  auto g = GeneratePreferentialAttachment(o);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(IsConnected(*g));
+}
+
+TEST_P(PaPropertyTest, DegreeSumInvariant) {
+  auto [n, m] = GetParam();
+  PaOptions o;
+  o.num_nodes = n;
+  o.edges_per_node = m;
+  o.seed = 8;
+  auto g = GeneratePreferentialAttachment(o);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->DegreeSum(), 2 * g->num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndM, PaPropertyTest,
+    ::testing::Combine(::testing::Values(50u, 100u, 500u, 2000u),
+                       ::testing::Values(2u, 3u, 5u)));
+
+TEST(PaGeneratorTest, PowerLawExponentInPlausibleRange) {
+  // The paper cites alpha ~= 2.3 for Gnutella; BA theory gives 3 in the
+  // large-N limit, finite samples with the MLE land in between.
+  PaOptions o;
+  o.num_nodes = 5000;
+  o.edges_per_node = 2;
+  o.seed = 11;
+  auto g = GeneratePreferentialAttachment(o);
+  ASSERT_TRUE(g.ok());
+  double alpha = EstimatePowerLawExponent(*g, 2);
+  EXPECT_GT(alpha, 1.8);
+  EXPECT_LT(alpha, 3.5);
+}
+
+TEST(PaGeneratorTest, HubsEmerge) {
+  PaOptions o;
+  o.num_nodes = 2000;
+  o.edges_per_node = 2;
+  o.seed = 13;
+  auto g = GeneratePreferentialAttachment(o);
+  ASSERT_TRUE(g.ok());
+  // A power-law graph has hubs far above the mean degree (4 here).
+  EXPECT_GT(MaxDegree(*g), 20u);
+}
+
+TEST(PaGeneratorTest, ProducesSimpleGraph) {
+  PaOptions o;
+  o.num_nodes = 300;
+  o.edges_per_node = 3;
+  o.seed = 17;
+  auto g = GeneratePreferentialAttachment(o);
+  ASSERT_TRUE(g.ok());
+  // AddEdge would have failed on any self-loop or parallel edge; check the
+  // basic handshake invariant holds too.
+  EXPECT_EQ(g->DegreeSum(), 2 * g->num_edges());
+  for (NodeId u = 0; u < o.num_nodes; ++u) EXPECT_GE(g->Degree(u), 3u);
+}
+
+TEST(PaGeneratorTest, EarlyNodesAccumulateHigherDegree) {
+  // Preferential attachment favours old nodes; compare the mean degree of
+  // the first and last deciles.
+  PaOptions o;
+  o.num_nodes = 3000;
+  o.edges_per_node = 2;
+  o.seed = 19;
+  auto g = GeneratePreferentialAttachment(o);
+  ASSERT_TRUE(g.ok());
+  double early = 0, late = 0;
+  const uint32_t decile = o.num_nodes / 10;
+  for (NodeId u = 0; u < decile; ++u) early += g->Degree(u);
+  for (NodeId u = o.num_nodes - decile; u < o.num_nodes; ++u) {
+    late += g->Degree(u);
+  }
+  EXPECT_GT(early / decile, 2.0 * late / decile);
+}
+
+}  // namespace
+}  // namespace dgt

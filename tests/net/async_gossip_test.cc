@@ -1,0 +1,167 @@
+#include <cmath>
+#include "net/async_gossip.h"
+
+#include <numeric>
+
+#include "graph/generators.h"
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using testing_util::MakePaGraph;
+using testing_util::Mean;
+using testing_util::RandomValues;
+
+AsyncGossipOptions Opts(double xi = 1e-6, uint64_t seed = 3) {
+  AsyncGossipOptions o;
+  o.xi = xi;
+  o.seed = seed;
+  o.max_time = 50000.0;
+  return o;
+}
+
+TEST(AsyncGossipTest, RejectsBadInput) {
+  Graph g = MakePaGraph(20);
+  AsyncPushSum engine(&g, Opts());
+  EXPECT_FALSE(engine.Run({1.0}, std::vector<double>(20, 1.0)).ok());
+  std::vector<double> y(20, 1.0), w(20, 1.0);
+  w[0] = -1.0;
+  EXPECT_FALSE(engine.Run(y, w).ok());
+  AsyncGossipOptions bad = Opts();
+  bad.xi = 0.0;
+  EXPECT_FALSE(AsyncPushSum(&g, bad).Run(y, std::vector<double>(20, 1.0))
+                   .ok());
+  bad = Opts();
+  bad.push_period = 0.0;
+  EXPECT_FALSE(AsyncPushSum(&g, bad).Run(y, std::vector<double>(20, 1.0))
+                   .ok());
+  bad = Opts();
+  bad.period_jitter = 1.0;
+  EXPECT_FALSE(AsyncPushSum(&g, bad).Run(y, std::vector<double>(20, 1.0))
+                   .ok());
+}
+
+TEST(AsyncGossipTest, ConvergesToAverage) {
+  Graph g = MakePaGraph(100, 2, 21);
+  auto y0 = RandomValues(100, 5);
+  std::vector<double> g0(100, 1.0);
+  AsyncPushSum engine(&g, Opts(1e-7));
+  auto r = engine.Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  double truth = Mean(y0);
+  double mean_err = 0;
+  for (double v : r->ratios) mean_err += std::fabs(v - truth);
+  EXPECT_LT(mean_err / 100, 5e-3);
+}
+
+TEST(AsyncGossipTest, MassConservedIncludingInFlight) {
+  // After the run drains the event queue, all mass is node-resident again
+  // and must sum to the initial mass exactly.
+  Graph g = MakePaGraph(80, 2, 22);
+  auto y0 = RandomValues(80, 6);
+  std::vector<double> g0(80, 1.0);
+  AsyncPushSum engine(&g, Opts(1e-6));
+  auto r = engine.Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  double sum_y = std::accumulate(r->values.begin(), r->values.end(), 0.0);
+  double sum_g = std::accumulate(r->weights.begin(), r->weights.end(), 0.0);
+  EXPECT_NEAR(sum_y, std::accumulate(y0.begin(), y0.end(), 0.0), 1e-9);
+  EXPECT_NEAR(sum_g, 80.0, 1e-9);
+}
+
+TEST(AsyncGossipTest, MassConservedUnderLoss) {
+  Graph g = MakePaGraph(60, 2, 23);
+  auto y0 = RandomValues(60, 7);
+  std::vector<double> g0(60, 1.0);
+  AsyncGossipOptions o = Opts(1e-6);
+  o.packet_loss_prob = 0.2;
+  AsyncPushSum engine(&g, o);
+  auto r = engine.Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  double sum_y = std::accumulate(r->values.begin(), r->values.end(), 0.0);
+  EXPECT_NEAR(sum_y, std::accumulate(y0.begin(), y0.end(), 0.0), 1e-9);
+}
+
+TEST(AsyncGossipTest, DeterministicPerSeed) {
+  Graph g = MakePaGraph(50, 2, 24);
+  auto y0 = RandomValues(50, 8);
+  std::vector<double> g0(50, 1.0);
+  auto a = AsyncPushSum(&g, Opts(1e-6, 9)).Run(y0, g0);
+  auto b = AsyncPushSum(&g, Opts(1e-6, 9)).Run(y0, g0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->ratios, b->ratios);
+  EXPECT_EQ(a->gossip_messages, b->gossip_messages);
+  EXPECT_DOUBLE_EQ(a->sim_time, b->sim_time);
+}
+
+TEST(AsyncGossipTest, TimeCapReported) {
+  Graph g = MakePaGraph(200, 2, 25);
+  auto y0 = RandomValues(200, 10);
+  std::vector<double> g0(200, 1.0);
+  AsyncGossipOptions o = Opts(1e-12);
+  o.max_time = 3.0;  // a handful of firings only
+  AsyncPushSum engine(&g, o);
+  auto r = engine.Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->converged);
+}
+
+TEST(AsyncGossipTest, SimTimeScalesWithPushPeriod) {
+  Graph g = MakePaGraph(60, 2, 26);
+  auto y0 = RandomValues(60, 11);
+  std::vector<double> g0(60, 1.0);
+  AsyncGossipOptions slow = Opts(1e-5);
+  slow.push_period = 2.0;
+  AsyncGossipOptions fast = Opts(1e-5);
+  fast.push_period = 0.5;
+  auto rs = AsyncPushSum(&g, slow).Run(y0, g0);
+  auto rf = AsyncPushSum(&g, fast).Run(y0, g0);
+  ASSERT_TRUE(rs.ok() && rf.ok());
+  ASSERT_TRUE(rs->converged && rf->converged);
+  EXPECT_GT(rs->sim_time, rf->sim_time);
+}
+
+TEST(AsyncGossipTest, FiringsComparableToSyncSteps) {
+  // The asynchronous run should need the same order of firings per node
+  // as the synchronous engine needs steps.
+  Graph g = MakePaGraph(100, 2, 27);
+  auto y0 = RandomValues(100, 12);
+  std::vector<double> g0(100, 1.0);
+  auto r = AsyncPushSum(&g, Opts(1e-6)).Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->converged);
+  EXPECT_GT(r->max_node_firings, 10u);
+  EXPECT_LT(r->max_node_firings, 2000u);
+}
+
+TEST(AsyncGossipTest, IsolatedNodesConvergeImmediately) {
+  Graph g(4);
+  std::vector<double> y0(4, 0.5), g0(4, 1.0);
+  AsyncPushSum engine(&g, Opts());
+  auto r = engine.Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_DOUBLE_EQ(r->sim_time, 0.0);
+  for (double v : r->ratios) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(AsyncGossipTest, UniformStrategySupported) {
+  Graph g = MakePaGraph(60, 2, 28);
+  auto y0 = RandomValues(60, 13);
+  std::vector<double> g0(60, 1.0);
+  AsyncGossipOptions o = Opts(1e-6);
+  o.strategy = PushStrategy::kUniform;
+  auto r = AsyncPushSum(&g, o).Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  double truth = Mean(y0);
+  double mean_err = 0;
+  for (double v : r->ratios) mean_err += std::fabs(v - truth);
+  EXPECT_LT(mean_err / 60, 5e-3);
+}
+
+}  // namespace
+}  // namespace dgt

@@ -1,0 +1,92 @@
+#include "net/link_model.h"
+
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+TEST(LinkModelTest, RejectsBadOptions) {
+  LinkModelOptions o;
+  o.access_latency_min = -1.0;
+  EXPECT_FALSE(LinkModel::Create(5, o).ok());
+  o = {};
+  o.access_latency_max = o.access_latency_min - 0.01;
+  EXPECT_FALSE(LinkModel::Create(5, o).ok());
+  o = {};
+  o.backbone_latency = -0.5;
+  EXPECT_FALSE(LinkModel::Create(5, o).ok());
+  o = {};
+  o.jitter = -0.1;
+  EXPECT_FALSE(LinkModel::Create(5, o).ok());
+}
+
+TEST(LinkModelTest, AccessLatencyWithinRange) {
+  LinkModelOptions o;
+  o.access_latency_min = 0.01;
+  o.access_latency_max = 0.02;
+  auto m = LinkModel::Create(100, o);
+  ASSERT_TRUE(m.ok());
+  for (NodeId u = 0; u < 100; ++u) {
+    EXPECT_GE(m->AccessLatency(u), 0.01);
+    EXPECT_LT(m->AccessLatency(u), 0.02);
+  }
+}
+
+TEST(LinkModelTest, LatencyDecomposition) {
+  LinkModelOptions o;
+  o.jitter = 0.0;  // deterministic
+  auto m = LinkModel::Create(10, o);
+  ASSERT_TRUE(m.ok());
+  Rng rng(1);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = 0; v < 10; ++v) {
+      double expected =
+          m->AccessLatency(u) + o.backbone_latency + m->AccessLatency(v);
+      EXPECT_DOUBLE_EQ(m->Latency(u, v, rng), expected);
+      EXPECT_DOUBLE_EQ(m->MeanLatency(u, v), expected);
+    }
+  }
+}
+
+TEST(LinkModelTest, JitterAddsBoundedDelay) {
+  LinkModelOptions o;
+  o.jitter = 0.5;
+  auto m = LinkModel::Create(4, o);
+  ASSERT_TRUE(m.ok());
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    double l = m->Latency(0, 1, rng);
+    EXPECT_GE(l, m->MeanLatency(0, 1));
+    EXPECT_LT(l, m->MeanLatency(0, 1) + 0.5);
+  }
+}
+
+TEST(LinkModelTest, DeterministicPerSeed) {
+  LinkModelOptions o;
+  o.seed = 7;
+  auto a = LinkModel::Create(20, o);
+  auto b = LinkModel::Create(20, o);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (NodeId u = 0; u < 20; ++u) {
+    EXPECT_DOUBLE_EQ(a->AccessLatency(u), b->AccessLatency(u));
+  }
+  o.seed = 8;
+  auto c = LinkModel::Create(20, o);
+  ASSERT_TRUE(c.ok());
+  int differ = 0;
+  for (NodeId u = 0; u < 20; ++u) {
+    if (a->AccessLatency(u) != c->AccessLatency(u)) ++differ;
+  }
+  EXPECT_GT(differ, 15);
+}
+
+TEST(LinkModelTest, AsymmetricEndpointsSymmetricSum) {
+  // access(u) + access(v) is symmetric even though per-node access
+  // latencies differ.
+  auto m = LinkModel::Create(6, {});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->MeanLatency(2, 4), m->MeanLatency(4, 2));
+}
+
+}  // namespace
+}  // namespace dgt

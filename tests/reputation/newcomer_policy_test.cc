@@ -1,0 +1,95 @@
+#include "reputation/newcomer_policy.h"
+
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+TEST(NewcomerPolicyTest, OptimisticBeforeAnyArrival) {
+  NewcomerPolicyOptions o;
+  o.optimistic_initial = 0.3;
+  NewcomerPolicy p(o);
+  EXPECT_DOUBLE_EQ(p.WhitewashingRate(), 0.0);
+  EXPECT_DOUBLE_EQ(p.InitialTrust(), 0.3);
+  EXPECT_EQ(p.arrivals(), 0u);
+}
+
+TEST(NewcomerPolicyTest, RateTracksArrivals) {
+  NewcomerPolicy p({});
+  p.RecordArrival(false);
+  p.RecordArrival(true);
+  p.RecordArrival(true);
+  p.RecordArrival(false);
+  EXPECT_DOUBLE_EQ(p.WhitewashingRate(), 0.5);
+  EXPECT_EQ(p.arrivals(), 4u);
+}
+
+TEST(NewcomerPolicyTest, InitialTrustDecaysWithWhitewashing) {
+  NewcomerPolicyOptions o;
+  o.optimistic_initial = 0.3;
+  o.sensitivity = 8.0;
+  NewcomerPolicy p(o);
+  // Seed with honest arrivals so the rate climbs gradually as
+  // whitewashers appear.
+  for (int i = 0; i < 10; ++i) p.RecordArrival(false);
+  double prev = p.InitialTrust();
+  for (int bad = 0; bad < 10; ++bad) {
+    p.RecordArrival(true);
+    double now = p.InitialTrust();
+    EXPECT_LT(now, prev);
+    prev = now;
+  }
+  // Half the window whitewashing -> deep in the conservative regime.
+  EXPECT_LT(p.InitialTrust(), 0.1 * o.optimistic_initial);
+}
+
+TEST(NewcomerPolicyTest, HonestArrivalsRestoreOptimism) {
+  NewcomerPolicyOptions o;
+  o.window = 8;
+  NewcomerPolicy p(o);
+  for (int i = 0; i < 8; ++i) p.RecordArrival(true);
+  double bad_era = p.InitialTrust();
+  for (int i = 0; i < 8; ++i) p.RecordArrival(false);
+  // The sliding window forgot the whitewashing era entirely.
+  EXPECT_DOUBLE_EQ(p.WhitewashingRate(), 0.0);
+  EXPECT_GT(p.InitialTrust(), bad_era);
+  EXPECT_DOUBLE_EQ(p.InitialTrust(), o.optimistic_initial);
+}
+
+TEST(NewcomerPolicyTest, WindowIsSliding) {
+  NewcomerPolicyOptions o;
+  o.window = 4;
+  NewcomerPolicy p(o);
+  p.RecordArrival(true);
+  p.RecordArrival(true);
+  p.RecordArrival(false);
+  p.RecordArrival(false);
+  EXPECT_DOUBLE_EQ(p.WhitewashingRate(), 0.5);
+  // Two more honest arrivals push both whitewashers out of the window.
+  p.RecordArrival(false);
+  p.RecordArrival(false);
+  EXPECT_DOUBLE_EQ(p.WhitewashingRate(), 0.0);
+}
+
+TEST(NewcomerPolicyTest, ZeroWindowClampedToOne) {
+  NewcomerPolicyOptions o;
+  o.window = 0;
+  NewcomerPolicy p(o);
+  p.RecordArrival(true);
+  EXPECT_DOUBLE_EQ(p.WhitewashingRate(), 1.0);
+  p.RecordArrival(false);
+  EXPECT_DOUBLE_EQ(p.WhitewashingRate(), 0.0);
+}
+
+TEST(NewcomerPolicyTest, InitialTrustBounded) {
+  NewcomerPolicy p({});
+  for (int i = 0; i < 100; ++i) {
+    p.RecordArrival(i % 3 == 0);
+    double v = p.InitialTrust();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, NewcomerPolicyOptions{}.optimistic_initial);
+  }
+}
+
+}  // namespace
+}  // namespace dgt

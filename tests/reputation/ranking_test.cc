@@ -1,0 +1,122 @@
+#include "reputation/ranking.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+TEST(TopKTest, OrdersDescending) {
+  std::vector<double> s = {0.1, 0.9, 0.5, 0.7};
+  auto top = TopK(s, 3);
+  EXPECT_EQ(top, (std::vector<NodeId>{1, 3, 2}));
+}
+
+TEST(TopKTest, KClampedToSize) {
+  std::vector<double> s = {0.3, 0.2};
+  auto top = TopK(s, 10);
+  EXPECT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 0u);
+}
+
+TEST(TopKTest, TiesBrokenByLowerId) {
+  std::vector<double> s = {0.5, 0.5, 0.5};
+  auto top = TopK(s, 2);
+  EXPECT_EQ(top, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(TopKTest, ZeroKIsEmpty) {
+  std::vector<double> s = {1.0};
+  EXPECT_TRUE(TopK(s, 0).empty());
+}
+
+TEST(PrecisionAtKTest, RejectsBadInput) {
+  EXPECT_FALSE(PrecisionAtK({}, {}, 1).ok());
+  EXPECT_FALSE(PrecisionAtK({1.0}, {1.0, 2.0}, 1).ok());
+  EXPECT_FALSE(PrecisionAtK({1.0}, {1.0}, 0).ok());
+}
+
+TEST(PrecisionAtKTest, PerfectAndDisjoint) {
+  std::vector<double> truth = {0.9, 0.8, 0.1, 0.2};
+  auto perfect = PrecisionAtK(truth, truth, 2);
+  ASSERT_TRUE(perfect.ok());
+  EXPECT_DOUBLE_EQ(perfect.value(), 1.0);
+  std::vector<double> inverted = {0.1, 0.2, 0.9, 0.8};
+  auto none = PrecisionAtK(inverted, truth, 2);
+  ASSERT_TRUE(none.ok());
+  EXPECT_DOUBLE_EQ(none.value(), 0.0);
+}
+
+TEST(PrecisionAtKTest, PartialOverlap) {
+  std::vector<double> truth = {0.9, 0.8, 0.7, 0.1};  // top2 = {0,1}
+  std::vector<double> est = {0.9, 0.1, 0.8, 0.2};    // top2 = {0,2}
+  auto p = PrecisionAtK(est, truth, 2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value(), 0.5);
+}
+
+TEST(PrecisionAtKTest, ScaleInvariant) {
+  // Precision depends only on the ordering, not the scale.
+  std::vector<double> truth = {0.9, 0.5, 0.3, 0.8};
+  std::vector<double> scaled;
+  for (double v : truth) scaled.push_back(v * 0.01 + 5.0);
+  auto p = PrecisionAtK(scaled, truth, 2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value(), 1.0);
+}
+
+TEST(KendallTauTest, RejectsBadInput) {
+  EXPECT_FALSE(KendallTau({1.0}, {1.0}).ok());
+  EXPECT_FALSE(KendallTau({1.0, 2.0}, {1.0}).ok());
+}
+
+TEST(KendallTauTest, IdenticalOrderIsOne) {
+  std::vector<double> a = {0.1, 0.4, 0.7, 0.9};
+  auto tau = KendallTau(a, a);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_DOUBLE_EQ(tau.value(), 1.0);
+}
+
+TEST(KendallTauTest, ReversedOrderIsMinusOne) {
+  std::vector<double> a = {0.1, 0.4, 0.7, 0.9};
+  std::vector<double> b = {0.9, 0.7, 0.4, 0.1};
+  auto tau = KendallTau(a, b);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_DOUBLE_EQ(tau.value(), -1.0);
+}
+
+TEST(KendallTauTest, TiesExcluded) {
+  // One tied pair in a: 3 pairs total, 2 concordant, 1 neither.
+  std::vector<double> a = {0.5, 0.5, 1.0};
+  std::vector<double> b = {0.1, 0.2, 0.9};
+  auto tau = KendallTau(a, b);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_DOUBLE_EQ(tau.value(), 2.0 / 3.0);
+}
+
+TEST(KendallTauTest, NoisyMonotoneIsHigh) {
+  Rng rng(9);
+  std::vector<double> truth(100), noisy(100);
+  for (size_t i = 0; i < 100; ++i) {
+    truth[i] = rng.NextDouble();
+    noisy[i] = truth[i] + rng.NextDouble(-0.02, 0.02);
+  }
+  auto tau = KendallTau(noisy, truth);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_GT(tau.value(), 0.9);
+}
+
+TEST(KendallTauTest, IndependentIsNearZero) {
+  Rng rng(11);
+  std::vector<double> a(200), b(200);
+  for (size_t i = 0; i < 200; ++i) {
+    a[i] = rng.NextDouble();
+    b[i] = rng.NextDouble();
+  }
+  auto tau = KendallTau(a, b);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_NEAR(tau.value(), 0.0, 0.1);
+}
+
+}  // namespace
+}  // namespace dgt

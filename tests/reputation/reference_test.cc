@@ -1,0 +1,144 @@
+#include <cmath>
+#include "reputation/reference.h"
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+// 4-node path 0-1-2-3 with hand-set trust entries.
+struct Fixture {
+  Graph graph;
+  TrustMatrix trust;
+
+  Fixture() : graph(4), trust(4) {
+    EXPECT_TRUE(graph.AddEdge(0, 1).ok());
+    EXPECT_TRUE(graph.AddEdge(1, 2).ok());
+    EXPECT_TRUE(graph.AddEdge(2, 3).ok());
+    EXPECT_TRUE(trust.Set(0, 1, 0.8).ok());
+    EXPECT_TRUE(trust.Set(2, 1, 0.4).ok());
+    EXPECT_TRUE(trust.Set(3, 1, 0.6).ok());
+    EXPECT_TRUE(trust.Set(1, 2, 0.5).ok());
+  }
+};
+
+TEST(ReferenceTest, GlobalMeanAll) {
+  Fixture f;
+  // Column 1 sum = 1.8 over N = 4.
+  EXPECT_DOUBLE_EQ(ExactGlobalMeanAll(f.trust, 1), 0.45);
+  EXPECT_DOUBLE_EQ(ExactGlobalMeanAll(f.trust, 0), 0.0);
+}
+
+TEST(ReferenceTest, GlobalMeanOpinators) {
+  Fixture f;
+  // Column 1: three opinators, mean 0.6.
+  EXPECT_DOUBLE_EQ(ExactGlobalMeanOpinators(f.trust, 1), 0.6);
+  // Nobody rated node 0.
+  EXPECT_DOUBLE_EQ(ExactGlobalMeanOpinators(f.trust, 0), 0.0);
+}
+
+TEST(ReferenceTest, VectorFormsMatchScalar) {
+  Fixture f;
+  auto all = ExactGlobalMeanAllVector(f.trust);
+  auto opi = ExactGlobalMeanOpinatorsVector(f.trust);
+  ASSERT_EQ(all.size(), 4u);
+  for (NodeId j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(all[j], ExactGlobalMeanAll(f.trust, j));
+    EXPECT_DOUBLE_EQ(opi[j], ExactGlobalMeanOpinators(f.trust, j));
+  }
+}
+
+TEST(ReferenceTest, GclrWithUnitWeightsDegeneratesToGlobal) {
+  // eq. (5) with all weights 1 degenerates to eq. (1); with a = 1 every
+  // weight is exactly 1.
+  Fixture f;
+  WeightParams p;
+  p.a = 1.0;
+  auto w = WeightTable::Build(f.trust, 0, p).value();
+  EXPECT_DOUBLE_EQ(
+      ExactGclr(f.trust, f.graph, w, 1, DenominatorMode::kAllNodes),
+      ExactGlobalMeanAll(f.trust, 1));
+  EXPECT_DOUBLE_EQ(
+      ExactGclr(f.trust, f.graph, w, 1, DenominatorMode::kOpinators),
+      ExactGlobalMeanOpinators(f.trust, 1));
+}
+
+TEST(ReferenceTest, GclrHandComputed) {
+  Fixture f;
+  WeightParams p;
+  p.a = 4.0;
+  p.b = 1.0;
+  // Observer 2 has one opinion: t_21 = 0.4 -> w_21 = 4^0.4.
+  auto w = WeightTable::Build(f.trust, 2, p).value();
+  double w21 = std::pow(4.0, 0.4);
+  // Observer 2's neighbours are {1, 3}; only neighbour 1 has weight > 1
+  // (w for 3 is 1, no opinion). Numerator excess: (w21-1)*t_13? No:
+  // neighbours k of observer 2 are 1 and 3; (w_2k - 1) * t_k1:
+  //   k=1: (w21-1) * t_11 = (w21-1) * 0 = 0 (no self-trust)
+  //   k=3: (1-1) * t_31 = 0
+  // So GCLR(2,1) = colsum / (excess + N) with excess = w21 - 1.
+  double expected =
+      1.8 / ((w21 - 1.0) + 4.0);
+  EXPECT_DOUBLE_EQ(
+      ExactGclr(f.trust, f.graph, w, 1, DenominatorMode::kAllNodes),
+      expected);
+}
+
+TEST(ReferenceTest, GclrNeighborOpinionBoostsEstimate) {
+  // Observer 0 trusts neighbour 1 highly; node 1 rates node 2 with 0.5,
+  // which is above the unweighted mean of column 2 -> weighting must pull
+  // the estimate up versus the unweighted one... compute exactly.
+  Fixture f;
+  WeightParams p;
+  p.a = 4.0;
+  p.b = 1.0;
+  auto w = WeightTable::Build(f.trust, 0, p).value();
+  double w01 = std::pow(4.0, 0.8);
+  // Column 2: only t_12 = 0.5. Observer 0's neighbour set = {1}.
+  double expected_all =
+      ((w01 - 1.0) * 0.5 + 0.5) / ((w01 - 1.0) + 4.0);
+  EXPECT_DOUBLE_EQ(
+      ExactGclr(f.trust, f.graph, w, 2, DenominatorMode::kAllNodes),
+      expected_all);
+  double expected_opi = ((w01 - 1.0) * 0.5 + 0.5) / ((w01 - 1.0) + 1.0);
+  EXPECT_DOUBLE_EQ(
+      ExactGclr(f.trust, f.graph, w, 2, DenominatorMode::kOpinators),
+      expected_opi);
+  // Unweighted mean over all nodes is 0.125; the weighted estimate with a
+  // trusted direct witness reporting 0.5 must exceed it.
+  EXPECT_GT(expected_all, ExactGlobalMeanAll(f.trust, 2));
+}
+
+TEST(ReferenceTest, GclrNoInformationIsZero) {
+  Fixture f;
+  WeightParams p;
+  auto w = WeightTable::Build(f.trust, 0, p).value();
+  // Nobody has an opinion about node 0; with kOpinators the denominator
+  // can still be positive via neighbour excess weight, but the numerator
+  // is 0 -> estimate 0.
+  EXPECT_DOUBLE_EQ(
+      ExactGclr(f.trust, f.graph, w, 0, DenominatorMode::kOpinators), 0.0);
+}
+
+TEST(ReferenceTest, GclrVectorMatchesScalar) {
+  Fixture f;
+  WeightParams p;
+  p.a = 2.0;
+  auto w = WeightTable::Build(f.trust, 1, p).value();
+  auto vec = ExactGclrVector(f.trust, f.graph, w, DenominatorMode::kAllNodes);
+  ASSERT_EQ(vec.size(), 4u);
+  for (NodeId j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(
+        vec[j], ExactGclr(f.trust, f.graph, w, j, DenominatorMode::kAllNodes));
+  }
+}
+
+TEST(ReferenceTest, EmptyMatrixIsAllZero) {
+  TrustMatrix t(3);
+  EXPECT_DOUBLE_EQ(ExactGlobalMeanAll(t, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ExactGlobalMeanOpinators(t, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace dgt

@@ -1,0 +1,132 @@
+#include <cmath>
+#include "reputation/reputation_system.h"
+
+#include "reputation/reference.h"
+
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using testing_util::FillTrust;
+using testing_util::MakePaGraph;
+
+ReputationSystemOptions Opts() {
+  ReputationSystemOptions o;
+  o.aggregation.gossip.xi = 1e-8;
+  o.feedback_push_delta = 0.05;
+  return o;
+}
+
+TEST(ReputationSystemTest, BeforeFirstRoundFallsBackToDirectTrust) {
+  Graph g = MakePaGraph(20);
+  TrustMatrix t(20);
+  ASSERT_TRUE(t.Set(0, 1, 0.9).ok());
+  ReputationSystem sys(&g, &t, Opts());
+  EXPECT_EQ(sys.rounds_completed(), 0u);
+  EXPECT_DOUBLE_EQ(sys.Reputation(0, 1), 0.9);
+  EXPECT_DOUBLE_EQ(sys.Reputation(1, 0), 0.0);
+  EXPECT_TRUE(sys.reputations().empty());
+}
+
+TEST(ReputationSystemTest, RunRoundProducesFullMatrix) {
+  Graph g = MakePaGraph(30);
+  TrustMatrix t(30);
+  FillTrust(g, &t, 80);
+  ReputationSystem sys(&g, &t, Opts());
+  ASSERT_TRUE(sys.RunRound().ok());
+  EXPECT_EQ(sys.rounds_completed(), 1u);
+  ASSERT_EQ(sys.reputations().size(), 30u);
+  for (const auto& row : sys.reputations()) EXPECT_EQ(row.size(), 30u);
+  EXPECT_TRUE(sys.last_round_stats().converged);
+  EXPECT_GT(sys.last_round_stats().steps, 0u);
+}
+
+TEST(ReputationSystemTest, FirstRoundPushesEveryFeedbackOnce) {
+  Graph g = MakePaGraph(25);
+  TrustMatrix t(25);
+  FillTrust(g, &t, 81);
+  ReputationSystem sys(&g, &t, Opts());
+  ASSERT_TRUE(sys.RunRound().ok());
+  EXPECT_EQ(sys.last_round_feedback_pushes(), t.TotalOpinions());
+  EXPECT_GT(sys.feedback_push_messages(), 0u);
+}
+
+TEST(ReputationSystemTest, DeltaRuleSuppressesUnchangedFeedback) {
+  Graph g = MakePaGraph(25);
+  TrustMatrix t(25);
+  FillTrust(g, &t, 82);
+  ReputationSystem sys(&g, &t, Opts());
+  ASSERT_TRUE(sys.RunRound().ok());
+  uint64_t msgs_after_first = sys.feedback_push_messages();
+  // Nothing changed: second round pushes no feedback.
+  ASSERT_TRUE(sys.RunRound().ok());
+  EXPECT_EQ(sys.last_round_feedback_pushes(), 0u);
+  EXPECT_EQ(sys.feedback_push_messages(), msgs_after_first);
+}
+
+TEST(ReputationSystemTest, DeltaRuleDetectsLargeChange) {
+  Graph g = MakePaGraph(25);
+  TrustMatrix t(25);
+  FillTrust(g, &t, 83);
+  ReputationSystem sys(&g, &t, Opts());
+  ASSERT_TRUE(sys.RunRound().ok());
+  // Flip one opinion far beyond delta.
+  NodeId u = g.Edges().front().first;
+  NodeId v = g.Edges().front().second;
+  double old = t.Get(u, v);
+  ASSERT_TRUE(t.Set(u, v, old > 0.5 ? 0.0 : 1.0).ok());
+  ASSERT_TRUE(sys.RunRound().ok());
+  EXPECT_EQ(sys.last_round_feedback_pushes(), 1u);
+}
+
+TEST(ReputationSystemTest, SmallChangeBelowDeltaNotPushed) {
+  Graph g = MakePaGraph(25);
+  TrustMatrix t(25);
+  ASSERT_TRUE(t.Set(0, 1, 0.50).ok());
+  ReputationSystem sys(&g, &t, Opts());
+  ASSERT_TRUE(sys.RunRound().ok());
+  ASSERT_TRUE(t.Set(0, 1, 0.52).ok());  // |change| = 0.02 < delta = 0.05
+  ASSERT_TRUE(sys.RunRound().ok());
+  EXPECT_EQ(sys.last_round_feedback_pushes(), 0u);
+}
+
+TEST(ReputationSystemTest, ReputationReflectsAggregatedTrust) {
+  Graph g = MakePaGraph(30, 2, 84);
+  TrustMatrix t(30);
+  FillTrust(g, &t, 85, /*noise=*/0.0);
+  ReputationSystemOptions o = Opts();
+  ReputationSystem sys(&g, &t, o);
+  ASSERT_TRUE(sys.RunRound().ok());
+  // The round's output must match the exact centralized GCLR (same
+  // denominator mode and weights) at every observer/target pair.
+  for (NodeId i = 0; i < 30; ++i) {
+    auto w = WeightTable::Build(t, i, o.aggregation.weights).value();
+    for (NodeId j = 0; j < 30; ++j) {
+      double exact = ExactGclr(t, g, w, j, o.aggregation.denominator);
+      EXPECT_NEAR(sys.Reputation(i, j), exact, 0.02)
+          << "observer " << i << " target " << j;
+    }
+  }
+}
+
+TEST(ReputationSystemTest, RoundsAdvanceSeed) {
+  Graph g = MakePaGraph(20);
+  TrustMatrix t(20);
+  FillTrust(g, &t, 86);
+  ReputationSystem sys(&g, &t, Opts());
+  ASSERT_TRUE(sys.RunRound().ok());
+  auto first = sys.reputations();
+  ASSERT_TRUE(sys.RunRound().ok());
+  EXPECT_EQ(sys.rounds_completed(), 2u);
+  // Same trust, different gossip randomness -> essentially equal values.
+  for (NodeId i = 0; i < 20; ++i) {
+    for (NodeId j = 0; j < 20; ++j) {
+      EXPECT_NEAR(sys.reputations()[i][j], first[i][j], 0.01);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgt

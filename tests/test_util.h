@@ -1,0 +1,56 @@
+// Shared helpers for the dgt test suite.
+
+#ifndef DGT_TESTS_TEST_UTIL_H_
+#define DGT_TESTS_TEST_UTIL_H_
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/pa_generator.h"
+#include "trust/trust_estimator.h"
+#include "trust/trust_matrix.h"
+
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace testing_util {
+
+// A small connected PA graph for gossip tests; aborts the test on failure.
+inline Graph MakePaGraph(uint32_t n, uint32_t m = 2, uint64_t seed = 42) {
+  PaOptions opts;
+  opts.num_nodes = n;
+  opts.edges_per_node = m;
+  opts.seed = seed;
+  Result<Graph> g = GeneratePreferentialAttachment(opts);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+// Uniform random values in [0,1].
+inline std::vector<double> RandomValues(uint32_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.NextDouble();
+  return v;
+}
+
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+// Fills `trust` with noisy edge opinions and returns the ground-truth
+// quality vector.
+inline std::vector<double> FillTrust(const Graph& g, TrustMatrix* trust,
+                                     uint64_t seed, double noise = 0.05) {
+  Rng rng(seed);
+  return PopulateTrustFromQualities(g, noise, rng, trust);
+}
+
+}  // namespace testing_util
+}  // namespace dgt
+
+#endif  // DGT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,124 @@
+#include "trust/blue_estimator.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+BlueEstimatorOptions NoForgetting() {
+  BlueEstimatorOptions o;
+  o.forgetting = 0.0;
+  return o;
+}
+
+TEST(BlueEstimatorTest, RejectsBadInput) {
+  TrustMatrix t(5);
+  BlueEstimator est(&t, NoForgetting());
+  EXPECT_FALSE(est.Observe(9, 1, 0.5, 1.0).ok());
+  EXPECT_FALSE(est.Observe(0, 9, 0.5, 1.0).ok());
+  EXPECT_FALSE(est.Observe(1, 1, 0.5, 1.0).ok());
+  EXPECT_FALSE(est.Observe(0, 1, -0.1, 1.0).ok());
+  EXPECT_FALSE(est.Observe(0, 1, 1.1, 1.0).ok());
+  EXPECT_FALSE(est.Observe(0, 1, 0.5, 0.0).ok());
+  EXPECT_EQ(est.observation_count(), 0u);
+}
+
+TEST(BlueEstimatorTest, SingleObservationIsTheEstimate) {
+  TrustMatrix t(3);
+  BlueEstimator est(&t, NoForgetting());
+  ASSERT_TRUE(est.Observe(0, 1, 0.7, 1.0).ok());
+  EXPECT_DOUBLE_EQ(t.Get(0, 1), 0.7);
+}
+
+TEST(BlueEstimatorTest, EqualSizesAverageEqually) {
+  TrustMatrix t(3);
+  BlueEstimator est(&t, NoForgetting());
+  ASSERT_TRUE(est.Observe(0, 1, 0.4, 2.0).ok());
+  ASSERT_TRUE(est.Observe(0, 1, 0.8, 2.0).ok());
+  EXPECT_DOUBLE_EQ(t.Get(0, 1), 0.6);
+}
+
+TEST(BlueEstimatorTest, LargerTransfersWeighMore) {
+  // A 9-unit transfer carries 9x the precision of a 1-unit transfer:
+  // estimate = (0.9*9 + 0.0*1) / 10 = 0.81.
+  TrustMatrix t(3);
+  BlueEstimator est(&t, NoForgetting());
+  ASSERT_TRUE(est.Observe(0, 1, 0.9, 9.0).ok());
+  ASSERT_TRUE(est.Observe(0, 1, 0.0, 1.0).ok());
+  EXPECT_NEAR(t.Get(0, 1), 0.81, 1e-12);
+}
+
+TEST(BlueEstimatorTest, VarianceShrinksWithObservations) {
+  TrustMatrix t(3);
+  BlueEstimator est(&t, NoForgetting());
+  EXPECT_TRUE(std::isinf(est.Variance(0, 1)));
+  ASSERT_TRUE(est.Observe(0, 1, 0.5, 1.0).ok());
+  double v1 = est.Variance(0, 1);
+  ASSERT_TRUE(est.Observe(0, 1, 0.5, 1.0).ok());
+  double v2 = est.Variance(0, 1);
+  EXPECT_LT(v2, v1);
+  EXPECT_NEAR(v2, v1 / 2.0, 1e-12);
+}
+
+TEST(BlueEstimatorTest, ConvergesToTrueQuality) {
+  TrustMatrix t(2);
+  BlueEstimator est(&t, NoForgetting());
+  Rng rng(5);
+  const double kQuality = 0.65;
+  for (int i = 0; i < 2000; ++i) {
+    double sample =
+        std::clamp(kQuality + rng.NextDouble(-0.2, 0.2), 0.0, 1.0);
+    ASSERT_TRUE(est.Observe(0, 1, sample, rng.NextDouble(0.5, 4.0)).ok());
+  }
+  EXPECT_NEAR(t.Get(0, 1), kQuality, 0.02);
+}
+
+TEST(BlueEstimatorTest, ForgettingTracksDrift) {
+  // Provider quality jumps from 0.9 to 0.1; with forgetting the estimate
+  // follows, without it the old history dominates.
+  TrustMatrix with_t(2), without_t(2);
+  BlueEstimatorOptions with_f;
+  with_f.forgetting = 0.1;
+  BlueEstimator with(&with_t, with_f);
+  BlueEstimator without(&without_t, NoForgetting());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(with.Observe(0, 1, 0.9, 1.0).ok());
+    ASSERT_TRUE(without.Observe(0, 1, 0.9, 1.0).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(with.Observe(0, 1, 0.1, 1.0).ok());
+    ASSERT_TRUE(without.Observe(0, 1, 0.1, 1.0).ok());
+  }
+  EXPECT_LT(with_t.Get(0, 1), 0.2);
+  EXPECT_GT(without_t.Get(0, 1), 0.5);
+}
+
+TEST(BlueEstimatorTest, TinyTransfersClampedToMinSize) {
+  BlueEstimatorOptions o = NoForgetting();
+  o.min_transfer_size = 1.0;
+  TrustMatrix t(2);
+  BlueEstimator est(&t, o);
+  // Both observations get the same (clamped) precision.
+  ASSERT_TRUE(est.Observe(0, 1, 0.0, 0.001).ok());
+  ASSERT_TRUE(est.Observe(0, 1, 1.0, 1.0).ok());
+  EXPECT_DOUBLE_EQ(t.Get(0, 1), 0.5);
+}
+
+TEST(BlueEstimatorTest, IndependentPairs) {
+  TrustMatrix t(4);
+  BlueEstimator est(&t, NoForgetting());
+  ASSERT_TRUE(est.Observe(0, 1, 0.2, 1.0).ok());
+  ASSERT_TRUE(est.Observe(0, 2, 0.8, 1.0).ok());
+  ASSERT_TRUE(est.Observe(3, 1, 0.5, 1.0).ok());
+  EXPECT_DOUBLE_EQ(t.Get(0, 1), 0.2);
+  EXPECT_DOUBLE_EQ(t.Get(0, 2), 0.8);
+  EXPECT_DOUBLE_EQ(t.Get(3, 1), 0.5);
+  EXPECT_EQ(est.observation_count(), 3u);
+}
+
+}  // namespace
+}  // namespace dgt

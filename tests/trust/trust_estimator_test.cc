@@ -1,0 +1,117 @@
+#include "trust/trust_estimator.h"
+
+#include "graph/pa_generator.h"
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using testing_util::MakePaGraph;
+
+TEST(TrustEstimatorTest, FirstTransactionSeedsEwma) {
+  TrustMatrix t(3);
+  TrustEstimator est(&t, {});
+  ASSERT_TRUE(est.RecordTransaction(0, 1, 0.8).ok());
+  EXPECT_DOUBLE_EQ(t.Get(0, 1), 0.8);
+  EXPECT_EQ(est.transaction_count(), 1u);
+}
+
+TEST(TrustEstimatorTest, EwmaUpdate) {
+  TrustMatrix t(3);
+  TrustEstimatorOptions o;
+  o.alpha = 0.5;
+  TrustEstimator est(&t, o);
+  ASSERT_TRUE(est.RecordTransaction(0, 1, 1.0).ok());
+  ASSERT_TRUE(est.RecordTransaction(0, 1, 0.0).ok());
+  EXPECT_DOUBLE_EQ(t.Get(0, 1), 0.5);
+  ASSERT_TRUE(est.RecordTransaction(0, 1, 0.0).ok());
+  EXPECT_DOUBLE_EQ(t.Get(0, 1), 0.25);
+}
+
+TEST(TrustEstimatorTest, RefusalPullsTrustDown) {
+  TrustMatrix t(3);
+  TrustEstimatorOptions o;
+  o.alpha = 0.3;
+  TrustEstimator est(&t, o);
+  ASSERT_TRUE(est.RecordTransaction(0, 1, 0.9).ok());
+  double before = t.Get(0, 1);
+  ASSERT_TRUE(est.RecordRefusal(0, 1).ok());
+  EXPECT_LT(t.Get(0, 1), before);
+  EXPECT_DOUBLE_EQ(t.Get(0, 1), 0.7 * 0.9);
+}
+
+TEST(TrustEstimatorTest, RepeatedGoodServiceConvergesToQuality) {
+  TrustMatrix t(2);
+  TrustEstimatorOptions o;
+  o.alpha = 0.3;
+  TrustEstimator est(&t, o);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(est.RecordTransaction(0, 1, 0.85).ok());
+  }
+  EXPECT_NEAR(t.Get(0, 1), 0.85, 1e-6);
+}
+
+TEST(TrustEstimatorTest, RejectsBadSatisfaction) {
+  TrustMatrix t(3);
+  TrustEstimator est(&t, {});
+  EXPECT_FALSE(est.RecordTransaction(0, 1, -0.1).ok());
+  EXPECT_FALSE(est.RecordTransaction(0, 1, 1.5).ok());
+  EXPECT_EQ(est.transaction_count(), 0u);
+}
+
+TEST(TrustEstimatorTest, RejectsSelfTransaction) {
+  TrustMatrix t(3);
+  TrustEstimator est(&t, {});
+  EXPECT_FALSE(est.RecordTransaction(1, 1, 0.5).ok());
+}
+
+TEST(PopulateTrustTest, CoversEveryEdgeBothWays) {
+  Graph g = MakePaGraph(50);
+  TrustMatrix t(50);
+  Rng rng(9);
+  auto quality = PopulateTrustFromQualities(g, 0.05, rng, &t);
+  ASSERT_EQ(quality.size(), 50u);
+  for (const auto& [u, v] : g.Edges()) {
+    EXPECT_TRUE(t.HasOpinion(u, v));
+    EXPECT_TRUE(t.HasOpinion(v, u));
+  }
+  EXPECT_EQ(t.TotalOpinions(), 2 * g.num_edges());
+}
+
+TEST(PopulateTrustTest, OpinionsTrackQuality) {
+  Graph g = MakePaGraph(100);
+  TrustMatrix t(100);
+  Rng rng(10);
+  auto quality = PopulateTrustFromQualities(g, 0.02, rng, &t);
+  for (const auto& [u, v] : g.Edges()) {
+    EXPECT_NEAR(t.Get(u, v), quality[v], 0.021);
+    EXPECT_NEAR(t.Get(v, u), quality[u], 0.021);
+  }
+}
+
+TEST(PopulateTrustTest, ZeroNoiseIsExact) {
+  Graph g = MakePaGraph(30);
+  TrustMatrix t(30);
+  Rng rng(11);
+  auto quality = PopulateTrustFromQualities(g, 0.0, rng, &t);
+  for (const auto& [u, v] : g.Edges()) {
+    EXPECT_DOUBLE_EQ(t.Get(u, v), quality[v]);
+  }
+}
+
+TEST(PopulateTrustTest, ValuesStayInUnitInterval) {
+  Graph g = MakePaGraph(60);
+  TrustMatrix t(60);
+  Rng rng(12);
+  PopulateTrustFromQualities(g, 0.5, rng, &t);  // heavy noise forces clamps
+  for (NodeId i = 0; i < 60; ++i) {
+    for (const auto& [j, v] : t.Row(i)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgt

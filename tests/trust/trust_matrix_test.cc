@@ -1,0 +1,111 @@
+#include "trust/trust_matrix.h"
+
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+TEST(TrustMatrixTest, StartsEmpty) {
+  TrustMatrix t(5);
+  EXPECT_EQ(t.num_nodes(), 5u);
+  EXPECT_EQ(t.TotalOpinions(), 0u);
+  EXPECT_DOUBLE_EQ(t.Get(0, 1), 0.0);
+  EXPECT_FALSE(t.HasOpinion(0, 1));
+}
+
+TEST(TrustMatrixTest, SetAndGet) {
+  TrustMatrix t(4);
+  ASSERT_TRUE(t.Set(0, 1, 0.75).ok());
+  EXPECT_DOUBLE_EQ(t.Get(0, 1), 0.75);
+  EXPECT_TRUE(t.HasOpinion(0, 1));
+  // Directed: the reverse entry stays absent.
+  EXPECT_FALSE(t.HasOpinion(1, 0));
+  EXPECT_DOUBLE_EQ(t.Get(1, 0), 0.0);
+}
+
+TEST(TrustMatrixTest, OverwriteUpdatesValue) {
+  TrustMatrix t(3);
+  ASSERT_TRUE(t.Set(0, 1, 0.2).ok());
+  ASSERT_TRUE(t.Set(0, 1, 0.9).ok());
+  EXPECT_DOUBLE_EQ(t.Get(0, 1), 0.9);
+  EXPECT_EQ(t.TotalOpinions(), 1u);
+}
+
+TEST(TrustMatrixTest, BoundsValidation) {
+  TrustMatrix t(3);
+  EXPECT_EQ(t.Set(0, 1, -0.1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.Set(0, 1, 1.1).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(t.Set(0, 1, 0.0).ok());
+  EXPECT_TRUE(t.Set(0, 2, 1.0).ok());
+}
+
+TEST(TrustMatrixTest, ExplicitZeroIsAnOpinion) {
+  // Colluders *report* 0; that is different from "no opinion".
+  TrustMatrix t(3);
+  ASSERT_TRUE(t.Set(0, 1, 0.0).ok());
+  EXPECT_TRUE(t.HasOpinion(0, 1));
+  EXPECT_EQ(t.OpinionCountAbout(1), 1u);
+}
+
+TEST(TrustMatrixTest, SelfTrustRejected) {
+  TrustMatrix t(3);
+  EXPECT_EQ(t.Set(1, 1, 0.5).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrustMatrixTest, OutOfRangeRejected) {
+  TrustMatrix t(3);
+  EXPECT_EQ(t.Set(3, 0, 0.5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(t.Set(0, 3, 0.5).code(), StatusCode::kOutOfRange);
+  EXPECT_DOUBLE_EQ(t.Get(9, 0), 0.0);
+  EXPECT_FALSE(t.HasOpinion(9, 0));
+}
+
+TEST(TrustMatrixTest, Erase) {
+  TrustMatrix t(3);
+  ASSERT_TRUE(t.Set(0, 1, 0.4).ok());
+  t.Erase(0, 1);
+  EXPECT_FALSE(t.HasOpinion(0, 1));
+  t.Erase(0, 1);  // idempotent
+  t.Erase(9, 1);  // out of range is a no-op
+}
+
+TEST(TrustMatrixTest, ColumnAggregates) {
+  TrustMatrix t(4);
+  ASSERT_TRUE(t.Set(0, 2, 0.5).ok());
+  ASSERT_TRUE(t.Set(1, 2, 0.7).ok());
+  ASSERT_TRUE(t.Set(3, 2, 0.0).ok());
+  EXPECT_EQ(t.OpinionCountAbout(2), 3u);
+  EXPECT_DOUBLE_EQ(t.ColumnSum(2), 1.2);
+  EXPECT_EQ(t.OpinionCountAbout(0), 0u);
+  EXPECT_DOUBLE_EQ(t.ColumnSum(0), 0.0);
+}
+
+TEST(TrustMatrixTest, DenseColumnAndIndicator) {
+  TrustMatrix t(4);
+  ASSERT_TRUE(t.Set(1, 3, 0.6).ok());
+  ASSERT_TRUE(t.Set(2, 3, 0.0).ok());
+  auto col = t.DenseColumn(3);
+  auto ind = t.OpinionIndicatorColumn(3);
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_DOUBLE_EQ(col[0], 0.0);
+  EXPECT_DOUBLE_EQ(col[1], 0.6);
+  EXPECT_DOUBLE_EQ(col[2], 0.0);
+  EXPECT_DOUBLE_EQ(ind[0], 0.0);
+  EXPECT_DOUBLE_EQ(ind[1], 1.0);
+  EXPECT_DOUBLE_EQ(ind[2], 1.0);  // explicit zero is still an opinion
+  EXPECT_DOUBLE_EQ(ind[3], 0.0);
+}
+
+TEST(TrustMatrixTest, RowAccess) {
+  TrustMatrix t(3);
+  ASSERT_TRUE(t.Set(0, 1, 0.3).ok());
+  ASSERT_TRUE(t.Set(0, 2, 0.8).ok());
+  const auto& row = t.Row(0);
+  EXPECT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row.at(1), 0.3);
+  EXPECT_DOUBLE_EQ(row.at(2), 0.8);
+  EXPECT_EQ(t.TotalOpinions(), 2u);
+}
+
+}  // namespace
+}  // namespace dgt
