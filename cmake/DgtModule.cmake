@@ -1,0 +1,18 @@
+# dgt_add_module(<name> [dep ...])
+#
+# Defines static library dgt_<name> (alias dgt::<name>) from every *.cc in
+# the calling directory, exporting the repository's src/ as the public
+# include root so sources keep the "module/header.h" include style. Extra
+# arguments name sibling modules to link PUBLIC (transitive by design: a
+# module's headers freely include its dependencies' headers).
+function(dgt_add_module name)
+  file(GLOB sources CONFIGURE_DEPENDS "${CMAKE_CURRENT_SOURCE_DIR}/*.cc")
+  add_library(dgt_${name} STATIC ${sources})
+  target_include_directories(dgt_${name} PUBLIC "${PROJECT_SOURCE_DIR}/src")
+  target_link_libraries(dgt_${name} PRIVATE dgt_warnings)
+  if(ARGN)
+    list(TRANSFORM ARGN PREPEND dgt_)
+    target_link_libraries(dgt_${name} PUBLIC ${ARGN})
+  endif()
+  add_library(dgt::${name} ALIAS dgt_${name})
+endfunction()

@@ -171,7 +171,8 @@ TEST(FileSharingSimTest, ColludersServeOnlyGroupMates) {
 
 TEST(FileSharingSimTest, SnapshotSeriesConsistent) {
   Graph g = MakePaGraph(30, 2, 209);
-  auto sim = FileSharingSim::Create(&g, Population(g, 0.2, 210), SimOpts(12, 4));
+  auto sim =
+      FileSharingSim::Create(&g, Population(g, 0.2, 210), SimOpts(12, 4));
   ASSERT_TRUE(sim.ok());
   ASSERT_TRUE((*sim)->Run().ok());
   const auto& rep = (*sim)->report();
