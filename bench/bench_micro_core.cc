@@ -6,10 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include "baselines/eigen_trust.h"
+#include "bench_util.h"
 #include "common/rng.h"
 #include "gossip/scalar_engine.h"
+#include "gossip/sparse_vector_engine.h"
 #include "graph/graph_stats.h"
 #include "graph/pa_generator.h"
+#include "reputation/aggregation.h"
 #include "reputation/reference.h"
 #include "trust/trust_estimator.h"
 #include "trust/weights.h"
@@ -80,6 +83,53 @@ void BM_GossipSingleStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_GossipSingleStep)->Arg(10000)->Arg(100000);
+
+void BM_SparseVectorGossipStep(benchmark::State& state) {
+  // Cost of one sparse vector-gossip step over sparse trust state,
+  // isolated via a max_steps=1 run (the per-iteration init copy is
+  // O(nonzeros), the same order as the step itself).
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  PaOptions po;
+  po.num_nodes = n;
+  po.edges_per_node = 2;
+  po.seed = 42;
+  Graph g = GeneratePreferentialAttachment(po).value();
+  TrustMatrix t = bench_util::MakeSparseTrust(n, 20, 11);
+  auto init = BuildGclrSparseInit(t);
+  GossipOptions o;
+  o.xi = 1e-12;
+  o.max_steps = 1;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    o.seed = seed++;
+    SparseVectorPushSum engine(&g, o);
+    auto r = engine.Run(init, /*use_count=*/true);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SparseVectorGossipStep)->Arg(10000)->Arg(100000);
+
+void BM_SparseGclrVector(benchmark::State& state) {
+  // Full variant-4 aggregation through the sparse engine.
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  PaOptions po;
+  po.num_nodes = n;
+  po.edges_per_node = 2;
+  po.seed = 42;
+  Graph g = GeneratePreferentialAttachment(po).value();
+  TrustMatrix t = bench_util::MakeSparseTrust(n, 20, 11);
+  AggregationOptions o;
+  o.gossip.xi = 1e-2;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    o.gossip.seed = seed++;
+    auto r = AggregateGclrVector(g, t, o);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SparseGclrVector)->Arg(512)->Arg(1024);
 
 void BM_TrustMatrixSetGet(benchmark::State& state) {
   TrustMatrix t(10000);

@@ -5,9 +5,16 @@
 #ifndef DGT_BENCH_BENCH_UTIL_H_
 #define DGT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/table_writer.h"
@@ -39,18 +46,99 @@ inline std::vector<double> RandomUnitValues(uint32_t n, uint64_t seed) {
   return v;
 }
 
+// Ensures ./dgt_results exists; returns its name, or "" on failure.
+inline std::string EnsureResultsDir() {
+  std::string dir = "dgt_results";
+  std::string cmd = "mkdir -p " + dir;
+  return std::system(cmd.c_str()) == 0 ? dir : std::string();
+}
+
 // Prints the table and attempts a CSV dump (non-fatal on failure).
 inline void Emit(const TableWriter& table, const std::string& csv_name) {
   table.Print(std::cout);
-  std::string dir = "dgt_results";
-  std::string cmd = "mkdir -p " + dir;
-  if (std::system(cmd.c_str()) == 0) {
+  std::string dir = EnsureResultsDir();
+  if (!dir.empty()) {
     Status s = table.WriteCsv(dir + "/" + csv_name);
     if (s.ok()) {
       std::cout << "(csv written to " << dir << "/" << csv_name << ")\n";
     }
   }
   std::cout << std::endl;
+}
+
+// Wall-clock timer for per-configuration bench points.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Machine-readable per-bench output: collects flat numeric measurement
+// points and writes dgt_results/BENCH_<name>.json, so successive PRs have
+// a comparable perf trajectory next to the human-readable tables.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  void AddPoint(std::vector<std::pair<std::string, double>> fields) {
+    points_.push_back(std::move(fields));
+  }
+
+  // Best effort; non-fatal on failure (mirrors Emit's CSV behaviour).
+  void Write() const {
+    std::string dir = EnsureResultsDir();
+    if (dir.empty()) return;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) return;
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"points\": [\n";
+    for (size_t p = 0; p < points_.size(); ++p) {
+      out << "    {";
+      for (size_t f = 0; f < points_[p].size(); ++f) {
+        std::ostringstream num;
+        num.precision(12);
+        num << points_[p][f].second;
+        out << (f ? ", " : "") << "\"" << points_[p][f].first
+            << "\": " << num.str();
+      }
+      out << "}" << (p + 1 < points_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    if (out.good()) std::cout << "(json written to " << path << ")\n";
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, double>>> points_;
+};
+
+// Sparse direct-trust state for the large-N sweeps: every node holds
+// `opinions_per_node` random opinions (the paper's "very small number of
+// neighbours being directly transacted with").
+inline TrustMatrix MakeSparseTrust(uint32_t n, uint32_t opinions_per_node,
+                                   uint64_t seed) {
+  TrustMatrix t(n);
+  Rng rng(seed);
+  for (NodeId i = 0; i < n; ++i) {
+    const uint32_t want = std::min(opinions_per_node, n - 1);
+    uint32_t placed = 0;
+    while (placed < want) {
+      NodeId j = static_cast<NodeId>(rng.NextBelow(n));
+      if (j == i || t.HasOpinion(i, j)) continue;
+      (void)t.Set(i, j, rng.NextDouble());
+      ++placed;
+    }
+  }
+  return t;
 }
 
 }  // namespace bench_util

@@ -61,7 +61,10 @@ Result<ChurnGossipResult> ChurnPushSum::Run(const std::vector<double>& y0,
   }
 
   ChurnGossipResult res;
-  res.control_messages += initial_.DegreeSum();  // degree announcements
+  // Degree announcements: only differential push needs neighbour degrees.
+  if (gossip_.strategy == PushStrategy::kDifferential) {
+    res.control_messages += initial_.DegreeSum();
+  }
 
   auto ratio_of = [&](NodeId i) {
     return node[i].g != 0.0 ? node[i].y / node[i].g : gossip_.ratio_sentinel;

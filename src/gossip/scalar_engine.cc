@@ -72,9 +72,12 @@ Result<GossipResult> ScalarPushSum::Run(const std::vector<double>& y0,
   }
 
   // One-time degree announcements: every node pushes its degree to all
-  // neighbours so that k_i can be computed. Cost = sum of degrees.
-  res.control_messages += graph_->DegreeSum();
-  for (NodeId i = 0; i < n; ++i) node_sent[i] += graph_->Degree(i);
+  // neighbours so that k_i can be computed. Cost = sum of degrees. Under
+  // plain push k_i is constant, so no degrees need announcing.
+  if (options_.strategy == PushStrategy::kDifferential) {
+    res.control_messages += graph_->DegreeSum();
+    for (NodeId i = 0; i < n; ++i) node_sent[i] += graph_->Degree(i);
+  }
 
   if (options_.track_trace) res.trace.reserve(64);
 

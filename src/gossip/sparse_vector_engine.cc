@@ -1,0 +1,341 @@
+#include "gossip/sparse_vector_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace dgt {
+
+namespace {
+
+// One delivered share for the merge phase: scale the sender's previous-step
+// row by `scale` and add it into the receiver's next state.
+struct Contribution {
+  NodeId sender;
+  double scale;
+};
+
+struct MergeCursor {
+  const SparseVectorRow* src;
+  size_t pos;
+  double scale;
+  bool is_self;
+};
+
+constexpr uint32_t kNoColumn = std::numeric_limits<uint32_t>::max();
+
+}  // namespace
+
+std::vector<std::vector<double>> SparseVectorGossipResult::DenseEstimates(
+    double sentinel) const {
+  std::vector<std::vector<double>> out(
+      rows.size(), std::vector<double>(rows.size(), sentinel));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t k = 0; k < rows[i].cols.size(); ++k) {
+      out[i][rows[i].cols[k]] = rows[i].estimates[k];
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>>
+SparseVectorGossipResult::DenseCountEstimates(double sentinel) const {
+  std::vector<std::vector<double>> out(
+      rows.size(), std::vector<double>(rows.size(), sentinel));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t k = 0; k < rows[i].cols.size(); ++k) {
+      out[i][rows[i].cols[k]] = rows[i].count_estimates[k];
+    }
+  }
+  return out;
+}
+
+SparseVectorPushSum::SparseVectorPushSum(const Graph* graph,
+                                         GossipOptions options)
+    : graph_(graph), options_(options) {
+  assert(graph_ != nullptr);
+  const uint32_t n = graph_->num_nodes();
+  push_counts_.resize(n, 1);
+  if (options_.strategy == PushStrategy::kDifferential) {
+    for (NodeId u = 0; u < n; ++u) {
+      push_counts_[u] = graph_->DifferentialPushCount(u, options_.k_rounding);
+    }
+  }
+}
+
+Result<SparseVectorGossipResult> SparseVectorPushSum::Run(
+    std::vector<SparseVectorRow> init, bool use_count) {
+  const uint32_t n = graph_->num_nodes();
+  if (init.size() != n) {
+    return Status::InvalidArgument("initial state must have N rows");
+  }
+  uint64_t total_nnz = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const SparseVectorRow& row = init[i];
+    if (row.y.size() != row.cols.size() || row.g.size() != row.cols.size() ||
+        row.c.size() != (use_count ? row.cols.size() : 0)) {
+      return Status::InvalidArgument("row " + std::to_string(i) +
+                                     ": value arrays must parallel cols");
+    }
+    for (size_t k = 0; k < row.cols.size(); ++k) {
+      if (row.cols[k] >= n) {
+        return Status::InvalidArgument("row " + std::to_string(i) +
+                                       ": column out of range");
+      }
+      if (k > 0 && row.cols[k] <= row.cols[k - 1]) {
+        return Status::InvalidArgument("row " + std::to_string(i) +
+                                       ": columns must be strictly increasing");
+      }
+    }
+    total_nnz += row.nnz();
+  }
+  if (options_.xi <= 0.0) {
+    return Status::InvalidArgument("xi must be positive");
+  }
+
+  Rng rng(options_.seed);
+  std::vector<SparseVectorRow>& state = init;
+  // Next-step rows for the nodes updated this step. Previous-step rows are
+  // reference-counted and released as soon as their last consumer merged,
+  // so the live footprint stays near one copy of the state, not two.
+  std::vector<SparseVectorRow> next(n);
+  std::vector<uint32_t> refs(n, 0);
+
+  std::vector<std::vector<Contribution>> inbox(n);
+  std::vector<uint32_t> senders(n);
+  std::vector<uint8_t> converged(n, 0), stopped(n, 0);
+  std::vector<uint32_t> streak(n, 0);
+  std::vector<uint64_t> node_sent(n, 0);
+  std::vector<uint32_t> node_active_steps(n, 0);
+
+  const double sentinel = options_.ratio_sentinel;
+
+  SparseVectorGossipResult res;
+  res.peak_state_nonzeros = total_nnz;
+  // One-time degree announcements, needed only when neighbour degrees
+  // feed the differential push count k_i (plain push uses a constant k).
+  if (options_.strategy == PushStrategy::kDifferential) {
+    res.control_messages += graph_->DegreeSum();
+    for (NodeId i = 0; i < n; ++i) node_sent[i] += graph_->Degree(i);
+  }
+
+  uint32_t num_stopped = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    if (graph_->Degree(i) == 0) {
+      converged[i] = 1;
+      stopped[i] = 1;
+      ++num_stopped;
+    }
+  }
+
+  const double threshold = static_cast<double>(n) * options_.xi;
+  std::vector<NodeId> targets;
+  std::vector<MergeCursor> cursors;
+  uint32_t step = 0;
+  while (num_stopped < n && step < options_.max_steps) {
+    ++step;
+    for (auto& box : inbox) box.clear();
+    std::fill(senders.begin(), senders.end(), 0);
+
+    // Push phase: identical RNG draw sequence to the dense engine. Shares
+    // are recorded as (sender, scale) pairs; no vector is copied yet.
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i]) continue;
+      ++node_active_steps[i];
+      const auto& nbrs = graph_->Neighbors(i);
+      const uint32_t deg = static_cast<uint32_t>(nbrs.size());
+      const uint32_t k = std::min(push_counts_[i], deg);
+      const double inv = 1.0 / (static_cast<double>(k) + 1.0);
+
+      targets.clear();
+      if (k == 1) {
+        targets.push_back(nbrs[rng.NextBelow(deg)]);
+      } else {
+        for (uint32_t idx : rng.SampleWithoutReplacement(deg, k)) {
+          targets.push_back(nbrs[idx]);
+        }
+      }
+
+      // Self share starts at 1 and grows by 1 per lost or bounced push.
+      double self_shares = 1.0;
+      for (NodeId t : targets) {
+        ++res.gossip_messages;
+        ++node_sent[i];
+        if (stopped[t] || (options_.packet_loss_prob > 0.0 &&
+                           rng.NextBernoulli(options_.packet_loss_prob))) {
+          self_shares += 1.0;
+          continue;
+        }
+        inbox[t].push_back({i, inv});
+        ++refs[i];
+        ++senders[t];
+      }
+      // Appended while processing sender i, so each inbox keeps strict
+      // sender order — the order the dense engine accumulates in.
+      inbox[i].push_back({i, self_shares * inv});
+      ++refs[i];
+    }
+
+    // Merge phase: k-way sorted-column walk over each node's inbox. Cost
+    // is proportional to the nonzeros contributed, not to N.
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i]) continue;  // frozen; senders bounced instead
+      assert(!inbox[i].empty());
+      cursors.clear();
+      for (const Contribution& con : inbox[i]) {
+        cursors.push_back({&state[con.sender], 0, con.scale, con.sender == i});
+      }
+      SparseVectorRow& merged = next[i];
+
+      double l1_change = 0.0;
+      bool has_weight = false;
+      while (true) {
+        uint32_t jmin = kNoColumn;
+        for (const MergeCursor& cur : cursors) {
+          if (cur.pos < cur.src->cols.size()) {
+            jmin = std::min(jmin, cur.src->cols[cur.pos]);
+          }
+        }
+        if (jmin == kNoColumn) break;
+        double ay = 0.0, ag = 0.0, ac = 0.0;
+        double old_y = 0.0, old_g = 0.0, old_c = 0.0;
+        bool in_old = false;
+        for (MergeCursor& cur : cursors) {
+          if (cur.pos < cur.src->cols.size() &&
+              cur.src->cols[cur.pos] == jmin) {
+            ay += cur.src->y[cur.pos] * cur.scale;
+            ag += cur.src->g[cur.pos] * cur.scale;
+            if (use_count) ac += cur.src->c[cur.pos] * cur.scale;
+            if (cur.is_self) {
+              in_old = true;
+              old_y = cur.src->y[cur.pos];
+              old_g = cur.src->g[cur.pos];
+              if (use_count) old_c = cur.src->c[cur.pos];
+            }
+            ++cur.pos;
+          }
+        }
+        // eq. (7) terms, in the dense engine's exact order (ratio term,
+        // then count term). Columns outside the merged set contribute
+        // exact zeros (sentinel minus sentinel), so skipping them leaves
+        // the L1 sum bit-identical. The previous-step ratio is recomputed
+        // from the kept share's source row — the node's own old state.
+        double r = ag != 0.0 ? ay / ag : sentinel;
+        double prev = (in_old && old_g != 0.0) ? old_y / old_g : sentinel;
+        l1_change += std::fabs(r - prev);
+        if (use_count) {
+          double rc = ag != 0.0 ? ac / ag : sentinel;
+          double prev_c = (in_old && old_g != 0.0) ? old_c / old_g : sentinel;
+          l1_change += std::fabs(rc - prev_c);
+        }
+        if (ag != 0.0) has_weight = true;
+        if (ay != 0.0 || ag != 0.0 || ac != 0.0) {
+          merged.cols.push_back(jmin);
+          merged.y.push_back(ay);
+          merged.g.push_back(ag);
+          if (use_count) merged.c.push_back(ac);
+        }
+      }
+      total_nnz += merged.nnz();
+      res.peak_state_nonzeros = std::max(res.peak_state_nonzeros, total_nnz);
+
+      // Release previous-step rows whose last consumer was this merge.
+      // (Only non-stopped nodes are ever referenced; every non-stopped
+      // node gets its replacement row from `next` below.)
+      for (const Contribution& con : inbox[i]) {
+        if (--refs[con.sender] == 0) {
+          total_nnz -= state[con.sender].nnz();
+          state[con.sender] = SparseVectorRow();
+        }
+      }
+
+      if (!converged[i]) {
+        if (senders[i] >= 1 && has_weight) {
+          streak[i] = l1_change <= threshold ? streak[i] + 1 : 0;
+        }
+        if (streak[i] >= options_.convergence_rounds) {
+          converged[i] = 1;
+          res.control_messages += graph_->Degree(i);
+          node_sent[i] += graph_->Degree(i);
+        }
+      }
+    }
+
+    // Install the merged rows as the new state.
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i]) continue;
+      assert(state[i].nnz() == 0);
+      state[i] = std::move(next[i]);
+      next[i] = SparseVectorRow();
+    }
+
+    // Force-converge nodes that can never hear from anybody again.
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i] || converged[i] || graph_->Degree(i) == 0) continue;
+      bool all_stopped = true;
+      for (NodeId v : graph_->Neighbors(i)) {
+        if (!stopped[v]) {
+          all_stopped = false;
+          break;
+        }
+      }
+      if (all_stopped) {
+        converged[i] = 1;
+        res.control_messages += graph_->Degree(i);
+        node_sent[i] += graph_->Degree(i);
+      }
+    }
+
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i] || !converged[i]) continue;
+      bool all = true;
+      for (NodeId v : graph_->Neighbors(i)) {
+        if (!converged[v]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        stopped[i] = 1;
+        ++num_stopped;
+      }
+    }
+  }
+
+  res.steps = step;
+  res.converged = (num_stopped == n);
+  double per_step_sum = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    per_step_sum += static_cast<double>(node_sent[i]) /
+                    static_cast<double>(std::max(node_active_steps[i], 1u));
+  }
+  res.mean_messages_per_active_node_step =
+      n > 0 ? per_step_sum / static_cast<double>(n) : 0.0;
+
+  res.rows.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SparseVectorRow& row = state[i];
+    SparseVectorGossipResult::Row& out = res.rows[i];
+    size_t kept = 0;
+    for (size_t k = 0; k < row.cols.size(); ++k) {
+      if (row.g[k] != 0.0) ++kept;
+    }
+    out.cols.reserve(kept);
+    out.estimates.reserve(kept);
+    if (use_count) out.count_estimates.reserve(kept);
+    for (size_t k = 0; k < row.cols.size(); ++k) {
+      if (row.g[k] == 0.0) continue;  // sentinel, i.e. absent
+      out.cols.push_back(row.cols[k]);
+      out.estimates.push_back(row.y[k] / row.g[k]);
+      if (use_count) out.count_estimates.push_back(row.c[k] / row.g[k]);
+    }
+    // Release the state row eagerly so peak memory is one state row plus
+    // the accumulated result, not both in full.
+    row = SparseVectorRow();
+  }
+  return res;
+}
+
+}  // namespace dgt

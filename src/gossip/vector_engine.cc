@@ -73,8 +73,12 @@ Result<VectorGossipResult> VectorPushSum::Run(
   }
 
   VectorGossipResult res;
-  res.control_messages += graph_->DegreeSum();  // degree announcements
-  for (NodeId i = 0; i < n; ++i) node_sent[i] += graph_->Degree(i);
+  // One-time degree announcements, needed only when neighbour degrees
+  // feed the differential push count k_i (plain push uses a constant k).
+  if (options_.strategy == PushStrategy::kDifferential) {
+    res.control_messages += graph_->DegreeSum();
+    for (NodeId i = 0; i < n; ++i) node_sent[i] += graph_->Degree(i);
+  }
 
   uint32_t num_stopped = 0;
   for (NodeId i = 0; i < n; ++i) {
@@ -229,10 +233,7 @@ Result<VectorGossipResult> VectorPushSum::Run(
     const size_t row = static_cast<size_t>(i) * n;
     for (uint32_t j = 0; j < n; ++j) {
       res.estimates[i][j] = ratio(row + j);
-      if (use_count) {
-        res.count_estimates[i][j] =
-            g[row + j] != 0.0 ? c[row + j] / g[row + j] : 0.0;
-      }
+      if (use_count) res.count_estimates[i][j] = count_ratio(row + j);
     }
   }
   return res;

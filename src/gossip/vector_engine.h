@@ -29,6 +29,8 @@ struct VectorGossipResult {
   std::vector<std::vector<double>> estimates;
   // count_estimates[i][j]: count_ij/g_ij — converges to the number of
   // nodes that held an opinion about j (when the count channel is used).
+  // Like estimates, holds options.ratio_sentinel where g_ij == 0; the
+  // aggregation layer maps the sentinel to "no information".
   std::vector<std::vector<double>> count_estimates;
 
   uint32_t steps = 0;

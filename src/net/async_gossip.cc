@@ -73,8 +73,10 @@ Result<AsyncGossipResult> AsyncPushSum::Run(const std::vector<double>& y0,
   uint32_t num_stopped = 0;
   double last_stop_time = 0.0;
 
-  // Degree announcements (k_i needs neighbours' degrees).
-  res.control_messages += graph_->DegreeSum();
+  // Degree announcements (only differential k_i needs neighbour degrees).
+  if (options_.strategy == PushStrategy::kDifferential) {
+    res.control_messages += graph_->DegreeSum();
+  }
 
   for (NodeId i = 0; i < n; ++i) {
     if (graph_->Degree(i) == 0) {

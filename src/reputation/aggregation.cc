@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "gossip/scalar_engine.h"
+#include "gossip/sparse_vector_engine.h"
 #include "gossip/vector_engine.h"
 
 namespace dgt {
@@ -31,6 +33,46 @@ GossipRunStats StatsFromScalar(const GossipResult& r) {
 GossipRunStats StatsFromVector(const VectorGossipResult& r) {
   return {r.steps, r.converged, r.gossip_messages, r.control_messages,
           r.mean_messages_per_active_node_step};
+}
+
+GossipRunStats StatsFromSparse(const SparseVectorGossipResult& r) {
+  return {r.steps,           r.converged,
+          r.gossip_messages, r.control_messages,
+          r.mean_messages_per_active_node_step, r.peak_state_nonzeros};
+}
+
+// All trust rows as sorted (column, t) pairs — the deterministic sparse
+// iteration both vector engines' seeding and the yhat accumulation use,
+// so the two engine paths are float-for-float identical.
+std::vector<std::vector<std::pair<NodeId, double>>> AllSortedRows(
+    const TrustMatrix& trust) {
+  std::vector<std::vector<std::pair<NodeId, double>>> rows;
+  rows.reserve(trust.num_nodes());
+  for (NodeId i = 0; i < trust.num_nodes(); ++i) {
+    rows.push_back(trust.SortedRow(i));
+  }
+  return rows;
+}
+
+// yhat_row[j] for observer i (see BuildNeighborhoodWeighting), accumulated
+// sparsely over the rated nodes' opinion rows in ascending node order:
+// O(|rated_i| * |row|) per observer, engine-independent.
+void FillYhatRow(
+    const std::vector<std::vector<std::pair<NodeId, double>>>& sorted_rows,
+    const WeightTable& table, std::vector<double>* yhat_row) {
+  std::fill(yhat_row->begin(), yhat_row->end(), 0.0);
+  std::vector<std::pair<NodeId, double>> weights(table.entries().begin(),
+                                                 table.entries().end());
+  std::sort(weights.begin(), weights.end(),
+            [](const std::pair<NodeId, double>& a,
+               const std::pair<NodeId, double>& b) {
+              return a.first < b.first;
+            });
+  for (const auto& [k, w] : weights) {
+    const double excess = w - 1.0;
+    if (excess == 0.0) continue;
+    for (const auto& [j, t] : sorted_rows[k]) (*yhat_row)[j] += excess * t;
+  }
 }
 
 // yhat_I(j) = sum over I's neighbours k of (w_Ik - 1) * t_kj, and the
@@ -155,29 +197,93 @@ Result<VectorAggregationResult> AggregateGlobalVector(
     const AggregationOptions& options) {
   DGT_RETURN_IF_ERROR(ValidateInputs(graph, trust));
   const uint32_t n = graph.num_nodes();
-
-  std::vector<std::vector<double>> y0(n, std::vector<double>(n, 0.0));
-  std::vector<std::vector<double>> g0(n, std::vector<double>(n, 0.0));
-  for (NodeId i = 0; i < n; ++i) {
-    for (const auto& [j, t] : trust.Row(i)) {
-      y0[i][j] = t;
-      g0[i][j] = 1.0;
-    }
-  }
-
-  VectorPushSum engine(&graph, options.gossip);
-  DGT_ASSIGN_OR_RETURN(VectorGossipResult run, engine.Run(y0, g0));
-
   VectorAggregationResult out;
-  out.estimates = std::move(run.estimates);
-  // Sentinel entries (no weight received) -> 0.
-  for (auto& row : out.estimates) {
-    for (auto& v : row) {
-      if (v == options.gossip.ratio_sentinel) v = 0.0;
+
+  if (options.engine == VectorGossipEngine::kDense) {
+    std::vector<std::vector<double>> y0(n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> g0(n, std::vector<double>(n, 0.0));
+    for (NodeId i = 0; i < n; ++i) {
+      for (const auto& [j, t] : trust.Row(i)) {
+        y0[i][j] = t;
+        g0[i][j] = 1.0;
+      }
+    }
+    VectorPushSum engine(&graph, options.gossip);
+    DGT_ASSIGN_OR_RETURN(VectorGossipResult run, engine.Run(y0, g0));
+    out.estimates = std::move(run.estimates);
+    // Sentinel entries (no weight received) -> 0.
+    for (auto& row : out.estimates) {
+      for (auto& v : row) {
+        if (v == options.gossip.ratio_sentinel) v = 0.0;
+      }
+    }
+    out.stats = StatsFromVector(run);
+    return out;
+  }
+
+  std::vector<SparseVectorRow> init(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const auto row = trust.SortedRow(i);
+    init[i].cols.reserve(row.size());
+    init[i].y.reserve(row.size());
+    init[i].g.reserve(row.size());
+    for (const auto& [j, t] : row) {
+      init[i].cols.push_back(j);
+      init[i].y.push_back(t);
+      init[i].g.push_back(1.0);
     }
   }
-  out.stats = StatsFromVector(run);
+  SparseVectorPushSum engine(&graph, options.gossip);
+  DGT_ASSIGN_OR_RETURN(SparseVectorGossipResult run,
+                       engine.Run(std::move(init), /*use_count=*/false));
+  out.estimates.assign(n, std::vector<double>(n, 0.0));
+  for (NodeId i = 0; i < n; ++i) {
+    const auto& row = run.rows[i];
+    for (size_t k = 0; k < row.cols.size(); ++k) {
+      // Mirror the dense path's sentinel -> 0 mapping exactly.
+      if (row.estimates[k] == options.gossip.ratio_sentinel) continue;
+      out.estimates[i][row.cols[k]] = row.estimates[k];
+    }
+  }
+  out.stats = StatsFromSparse(run);
   return out;
+}
+
+std::vector<SparseVectorRow> BuildGclrSparseInit(const TrustMatrix& trust) {
+  const uint32_t n = trust.num_nodes();
+  std::vector<SparseVectorRow> init(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const auto row = trust.SortedRow(i);
+    SparseVectorRow& r = init[i];
+    r.cols.reserve(row.size() + 1);
+    r.y.reserve(row.size() + 1);
+    r.g.reserve(row.size() + 1);
+    r.c.reserve(row.size() + 1);
+    bool diagonal_placed = false;
+    // For target j, node j itself holds the one-hot gossip weight; merge
+    // that diagonal entry into i's sorted opinion row (t_ii cannot exist,
+    // so the merge never collides).
+    for (const auto& [j, t] : row) {
+      if (!diagonal_placed && i < j) {
+        r.cols.push_back(i);
+        r.y.push_back(0.0);
+        r.g.push_back(1.0);
+        r.c.push_back(0.0);
+        diagonal_placed = true;
+      }
+      r.cols.push_back(j);
+      r.y.push_back(t);
+      r.g.push_back(0.0);
+      r.c.push_back(1.0);
+    }
+    if (!diagonal_placed) {
+      r.cols.push_back(i);
+      r.y.push_back(0.0);
+      r.g.push_back(1.0);
+      r.c.push_back(0.0);
+    }
+  }
+  return init;
 }
 
 Result<VectorAggregationResult> AggregateGclrVector(
@@ -186,23 +292,9 @@ Result<VectorAggregationResult> AggregateGclrVector(
   DGT_RETURN_IF_ERROR(ValidateInputs(graph, trust));
   const uint32_t n = graph.num_nodes();
 
-  std::vector<std::vector<double>> y0(n, std::vector<double>(n, 0.0));
-  std::vector<std::vector<double>> g0(n, std::vector<double>(n, 0.0));
-  std::vector<std::vector<double>> c0(n, std::vector<double>(n, 0.0));
-  for (NodeId i = 0; i < n; ++i) {
-    for (const auto& [j, t] : trust.Row(i)) {
-      y0[i][j] = t;
-      c0[i][j] = 1.0;
-    }
-    // For target j, node j itself holds the one-hot gossip weight.
-    g0[i][i] = 1.0;
-  }
-
   DGT_ASSIGN_OR_RETURN(std::vector<WeightTable> tables,
                        BuildAllWeightTables(trust, options.weights));
-
-  VectorPushSum engine(&graph, options.gossip);
-  DGT_ASSIGN_OR_RETURN(VectorGossipResult run, engine.Run(y0, g0, c0));
+  const auto sorted_rows = AllSortedRows(trust);
 
   VectorAggregationResult out;
   out.estimates.assign(n, std::vector<double>(n, 0.0));
@@ -210,26 +302,61 @@ Result<VectorAggregationResult> AggregateGclrVector(
   // nodes' opinion rows (the observer's interaction set; everyone else
   // has weight exactly 1): O(sum_i |rated_i| * |row|).
   std::vector<double> yhat_row(n);
-  for (NodeId i = 0; i < n; ++i) {
-    const double excess_den = tables[i].TotalExcessWeight();
-    std::fill(yhat_row.begin(), yhat_row.end(), 0.0);
-    for (const auto& [k, w] : tables[i].entries()) {
-      const double excess = w - 1.0;
-      if (excess == 0.0) continue;
-      for (const auto& [j, t] : trust.Row(k)) yhat_row[j] += excess * t;
+  // Observer i's output for target j from the gossiped (est, count_est).
+  auto assemble = [&](NodeId i, NodeId j, double excess_den, double est,
+                      double count_channel) {
+    double count_est = options.denominator == DenominatorMode::kAllNodes
+                           ? static_cast<double>(n)
+                           : count_channel;
+    double denominator = excess_den + count_est;
+    if (denominator <= 0.0) return;
+    out.estimates[i][j] = (yhat_row[j] + est) / denominator;
+  };
+
+  if (options.engine == VectorGossipEngine::kDense) {
+    std::vector<std::vector<double>> y0(n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> g0(n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> c0(n, std::vector<double>(n, 0.0));
+    for (NodeId i = 0; i < n; ++i) {
+      for (const auto& [j, t] : trust.Row(i)) {
+        y0[i][j] = t;
+        c0[i][j] = 1.0;
+      }
+      // For target j, node j itself holds the one-hot gossip weight.
+      g0[i][i] = 1.0;
     }
-    for (NodeId j = 0; j < n; ++j) {
-      double est = run.estimates[i][j];
+    VectorPushSum engine(&graph, options.gossip);
+    DGT_ASSIGN_OR_RETURN(VectorGossipResult run, engine.Run(y0, g0, c0));
+    for (NodeId i = 0; i < n; ++i) {
+      FillYhatRow(sorted_rows, tables[i], &yhat_row);
+      const double excess_den = tables[i].TotalExcessWeight();
+      for (NodeId j = 0; j < n; ++j) {
+        double est = run.estimates[i][j];
+        if (est == options.gossip.ratio_sentinel) continue;
+        assemble(i, j, excess_den, est, run.count_estimates[i][j]);
+      }
+    }
+    out.stats = StatsFromVector(run);
+    // Pre-round feedback vectors: one per edge direction.
+    out.stats.control_messages += graph.DegreeSum();
+    return out;
+  }
+
+  std::vector<SparseVectorRow> init = BuildGclrSparseInit(trust);
+  SparseVectorPushSum engine(&graph, options.gossip);
+  DGT_ASSIGN_OR_RETURN(SparseVectorGossipResult run,
+                       engine.Run(std::move(init), /*use_count=*/true));
+  for (NodeId i = 0; i < n; ++i) {
+    FillYhatRow(sorted_rows, tables[i], &yhat_row);
+    const double excess_den = tables[i].TotalExcessWeight();
+    const auto& row = run.rows[i];
+    for (size_t k = 0; k < row.cols.size(); ++k) {
+      double est = row.estimates[k];
       if (est == options.gossip.ratio_sentinel) continue;
-      double count_est = options.denominator == DenominatorMode::kAllNodes
-                             ? static_cast<double>(n)
-                             : run.count_estimates[i][j];
-      double denominator = excess_den + count_est;
-      if (denominator <= 0.0) continue;
-      out.estimates[i][j] = (yhat_row[j] + est) / denominator;
+      assemble(i, row.cols[k], excess_den, est, row.count_estimates[k]);
     }
   }
-  out.stats = StatsFromVector(run);
+  out.stats = StatsFromSparse(run);
   // Pre-round feedback vectors: one per edge direction.
   out.stats.control_messages += graph.DegreeSum();
   return out;

@@ -20,6 +20,7 @@
 
 #include "common/result.h"
 #include "gossip/options.h"
+#include "gossip/sparse_vector_engine.h"
 #include "graph/graph.h"
 #include "reputation/reference.h"
 #include "trust/trust_matrix.h"
@@ -27,8 +28,24 @@
 
 namespace dgt {
 
+// Which machinery runs the vector variants (3 and 4). Both produce
+// bit-for-bit identical estimates, step counts, and message counts for
+// the same options (see tests/gossip/sparse_vector_engine_test.cc).
+enum class VectorGossipEngine {
+  // SparseVectorPushSum: per-node state sized by its live nonzeros; the
+  // per-step cost follows the nonzeros pushed. The only engine that
+  // reaches large N (the dense one needs six N x N arrays — ~120 GB at
+  // the paper's N = 50,000).
+  kSparse,
+  // Dense VectorPushSum, kept for small-N cross-validation.
+  kDense,
+};
+
 struct AggregationOptions {
   GossipOptions gossip;
+
+  // Engine for AggregateGlobalVector / AggregateGclrVector.
+  VectorGossipEngine engine = VectorGossipEngine::kSparse;
 
   // Denominator population for GCLR (see reference.h). kOpinators matches
   // the algorithm boxes (the gossiped count channel).
@@ -52,6 +69,9 @@ struct GossipRunStats {
   uint64_t control_messages = 0;
   // See GossipResult::mean_messages_per_active_node_step.
   double mean_messages_per_active_node_step = 0.0;
+  // Peak live nonzeros of the engine's state (sparse vector engine only;
+  // 0 for the scalar and dense engines). The large-N benches report it.
+  uint64_t peak_state_nonzeros = 0;
 
   double MessagesPerNodePerStep(uint32_t num_nodes) const {
     if (num_nodes == 0 || steps == 0) return 0.0;
@@ -95,6 +115,12 @@ Result<VectorAggregationResult> AggregateGlobalVector(
 Result<VectorAggregationResult> AggregateGclrVector(
     const Graph& graph, const TrustMatrix& trust,
     const AggregationOptions& options);
+
+// Variant 4's initial gossip state for the sparse engine: node i's sorted
+// opinion row (y = t_ij, count = 1) with the one-hot weight g = 1 merged
+// in at the diagonal. Used by AggregateGclrVector's sparse path; exposed
+// so benchmarks and tests seed the engine exactly like production.
+std::vector<SparseVectorRow> BuildGclrSparseInit(const TrustMatrix& trust);
 
 }  // namespace dgt
 

@@ -19,9 +19,24 @@ Status ReputationSystem::RunRound() {
     return Status::FailedPrecondition("graph/trust node count mismatch");
   }
 
+  // Retraction rule: an opinion that was announced but has since been
+  // erased from the trust matrix must not be treated as still-announced
+  // forever; drop the stale entry and charge the retraction push.
+  last_feedback_pushes_ = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    for (auto it = last_pushed_[i].begin(); it != last_pushed_[i].end();) {
+      if (!trust_->HasOpinion(i, it->first)) {
+        ++last_feedback_pushes_;
+        feedback_messages_ += graph_->Degree(i);
+        it = last_pushed_[i].erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   // Delta rule: count feedback entries that must be (re-)announced. Each
   // such entry costs one message per neighbour of the announcing node.
-  last_feedback_pushes_ = 0;
   for (NodeId i = 0; i < n; ++i) {
     for (const auto& [j, t] : trust_->Row(i)) {
       auto it = last_pushed_[i].find(j);

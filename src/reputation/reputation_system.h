@@ -54,8 +54,9 @@ class ReputationSystem {
   // Feedback-push messages incurred by the Delta rule across all rounds.
   uint64_t feedback_push_messages() const { return feedback_messages_; }
 
-  // Number of (node, target) feedbacks whose change exceeded Delta at the
-  // last round boundary (diagnostic for tuning Delta).
+  // Number of (node, target) feedbacks announced at the last round
+  // boundary — changes exceeding Delta plus retractions of erased
+  // opinions (diagnostic for tuning Delta).
   uint64_t last_round_feedback_pushes() const { return last_feedback_pushes_; }
 
  private:

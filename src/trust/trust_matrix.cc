@@ -1,6 +1,8 @@
 #include "trust/trust_matrix.h"
 
+#include <algorithm>
 #include <string>
+#include <utility>
 
 namespace dgt {
 
@@ -50,6 +52,18 @@ double TrustMatrix::ColumnSum(NodeId j) const {
     if (it != row.end()) sum += it->second;
   }
   return sum;
+}
+
+std::vector<std::pair<NodeId, double>> TrustMatrix::SortedRow(NodeId i) const {
+  std::vector<std::pair<NodeId, double>> row;
+  if (i >= num_nodes()) return row;
+  row.assign(rows_[i].begin(), rows_[i].end());
+  std::sort(row.begin(), row.end(),
+            [](const std::pair<NodeId, double>& a,
+               const std::pair<NodeId, double>& b) {
+              return a.first < b.first;
+            });
+  return row;
 }
 
 uint64_t TrustMatrix::TotalOpinions() const {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -45,6 +46,17 @@ class TrustMatrix {
   // All (j, t_ij) opinions held by node i.
   const std::unordered_map<NodeId, double>& Row(NodeId i) const {
     return rows_[i];
+  }
+
+  // Row i's opinions as (column, t_ij) pairs sorted by column — the
+  // deterministic sparse iteration used to seed the sparse gossip engine
+  // and to accumulate weighted sums reproducibly (Row()'s order is
+  // hash-dependent).
+  std::vector<std::pair<NodeId, double>> SortedRow(NodeId i) const;
+
+  // Number of opinions node i holds (the nonzeros of row i).
+  uint32_t RowNnz(NodeId i) const {
+    return static_cast<uint32_t>(rows_[i].size());
   }
 
   uint64_t TotalOpinions() const;

@@ -298,6 +298,28 @@ TEST(ScalarEngineTest, MessageCountersPopulated) {
   EXPECT_GT(r->MessagesPerNodePerStep(100), 0.0);
 }
 
+TEST(ScalarEngineTest, UniformPushChargesNoDegreeAnnouncements) {
+  // Regression: the one-time degree announcements were charged even
+  // under plain push, where k_i is constant and no degrees are needed;
+  // that inflated the plain-push comparator in Table 2.
+  Graph g = MakePaGraph(100);
+  auto y0 = RandomValues(100, 16);
+  std::vector<double> g0(100, 1.0);
+  ScalarPushSum unif(&g, Opts(PushStrategy::kUniform, 1e-6));
+  auto ur = unif.Run(y0, g0);
+  ASSERT_TRUE(ur.ok());
+  ASSERT_TRUE(ur->converged);
+  // Convergence announcements only: each node announces exactly once.
+  EXPECT_EQ(ur->control_messages, g.DegreeSum());
+
+  ScalarPushSum diff(&g, Opts(PushStrategy::kDifferential, 1e-6));
+  auto dr = diff.Run(y0, g0);
+  ASSERT_TRUE(dr.ok());
+  ASSERT_TRUE(dr->converged);
+  // Differential push still pays the degree-announcement round.
+  EXPECT_EQ(dr->control_messages, 2 * g.DegreeSum());
+}
+
 // Convergence quality across strategy / topology / loss sweeps.
 class ScalarSweepTest
     : public ::testing::TestWithParam<std::tuple<PushStrategy, double>> {};

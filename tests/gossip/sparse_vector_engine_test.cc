@@ -1,0 +1,281 @@
+#include "gossip/sparse_vector_engine.h"
+
+#include <tuple>
+#include <vector>
+
+#include "gossip/vector_engine.h"
+#include "graph/graph.h"
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using testing_util::MakePaGraph;
+
+GossipOptions Opts(double xi = 1e-8, uint64_t seed = 3) {
+  GossipOptions o;
+  o.strategy = PushStrategy::kDifferential;
+  o.xi = xi;
+  o.seed = seed;
+  return o;
+}
+
+std::vector<std::vector<double>> Matrix(uint32_t n, double fill) {
+  return std::vector<std::vector<double>>(n, std::vector<double>(n, fill));
+}
+
+// Sparse rows equivalent to dense row-major matrices (zeros dropped).
+std::vector<SparseVectorRow> FromDense(
+    const std::vector<std::vector<double>>& y0,
+    const std::vector<std::vector<double>>& g0,
+    const std::vector<std::vector<double>>& c0 = {}) {
+  const uint32_t n = static_cast<uint32_t>(y0.size());
+  std::vector<SparseVectorRow> rows(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      const double c = c0.empty() ? 0.0 : c0[i][j];
+      if (y0[i][j] == 0.0 && g0[i][j] == 0.0 && c == 0.0) continue;
+      rows[i].cols.push_back(j);
+      rows[i].y.push_back(y0[i][j]);
+      rows[i].g.push_back(g0[i][j]);
+      if (!c0.empty()) rows[i].c.push_back(c);
+    }
+  }
+  return rows;
+}
+
+TEST(SparseVectorEngineTest, RejectsBadInput) {
+  Graph g = MakePaGraph(10);
+  SparseVectorPushSum engine(&g, Opts());
+  // Wrong row count.
+  EXPECT_FALSE(engine.Run(std::vector<SparseVectorRow>(9), false).ok());
+  // Value arrays not parallel to cols.
+  std::vector<SparseVectorRow> rows(10);
+  rows[0].cols = {1};
+  rows[0].y = {0.5};
+  EXPECT_FALSE(engine.Run(rows, false).ok());
+  rows[0].g = {1.0};
+  EXPECT_TRUE(engine.Run(rows, false).ok());
+  // Count channel demanded but not provided.
+  EXPECT_FALSE(engine.Run(rows, true).ok());
+  // Count channel provided but not demanded.
+  rows[0].c = {1.0};
+  EXPECT_FALSE(engine.Run(rows, false).ok());
+  rows[0].c.clear();
+  // Out-of-range column.
+  rows[3].cols = {10};
+  rows[3].y = {0.1};
+  rows[3].g = {1.0};
+  EXPECT_FALSE(engine.Run(rows, false).ok());
+  // Unsorted / duplicate columns.
+  rows[3].cols = {4, 2};
+  rows[3].y = {0.1, 0.2};
+  rows[3].g = {1.0, 1.0};
+  EXPECT_FALSE(engine.Run(rows, false).ok());
+  rows[3].cols = {2, 2};
+  EXPECT_FALSE(engine.Run(rows, false).ok());
+  rows[3].cols = {2, 4};
+  EXPECT_TRUE(engine.Run(rows, false).ok());
+  // xi must be positive.
+  GossipOptions bad = Opts();
+  bad.xi = 0.0;
+  SparseVectorPushSum bad_engine(&g, bad);
+  EXPECT_FALSE(bad_engine.Run(std::vector<SparseVectorRow>(10), false).ok());
+}
+
+// The load-bearing guarantee: for the same options and initial state the
+// sparse engine reproduces the dense engine bit for bit — estimates, step
+// count, message counts, and the Table 2 metric. Swept over network size,
+// push strategy, packet loss, and the count channel.
+using EquivalenceParam = std::tuple<uint32_t, PushStrategy, double, bool>;
+
+class SparseDenseEquivalence
+    : public ::testing::TestWithParam<EquivalenceParam> {};
+
+TEST_P(SparseDenseEquivalence, BitForBitIdenticalToDenseEngine) {
+  auto [n, strategy, loss, use_count] = GetParam();
+  Graph g = MakePaGraph(n, 2, 21 + n);
+
+  // GCLR-shaped state: sparse opinions (y, count) plus a one-hot weight
+  // on the diagonal — the hardest case, exercising all three channels.
+  auto y0 = Matrix(n, 0.0);
+  auto g0 = Matrix(n, 0.0);
+  auto c0 = Matrix(n, 0.0);
+  Rng rng(91 + n);
+  for (uint32_t i = 0; i < n; ++i) {
+    g0[i][i] = 1.0;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (i != j && rng.NextBernoulli(0.2)) {
+        y0[i][j] = rng.NextDouble();
+        c0[i][j] = 1.0;
+      }
+    }
+  }
+
+  GossipOptions o = Opts(1e-6, 7);
+  o.strategy = strategy;
+  o.packet_loss_prob = loss;
+
+  VectorPushSum dense(&g, o);
+  SparseVectorPushSum sparse(&g, o);
+  auto rd = use_count ? dense.Run(y0, g0, c0) : dense.Run(y0, g0);
+  auto rs = sparse.Run(
+      use_count ? FromDense(y0, g0, c0) : FromDense(y0, g0), use_count);
+  ASSERT_TRUE(rd.ok()) << rd.status().ToString();
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+
+  EXPECT_EQ(rd->steps, rs->steps);
+  EXPECT_EQ(rd->converged, rs->converged);
+  EXPECT_EQ(rd->gossip_messages, rs->gossip_messages);
+  EXPECT_EQ(rd->control_messages, rs->control_messages);
+  EXPECT_EQ(rd->mean_messages_per_active_node_step,
+            rs->mean_messages_per_active_node_step);
+  EXPECT_EQ(rd->estimates, rs->DenseEstimates(o.ratio_sentinel));
+  if (use_count) {
+    EXPECT_EQ(rd->count_estimates,
+              rs->DenseCountEstimates(o.ratio_sentinel));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesStrategiesLossChannels, SparseDenseEquivalence,
+    ::testing::Combine(::testing::Values(16u, 33u, 64u),
+                       ::testing::Values(PushStrategy::kDifferential,
+                                         PushStrategy::kUniform),
+                       ::testing::Values(0.0, 0.2),
+                       ::testing::Values(false, true)),
+    [](const ::testing::TestParamInfo<EquivalenceParam>& info) {
+      std::string name = "N" + std::to_string(std::get<0>(info.param));
+      name += std::get<1>(info.param) == PushStrategy::kDifferential
+                  ? "Diff"
+                  : "Unif";
+      name += std::get<2>(info.param) == 0.0 ? "NoLoss" : "Loss20";
+      name += std::get<3>(info.param) ? "Count" : "NoCount";
+      return name;
+    });
+
+TEST(SparseVectorEngineTest, AllColumnsConvergeToColumnAverages) {
+  const uint32_t n = 40;
+  Graph g = MakePaGraph(n);
+  auto y0 = Matrix(n, 0.0);
+  auto g0 = Matrix(n, 1.0);
+  Rng rng(5);
+  std::vector<double> truth(n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      y0[i][j] = rng.NextDouble();
+      truth[j] += y0[i][j];
+    }
+  }
+  for (auto& t : truth) t /= n;
+
+  SparseVectorPushSum engine(&g, Opts(1e-9));
+  auto r = engine.Run(FromDense(y0, g0), false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  auto est = r->DenseEstimates(Opts().ratio_sentinel);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(est[i][j], truth[j], 5e-3)
+          << "node " << i << " target " << j;
+    }
+  }
+}
+
+TEST(SparseVectorEngineTest, SentinelForUnreachedWeight) {
+  // Disconnected pair: nodes 2 and 3 form their own component with no
+  // weight for column 0 -> absent from their result rows, sentinel when
+  // densified (count channel included — the count sentinel regression).
+  auto g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  auto y0 = Matrix(4, 0.0);
+  auto g0 = Matrix(4, 0.0);
+  auto c0 = Matrix(4, 0.0);
+  g0[0][0] = 1.0;
+  y0[0][0] = 0.8;
+  c0[0][0] = 1.0;
+  GossipOptions o = Opts(1e-9);
+  SparseVectorPushSum engine(&*g, o);
+  auto r = engine.Run(FromDense(y0, g0, c0), true);
+  ASSERT_TRUE(r.ok());
+  auto est = r->DenseEstimates(o.ratio_sentinel);
+  auto cnt = r->DenseCountEstimates(o.ratio_sentinel);
+  EXPECT_EQ(est[2][0], o.ratio_sentinel);
+  EXPECT_EQ(est[3][0], o.ratio_sentinel);
+  EXPECT_EQ(cnt[2][0], o.ratio_sentinel);
+  EXPECT_EQ(cnt[3][0], o.ratio_sentinel);
+  EXPECT_NEAR(est[0][0], 0.8, 1e-6);
+  EXPECT_NEAR(est[1][0], 0.8, 1e-6);
+}
+
+TEST(SparseVectorEngineTest, DeterministicAcrossRuns) {
+  const uint32_t n = 20;
+  Graph g = MakePaGraph(n, 2, 14);
+  auto y0 = Matrix(n, 0.5);
+  auto g0 = Matrix(n, 1.0);
+  SparseVectorPushSum a(&g, Opts()), b(&g, Opts());
+  auto ra = a.Run(FromDense(y0, g0), false);
+  auto rb = b.Run(FromDense(y0, g0), false);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->steps, rb->steps);
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ra->rows[i].cols, rb->rows[i].cols);
+    EXPECT_EQ(ra->rows[i].estimates, rb->rows[i].estimates);
+  }
+}
+
+TEST(SparseVectorEngineTest, MaxStepsCap) {
+  const uint32_t n = 50;
+  Graph g = MakePaGraph(n, 2, 15);
+  auto y0 = Matrix(n, 0.1);
+  auto g0 = Matrix(n, 1.0);
+  GossipOptions o = Opts(1e-15);
+  o.max_steps = 3;
+  SparseVectorPushSum engine(&g, o);
+  auto r = engine.Run(FromDense(y0, g0), false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->steps, 3u);
+  EXPECT_FALSE(r->converged);
+}
+
+TEST(SparseVectorEngineTest, UniformPushChargesNoDegreeAnnouncements) {
+  const uint32_t n = 60;
+  Graph g = MakePaGraph(n, 2, 17);
+  auto y0 = Matrix(n, 0.3);
+  auto g0 = Matrix(n, 1.0);
+  GossipOptions o = Opts(1e-6);
+  o.strategy = PushStrategy::kUniform;
+  SparseVectorPushSum engine(&g, o);
+  auto r = engine.Run(FromDense(y0, g0), false);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->converged);
+  // Every node announces convergence once (degree messages); there is no
+  // degree-announcement round because plain push never uses degrees.
+  EXPECT_EQ(r->control_messages, g.DegreeSum());
+}
+
+TEST(SparseVectorEngineTest, EarlyStateStaysProportionalToNonzeros) {
+  // One opinion per node: after s steps a row can only contain columns
+  // from its s-hop senders, so a capped run keeps the live state far
+  // smaller than N x N. This is the memory property the dense engine
+  // lacks by construction.
+  const uint32_t n = 64;
+  Graph g = MakePaGraph(n, 2, 18);
+  std::vector<SparseVectorRow> init(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    init[i].cols = {(i + 1) % n};
+    init[i].y = {0.5};
+    init[i].g = {1.0};
+  }
+  GossipOptions o = Opts(1e-12);
+  o.max_steps = 2;
+  SparseVectorPushSum engine(&g, o);
+  auto r = engine.Run(std::move(init), false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->peak_state_nonzeros, 0u);
+  EXPECT_LT(r->peak_state_nonzeros, static_cast<uint64_t>(n) * n / 4);
+}
+
+}  // namespace
+}  // namespace dgt

@@ -201,6 +201,53 @@ TEST(VectorEngineTest, StatsPopulated) {
   EXPECT_GT(r->mean_messages_per_active_node_step, 0.5);
 }
 
+TEST(VectorEngineTest, CountChannelReportsSentinelWhereNoWeight) {
+  // Regression: count_estimates used a hard-coded 0.0 fallback where
+  // g == 0 while estimates used the sentinel; both must report the
+  // sentinel and let the aggregation layer map it to "no information".
+  auto g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  auto y0 = Matrix(4, 0.0);
+  auto g0 = Matrix(4, 0.0);
+  auto c0 = Matrix(4, 0.0);
+  g0[0][0] = 1.0;
+  y0[0][0] = 0.8;
+  c0[0][0] = 1.0;
+  GossipOptions o = Opts(1e-9);
+  VectorPushSum engine(&*g, o);
+  auto r = engine.Run(y0, g0, c0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->estimates[2][0], o.ratio_sentinel);
+  EXPECT_EQ(r->count_estimates[2][0], o.ratio_sentinel);
+  EXPECT_EQ(r->count_estimates[3][0], o.ratio_sentinel);
+  EXPECT_NEAR(r->count_estimates[0][0], 1.0, 1e-6);
+}
+
+TEST(VectorEngineTest, UniformPushChargesNoDegreeAnnouncements) {
+  // Regression: the one-time degree announcements were charged even
+  // under plain push, where k_i is constant and no degrees are needed;
+  // that inflated the plain-push comparator in Table 2.
+  const uint32_t n = 40;
+  Graph g = MakePaGraph(n, 2, 19);
+  auto y0 = Matrix(n, 0.2);
+  auto g0 = Matrix(n, 1.0);
+  GossipOptions unif = Opts(1e-6);
+  unif.strategy = PushStrategy::kUniform;
+  VectorPushSum ue(&g, unif);
+  auto ur = ue.Run(y0, g0);
+  ASSERT_TRUE(ur.ok());
+  ASSERT_TRUE(ur->converged);
+  // Convergence announcements only: each node announces exactly once.
+  EXPECT_EQ(ur->control_messages, g.DegreeSum());
+
+  VectorPushSum de(&g, Opts(1e-6));
+  auto dr = de.Run(y0, g0);
+  ASSERT_TRUE(dr.ok());
+  ASSERT_TRUE(dr->converged);
+  // Differential push still pays the degree-announcement round.
+  EXPECT_EQ(dr->control_messages, 2 * g.DegreeSum());
+}
+
 TEST(VectorEngineTest, SentinelForUnreachedWeight) {
   // Disconnected pair: node 2 and 3 form their own component with no
   // weight for column 0 -> sentinel at their entries for column 0.

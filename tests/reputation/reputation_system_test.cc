@@ -92,6 +92,36 @@ TEST(ReputationSystemTest, SmallChangeBelowDeltaNotPushed) {
   EXPECT_EQ(sys.last_round_feedback_pushes(), 0u);
 }
 
+TEST(ReputationSystemTest, ErasedOpinionIsRetractedAndPruned) {
+  // Regression: RunRound never pruned last_pushed_ entries whose trust
+  // opinion had been erased, so a deleted opinion was silently treated
+  // as still-announced forever.
+  Graph g = MakePaGraph(25);
+  TrustMatrix t(25);
+  ASSERT_TRUE(t.Set(0, 1, 0.9).ok());
+  ASSERT_TRUE(t.Set(2, 3, 0.4).ok());
+  ReputationSystem sys(&g, &t, Opts());
+  ASSERT_TRUE(sys.RunRound().ok());
+  EXPECT_EQ(sys.last_round_feedback_pushes(), 2u);
+  const uint64_t msgs_after_first = sys.feedback_push_messages();
+
+  t.Erase(0, 1);
+  ASSERT_TRUE(sys.RunRound().ok());
+  // The retraction is announced (one push, one message per neighbour).
+  EXPECT_EQ(sys.last_round_feedback_pushes(), 1u);
+  EXPECT_EQ(sys.feedback_push_messages(), msgs_after_first + g.Degree(0));
+
+  // Because the stale entry is gone, re-stating the very same value is a
+  // fresh announcement — under the bug it was silently suppressed.
+  ASSERT_TRUE(t.Set(0, 1, 0.9).ok());
+  ASSERT_TRUE(sys.RunRound().ok());
+  EXPECT_EQ(sys.last_round_feedback_pushes(), 1u);
+
+  // And a steady state pushes nothing.
+  ASSERT_TRUE(sys.RunRound().ok());
+  EXPECT_EQ(sys.last_round_feedback_pushes(), 0u);
+}
+
 TEST(ReputationSystemTest, ReputationReflectsAggregatedTrust) {
   Graph g = MakePaGraph(30, 2, 84);
   TrustMatrix t(30);
