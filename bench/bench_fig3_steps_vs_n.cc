@@ -9,8 +9,12 @@
 // via the sparse vector engine on sparse trust (~20 opinions per node).
 //
 // Flags: --smoke trims both sweeps to seconds (the CI configuration);
-// --large adds the N = 10,000 variant-4 point (minutes, a few GB).
-// Each point also lands in dgt_results/BENCH_fig3_steps_vs_n.json.
+// --large adds the N = 10,000 variant-4 point (minutes, a few GB);
+// --threads=T re-runs each variant-4 point with a T-worker pool next to
+// the 1-thread run (identical step/message counts — the engines are
+// thread-count invariant — so the columns isolate pure wall-clock);
+// --out_dir=PATH redirects the CSV/JSON output (default ./dgt_results,
+// or $DGT_OUT_DIR). Each point also lands in BENCH_fig3_steps_vs_n.json.
 
 #include <algorithm>
 #include <cstring>
@@ -25,10 +29,22 @@ int main(int argc, char** argv) {
   using bench_util::MustMakePaGraph;
   using bench_util::RandomUnitValues;
 
+  bench_util::InitOutputDir(argc, argv);
   bool smoke = false, large = false;
+  bool threads_given = false;
+  uint32_t threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--large") == 0) large = true;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const int v = std::atoi(argv[i] + 10);
+      if (v <= 0 || v > 1024) {
+        std::cerr << "--threads must lie in [1, 1024]\n";
+        return 1;
+      }
+      threads = static_cast<uint32_t>(v);
+      threads_given = true;
+    }
   }
 
   std::vector<uint32_t> sizes = {100, 500, 1000, 10000, 50000};
@@ -91,46 +107,61 @@ int main(int argc, char** argv) {
   std::vector<uint32_t> gclr_sizes = {500, 1000, 2000, 5000};
   if (smoke) gclr_sizes = {200};
   if (large) gclr_sizes.push_back(10000);
+  // Thread points per size: always the 1-thread reference; with
+  // --threads=T also the T-thread run. Smoke without an explicit
+  // --threads defaults to T=2 so CI keeps the threaded path exercised
+  // without inflating wall-clock (an explicit --threads=1 stays pure
+  // single-thread).
+  std::vector<uint32_t> thread_points = {1};
+  if (smoke && !threads_given) threads = 2;
+  if (threads > 1) thread_points.push_back(threads);
 
   TableWriter gclr_table(
       "== Fig. 3 companion: variant 4 (GCLR all pairs, sparse engine) at "
       "large N ==");
-  gclr_table.SetHeader(
-      {"N", "steps", "gossip msgs", "peak nnz", "nnz/N^2", "wall ms"});
+  gclr_table.SetHeader({"N", "threads", "steps", "gossip msgs", "peak nnz",
+                        "nnz/N^2", "wall ms"});
   for (uint32_t n : gclr_sizes) {
     Graph g = MustMakePaGraph(n, 2, 42);
     TrustMatrix t = bench_util::MakeSparseTrust(n, 20, 11);
-    AggregationOptions o;
-    o.gossip.xi = 1e-3;
-    o.gossip.seed = 3;
-    bench_util::WallTimer timer;
-    auto r = AggregateGclrVector(g, t, o);
-    if (!r.ok()) {
-      std::cerr << r.status().ToString() << "\n";
-      return 1;
+    for (uint32_t num_threads : thread_points) {
+      AggregationOptions o;
+      o.gossip.xi = 1e-3;
+      o.gossip.seed = 3;
+      o.gossip.num_threads = num_threads;
+      bench_util::WallTimer timer;
+      auto r = AggregateGclrVector(g, t, o);
+      if (!r.ok()) {
+        std::cerr << r.status().ToString() << "\n";
+        return 1;
+      }
+      const double ms = timer.ElapsedMs();
+      const double nn = static_cast<double>(n) * n;
+      gclr_table.AddRow(
+          {std::to_string(n), std::to_string(num_threads),
+           std::to_string(r->stats.steps),
+           std::to_string(r->stats.gossip_messages),
+           std::to_string(r->stats.peak_state_nonzeros),
+           FormatDouble(
+               static_cast<double>(r->stats.peak_state_nonzeros) / nn, 3),
+           FormatDouble(ms, 1)});
+      json.AddPoint(
+          {{"gclr_n", static_cast<double>(n)},
+           {"gclr_threads", static_cast<double>(num_threads)},
+           {"gclr_steps", static_cast<double>(r->stats.steps)},
+           {"gclr_gossip_messages",
+            static_cast<double>(r->stats.gossip_messages)},
+           {"gclr_peak_nnz",
+            static_cast<double>(r->stats.peak_state_nonzeros)},
+           {"gclr_ms", ms}});
     }
-    const double ms = timer.ElapsedMs();
-    const double nn = static_cast<double>(n) * n;
-    gclr_table.AddRow(
-        {std::to_string(n), std::to_string(r->stats.steps),
-         std::to_string(r->stats.gossip_messages),
-         std::to_string(r->stats.peak_state_nonzeros),
-         FormatDouble(
-             static_cast<double>(r->stats.peak_state_nonzeros) / nn, 3),
-         FormatDouble(ms, 1)});
-    json.AddPoint(
-        {{"gclr_n", static_cast<double>(n)},
-         {"gclr_steps", static_cast<double>(r->stats.steps)},
-         {"gclr_gossip_messages",
-          static_cast<double>(r->stats.gossip_messages)},
-         {"gclr_peak_nnz",
-          static_cast<double>(r->stats.peak_state_nonzeros)},
-         {"gclr_ms", ms}});
   }
   bench_util::Emit(gclr_table, "fig3_gclr_large_n.csv");
   json.Write();
   std::cout << "shape check: the full system now runs at sizes where the "
                "dense engine's N x N state would not fit in memory; state "
-               "stays below N^2 nonzeros until mixing completes.\n";
+               "stays below N^2 nonzeros until mixing completes. Step and "
+               "message counts are identical across the threads column "
+               "(deterministic parallel step); only wall ms moves.\n";
   return 0;
 }

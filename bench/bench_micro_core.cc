@@ -60,7 +60,8 @@ void BM_GossipConvergence(benchmark::State& state) {
 BENCHMARK(BM_GossipConvergence)->Arg(1000)->Arg(10000);
 
 void BM_GossipSingleStep(benchmark::State& state) {
-  // Cost of one gossip step, isolated via a max_steps=1 run.
+  // Cost of one gossip step, isolated via a max_steps=1 run. Second arg:
+  // worker threads (results identical, only wall-clock moves).
   const uint32_t n = static_cast<uint32_t>(state.range(0));
   PaOptions po;
   po.num_nodes = n;
@@ -73,6 +74,7 @@ void BM_GossipSingleStep(benchmark::State& state) {
   GossipOptions o;
   o.xi = 1e-12;
   o.max_steps = 1;
+  o.num_threads = static_cast<uint32_t>(state.range(1));
   uint64_t seed = 1;
   for (auto _ : state) {
     o.seed = seed++;
@@ -82,7 +84,10 @@ void BM_GossipSingleStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_GossipSingleStep)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GossipSingleStep)
+    ->Args({10000, 1})
+    ->Args({100000, 1})
+    ->Args({100000, 8});
 
 void BM_SparseVectorGossipStep(benchmark::State& state) {
   // Cost of one sparse vector-gossip step over sparse trust state,
@@ -99,6 +104,7 @@ void BM_SparseVectorGossipStep(benchmark::State& state) {
   GossipOptions o;
   o.xi = 1e-12;
   o.max_steps = 1;
+  o.num_threads = static_cast<uint32_t>(state.range(1));
   uint64_t seed = 1;
   for (auto _ : state) {
     o.seed = seed++;
@@ -108,7 +114,11 @@ void BM_SparseVectorGossipStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SparseVectorGossipStep)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_SparseVectorGossipStep)
+    ->Args({10000, 1})
+    ->Args({10000, 8})
+    ->Args({100000, 1})
+    ->Args({100000, 8});
 
 void BM_SparseGclrVector(benchmark::State& state) {
   // Full variant-4 aggregation through the sparse engine.
@@ -121,6 +131,7 @@ void BM_SparseGclrVector(benchmark::State& state) {
   TrustMatrix t = bench_util::MakeSparseTrust(n, 20, 11);
   AggregationOptions o;
   o.gossip.xi = 1e-2;
+  o.gossip.num_threads = static_cast<uint32_t>(state.range(1));
   uint64_t seed = 1;
   for (auto _ : state) {
     o.gossip.seed = seed++;
@@ -129,7 +140,10 @@ void BM_SparseGclrVector(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SparseGclrVector)->Arg(512)->Arg(1024);
+BENCHMARK(BM_SparseGclrVector)
+    ->Args({512, 1})
+    ->Args({1024, 1})
+    ->Args({1024, 8});
 
 void BM_TrustMatrixSetGet(benchmark::State& state) {
   TrustMatrix t(10000);

@@ -1,6 +1,7 @@
 // Shared setup helpers for the experiment benches. Every bench prints the
-// paper-shaped table to stdout and (best effort) writes a CSV next to the
-// binary under dgt_results/.
+// paper-shaped table to stdout and (best effort) writes CSV/JSON results
+// under the resolved output directory (see common/bench_output.h: the
+// --out_dir flag, then $DGT_OUT_DIR, then ./dgt_results).
 
 #ifndef DGT_BENCH_BENCH_UTIL_H_
 #define DGT_BENCH_BENCH_UTIL_H_
@@ -9,13 +10,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/bench_output.h"
 #include "common/rng.h"
 #include "common/table_writer.h"
 #include "graph/pa_generator.h"
@@ -24,6 +24,19 @@
 
 namespace dgt {
 namespace bench_util {
+
+// Process-wide output directory. Mains that take flags call
+// InitOutputDir(argc, argv) first; benches without flag parsing (e.g. the
+// google-benchmark micro bench) still honour $DGT_OUT_DIR via the
+// first-use default.
+inline std::string& OutDir() {
+  static std::string dir = ResolveOutDir(0, nullptr);
+  return dir;
+}
+
+inline void InitOutputDir(int argc, char** argv) {
+  OutDir() = ResolveOutDir(argc, argv);
+}
 
 inline Graph MustMakePaGraph(uint32_t n, uint32_t m, uint64_t seed) {
   PaOptions o;
@@ -46,17 +59,11 @@ inline std::vector<double> RandomUnitValues(uint32_t n, uint64_t seed) {
   return v;
 }
 
-// Ensures ./dgt_results exists; returns its name, or "" on failure.
-inline std::string EnsureResultsDir() {
-  std::string dir = "dgt_results";
-  std::string cmd = "mkdir -p " + dir;
-  return std::system(cmd.c_str()) == 0 ? dir : std::string();
-}
-
-// Prints the table and attempts a CSV dump (non-fatal on failure).
+// Prints the table and attempts a CSV dump into OutDir() (non-fatal on
+// failure).
 inline void Emit(const TableWriter& table, const std::string& csv_name) {
   table.Print(std::cout);
-  std::string dir = EnsureResultsDir();
+  std::string dir = EnsureDir(OutDir());
   if (!dir.empty()) {
     Status s = table.WriteCsv(dir + "/" + csv_name);
     if (s.ok()) {
@@ -81,44 +88,13 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-// Machine-readable per-bench output: collects flat numeric measurement
-// points and writes dgt_results/BENCH_<name>.json, so successive PRs have
-// a comparable perf trajectory next to the human-readable tables.
-class BenchJsonWriter {
+// The shared JSON writer (common/bench_output.h) bound to OutDir().
+// Mains that accept --out_dir must call InitOutputDir before constructing
+// one.
+class BenchJsonWriter : public dgt::BenchJsonWriter {
  public:
   explicit BenchJsonWriter(std::string bench_name)
-      : name_(std::move(bench_name)) {}
-
-  void AddPoint(std::vector<std::pair<std::string, double>> fields) {
-    points_.push_back(std::move(fields));
-  }
-
-  // Best effort; non-fatal on failure (mirrors Emit's CSV behaviour).
-  void Write() const {
-    std::string dir = EnsureResultsDir();
-    if (dir.empty()) return;
-    const std::string path = dir + "/BENCH_" + name_ + ".json";
-    std::ofstream out(path);
-    if (!out) return;
-    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"points\": [\n";
-    for (size_t p = 0; p < points_.size(); ++p) {
-      out << "    {";
-      for (size_t f = 0; f < points_[p].size(); ++f) {
-        std::ostringstream num;
-        num.precision(12);
-        num << points_[p][f].second;
-        out << (f ? ", " : "") << "\"" << points_[p][f].first
-            << "\": " << num.str();
-      }
-      out << "}" << (p + 1 < points_.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    if (out.good()) std::cout << "(json written to " << path << ")\n";
-  }
-
- private:
-  std::string name_;
-  std::vector<std::vector<std::pair<std::string, double>>> points_;
+      : dgt::BenchJsonWriter(std::move(bench_name), OutDir()) {}
 };
 
 // Sparse direct-trust state for the large-N sweeps: every node holds

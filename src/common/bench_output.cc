@@ -1,0 +1,68 @@
+#include "common/bench_output.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace dgt {
+
+std::string ResolveOutDir(int argc, char** argv,
+                          const std::string& default_dir) {
+  std::string dir;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out_dir=", 10) == 0) {
+      dir = arg + 10;
+    } else if (std::strcmp(arg, "--out_dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    }
+  }
+  if (dir.empty()) {
+    const char* env = std::getenv("DGT_OUT_DIR");
+    if (env != nullptr && env[0] != '\0') dir = env;
+  }
+  if (dir.empty()) dir = default_dir;
+  return dir;
+}
+
+std::string EnsureDir(const std::string& dir) {
+  if (dir.empty()) return std::string();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return std::string();
+  return dir;
+}
+
+std::string BenchJsonWriter::path() const {
+  if (out_dir_.empty()) return std::string();
+  return (std::filesystem::path(out_dir_) / ("BENCH_" + name_ + ".json"))
+      .string();
+}
+
+bool BenchJsonWriter::Write() const {
+  if (EnsureDir(out_dir_).empty()) return false;
+  const std::string file = path();
+  std::ofstream out(file);
+  if (!out) return false;
+  out << "{\n  \"bench\": \"" << name_ << "\",\n  \"points\": [\n";
+  for (size_t p = 0; p < points_.size(); ++p) {
+    out << "    {";
+    for (size_t f = 0; f < points_[p].size(); ++f) {
+      std::ostringstream num;
+      num.precision(12);
+      num << points_[p][f].second;
+      out << (f ? ", " : "") << "\"" << points_[p][f].first
+          << "\": " << num.str();
+    }
+    out << "}" << (p + 1 < points_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out.good()) return false;
+  std::cout << "(json written to " << file << ")\n";
+  return true;
+}
+
+}  // namespace dgt

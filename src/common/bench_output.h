@@ -1,0 +1,61 @@
+// Benchmark/experiment output plumbing: output-directory resolution and
+// the machine-readable BENCH_*.json writer.
+//
+// Historically every bench resolved "dgt_results/" against its CWD, so
+// results scattered depending on where the binary was invoked (build/,
+// repo root, CI workspace, ...). ResolveOutDir gives benches one rule:
+//   1. --out_dir=PATH (or --out_dir PATH) on the command line,
+//   2. the DGT_OUT_DIR environment variable,
+//   3. the default, "dgt_results" relative to the CWD.
+// Resolution is pure (no filesystem access) so it is unit-testable;
+// EnsureDir performs the actual creation.
+
+#ifndef DGT_COMMON_BENCH_OUTPUT_H_
+#define DGT_COMMON_BENCH_OUTPUT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dgt {
+
+// Applies the rule above. argv may be null when argc == 0. A later
+// --out_dir wins over an earlier one; a trailing valueless --out_dir is
+// ignored. Never touches the filesystem.
+std::string ResolveOutDir(int argc, char** argv,
+                          const std::string& default_dir = "dgt_results");
+
+// Creates `dir` (and parents). Returns `dir`, or "" on failure/empty
+// input — callers treat "" as "skip file output", mirroring the benches'
+// best-effort contract.
+std::string EnsureDir(const std::string& dir);
+
+// Machine-readable per-bench output: collects flat numeric measurement
+// points and writes <out_dir>/BENCH_<name>.json, so successive PRs have a
+// comparable perf trajectory next to the human-readable tables. CI's
+// perf-regression smoke diffs these files against committed baselines
+// (scripts/check_bench_baseline.py).
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::string bench_name, std::string out_dir)
+      : name_(std::move(bench_name)), out_dir_(std::move(out_dir)) {}
+
+  void AddPoint(std::vector<std::pair<std::string, double>> fields) {
+    points_.push_back(std::move(fields));
+  }
+
+  // The path Write() will produce, or "" when output is disabled.
+  std::string path() const;
+
+  // Best effort; returns false (never throws) on failure.
+  bool Write() const;
+
+ private:
+  std::string name_;
+  std::string out_dir_;
+  std::vector<std::vector<std::pair<std::string, double>>> points_;
+};
+
+}  // namespace dgt
+
+#endif  // DGT_COMMON_BENCH_OUTPUT_H_

@@ -18,7 +18,13 @@ uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-Rng::Rng(uint64_t seed) {
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(sm);
 }
@@ -115,5 +121,14 @@ std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+Rng Rng::StreamAt(uint64_t stream, uint64_t counter) const {
+  // Two full-avalanche absorptions over the construction seed; the golden
+  // -ratio / SplitMix64 multipliers decorrelate adjacent (stream, counter)
+  // pairs, so stream (i, s) and (i, s + 1) share no structure.
+  uint64_t state = Mix64(seed_ ^ (stream * 0x9e3779b97f4a7c15ULL));
+  state = Mix64(state ^ (counter * 0xbf58476d1ce4e5b9ULL));
+  return Rng(state);
+}
 
 }  // namespace dgt

@@ -20,6 +20,9 @@ namespace dgt {
 // SplitMix64 step; used for seeding and as a cheap stateless mixer.
 uint64_t SplitMix64(uint64_t& state);
 
+// Pure SplitMix64 finalizer: full-avalanche mix of one 64-bit value.
+uint64_t Mix64(uint64_t x);
+
 class Rng {
  public:
   explicit Rng(uint64_t seed);
@@ -67,11 +70,21 @@ class Rng {
   }
 
   // A new Rng with a state derived from this one; use to hand independent
-  // streams to sub-components.
+  // streams to sub-components. Consumes state (successive forks differ).
   Rng Fork();
+
+  // Counter-based stream derivation: an independent generator whose state
+  // is a pure function of (this generator's construction seed, stream,
+  // counter) — e.g. StreamAt(node, step). Unlike Fork it does NOT consume
+  // state, so streams can be derived concurrently from many workers and
+  // the draw sequence of stream (i, s) is identical no matter how many
+  // threads run or in which order streams are instantiated. This is what
+  // makes the gossip engines' counter RNG mode thread-count invariant.
+  Rng StreamAt(uint64_t stream, uint64_t counter) const;
 
  private:
   uint64_t s_[4];
+  uint64_t seed_;  // construction seed, kept for StreamAt derivation
 };
 
 }  // namespace dgt

@@ -1,0 +1,106 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace dgt {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads_ = num_threads;
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+size_t ThreadPool::NumShards(size_t n) const {
+  // Oversubscribe 4x so one slow shard (e.g. a high-degree hub's merge)
+  // does not leave the other workers idle; cap at n so no shard is empty.
+  return std::min<size_t>(n, static_cast<size_t>(num_threads_) * 4);
+}
+
+size_t ThreadPool::RunShards() {
+  size_t ran = 0;
+  for (;;) {
+    const size_t s = next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (s >= job_shards_) break;
+    const size_t begin = s * job_n_ / job_shards_;
+    const size_t end = (s + 1) * job_n_ / job_shards_;
+    (*job_fn_)(s, begin, end);
+    ++ran;
+  }
+  return ran;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (job_open_ && job_generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+      // Register as a participant while holding the lock: the caller only
+      // tears the job down once every registered worker has deregistered,
+      // so RunShards never reads job state past the job's lifetime.
+      ++workers_in_job_;
+    }
+    const size_t ran = RunShards();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shards_done_ += ran;
+      --workers_in_job_;
+      if (shards_done_ == job_shards_ && workers_in_job_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t shards = NumShards(n);
+  if (workers_.empty() || shards == 1) {
+    for (size_t s = 0; s < shards; ++s) {
+      fn(s, s * n / shards, (s + 1) * n / shards);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_shards_ = shards;
+    next_shard_.store(0, std::memory_order_relaxed);
+    shards_done_ = 0;
+    job_open_ = true;
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+  const size_t ran = RunShards();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shards_done_ += ran;
+    done_cv_.wait(lock, [&] {
+      return shards_done_ == job_shards_ && workers_in_job_ == 0;
+    });
+    job_open_ = false;
+    job_fn_ = nullptr;
+  }
+}
+
+}  // namespace dgt

@@ -1,0 +1,77 @@
+// A small persistent worker pool with a deterministic parallel-for.
+//
+// The gossip engines run thousands of short steps, each with a handful of
+// parallel phases, so workers are spawned once and parked on a condition
+// variable between jobs rather than created per call. Determinism contract:
+// ParallelFor partitions [0, n) into contiguous shards whose boundaries are
+// a pure function of (n, num_shards) — never of timing or of which worker
+// executes which shard — so any computation whose writes are keyed by index
+// or by shard id produces identical results at every thread count.
+
+#ifndef DGT_COMMON_THREAD_POOL_H_
+#define DGT_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dgt {
+
+class ThreadPool {
+ public:
+  // num_threads counts the calling thread too: the pool spawns
+  // num_threads - 1 workers and the caller executes shards as well.
+  // 0 means "one per hardware thread"; 1 (or hardware_concurrency 1)
+  // spawns nothing and every ParallelFor runs inline.
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  // Number of shards ParallelFor splits an n-element range into — a pure
+  // function of n and the pool size (oversubscribed for load balance).
+  size_t NumShards(size_t n) const;
+
+  // Invokes fn(shard, begin, end) for every shard of [0, n), from the
+  // workers and the calling thread, and returns once all shards have
+  // completed. Shard s covers [s*n/S, (s+1)*n/S) with S = NumShards(n).
+  // fn must not throw. Nested ParallelFor calls are not supported.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Executes shards of the current job until none remain; returns the
+  // number it ran.
+  size_t RunShards();
+
+  uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new job
+  std::condition_variable done_cv_;   // caller waits for completion
+  uint64_t job_generation_ = 0;       // bumped per ParallelFor (guarded by mu_)
+  bool shutdown_ = false;
+
+  // Current job (valid while job_open_).
+  bool job_open_ = false;
+  const std::function<void(size_t, size_t, size_t)>* job_fn_ = nullptr;
+  size_t job_n_ = 0;
+  size_t job_shards_ = 0;
+  std::atomic<size_t> next_shard_{0};
+  size_t shards_done_ = 0;     // guarded by mu_
+  size_t workers_in_job_ = 0;  // guarded by mu_
+};
+
+}  // namespace dgt
+
+#endif  // DGT_COMMON_THREAD_POOL_H_

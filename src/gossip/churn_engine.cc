@@ -1,9 +1,14 @@
 #include "gossip/churn_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "gossip/step_plan.h"
 
 namespace dgt {
 
@@ -45,6 +50,7 @@ Result<ChurnGossipResult> ChurnPushSum::Run(const std::vector<double>& y0,
 
   Rng rng(gossip_.seed);
   Rng churn_rng(churn_.seed);
+  ThreadPool pool(gossip_.num_threads);
 
   // Mutable adjacency seeded from the initial graph.
   std::vector<std::vector<NodeId>> adj(n0);
@@ -182,7 +188,12 @@ Result<ChurnGossipResult> ChurnPushSum::Run(const std::vector<double>& y0,
     }
   };
 
+  // Two-phase step state (see step_plan.h; the churn engine keeps its own
+  // planner because membership and adjacency are dynamic).
+  std::vector<std::vector<PlanEntry>> inbox;
+  std::vector<uint32_t> k_used;
   std::vector<double> in_y, in_g;
+  std::vector<uint32_t> push_counts;
   std::vector<NodeId> targets;
   uint32_t step = 0;
   uint32_t live_unstopped = n0;
@@ -215,74 +226,133 @@ Result<ChurnGossipResult> ChurnPushSum::Run(const std::vector<double>& y0,
     }
 
     const uint32_t n = static_cast<uint32_t>(node.size());
+    // k_i over the current overlay: no randomness involved, so it
+    // precomputes sharded (reads adjacency only).
+    push_counts.assign(n, 1);
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const NodeState& s = node[i];
+        if (!s.alive || s.stopped || adj[i].empty()) continue;
+        push_counts[i] = push_count(static_cast<NodeId>(i));
+      }
+    });
+
+    // Phase A: draw pushes and bin deliveries per receiver, ascending-
+    // sender order (see step_plan.h). A push bounces back to the sender
+    // when the target has stopped or departed, or the packet is lost.
+    inbox.resize(n);
+    for (auto& box : inbox) box.clear();
+    k_used.assign(n, 0);
+    for (auto& s : node) s.senders = 0;
+    // The shared DrawNodePushes helper (step_plan.h) keeps the RNG
+    // consumption order uniform across engines; only the bounce
+    // predicate differs (dynamic membership: stopped OR departed).
+    auto bounces = [&](NodeId t) {
+      return node[t].stopped || !node[t].alive;
+    };
+    if (gossip_.rng_mode == GossipRngMode::kSequential) {
+      for (NodeId i = 0; i < n; ++i) {
+        const NodeState& s = node[i];
+        if (!s.alive || s.stopped || adj[i].empty()) continue;
+        k_used[i] = DrawNodePushes(
+            adj[i], push_counts[i], gossip_.packet_loss_prob, i, rng,
+            targets, bounces,
+            [&](NodeId t, PlanEntry e) { inbox[t].push_back(e); });
+      }
+    } else {
+      // Counter mode: per-(node, step) streams; node ids are never
+      // reused, so a joined node's streams are fresh. Draws shard across
+      // the pool into per-shard buffers, binned in shard order (ascending
+      // senders) exactly like BuildStepPlan.
+      const size_t num_shards = pool.NumShards(n);
+      std::vector<std::vector<std::pair<NodeId, PlanEntry>>> shard_out(
+          num_shards);
+      pool.ParallelFor(n, [&](size_t shard, size_t begin, size_t end) {
+        auto& out = shard_out[shard];
+        std::vector<NodeId> local_targets;
+        for (size_t idx = begin; idx < end; ++idx) {
+          const NodeId i = static_cast<NodeId>(idx);
+          const NodeState& s = node[i];
+          if (!s.alive || s.stopped || adj[i].empty()) continue;
+          Rng r = rng.StreamAt(i, step);
+          k_used[i] = DrawNodePushes(
+              adj[i], push_counts[i], gossip_.packet_loss_prob, i, r,
+              local_targets, bounces,
+              [&](NodeId t, PlanEntry e) { out.emplace_back(t, e); });
+        }
+      });
+      for (const auto& out : shard_out) {
+        for (const auto& [receiver, entry] : out) {
+          inbox[receiver].push_back(entry);
+        }
+      }
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      res.gossip_messages += k_used[i];
+      for (const PlanEntry& e : inbox[i]) {
+        if (e.sender != i) ++node[i].senders;
+      }
+    }
+
+    // Phase B: per-receiver accumulation (ascending-sender order — the
+    // serial engine's float order). Reads only previous-step node values;
+    // writes land in in_y/in_g until the apply pass installs them.
     in_y.assign(n, 0.0);
     in_g.assign(n, 0.0);
-    for (auto& s : node) s.senders = 0;
-
-    // Push phase.
-    for (NodeId i = 0; i < n; ++i) {
-      NodeState& s = node[i];
-      if (!s.alive || s.stopped) continue;
-      const auto& nbrs = adj[i];
-      if (nbrs.empty()) continue;  // isolated by churn; handled below
-      const uint32_t deg = static_cast<uint32_t>(nbrs.size());
-      const uint32_t k = std::min(push_count(i), deg);
-      const double denom = static_cast<double>(k) + 1.0;
-      const double sy = s.y / denom;
-      const double sg = s.g / denom;
-      double self_y = sy, self_g = sg;
-
-      targets.clear();
-      if (k == 1) {
-        targets.push_back(nbrs[rng.NextBelow(deg)]);
-      } else {
-        for (uint32_t idx : rng.SampleWithoutReplacement(deg, k)) {
-          targets.push_back(nbrs[idx]);
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t idx = begin; idx < end; ++idx) {
+        const NodeId i = static_cast<NodeId>(idx);
+        const NodeState& s = node[i];
+        if (!s.alive || s.stopped || inbox[i].empty()) continue;
+        double acc_y = 0.0, acc_g = 0.0;
+        for (const PlanEntry& e : inbox[i]) {
+          const double denom = static_cast<double>(k_used[e.sender]) + 1.0;
+          const double sy = node[e.sender].y / denom;
+          const double sg = node[e.sender].g / denom;
+          double ty = sy, tg = sg;
+          for (uint32_t sh = 1; sh < e.shares; ++sh) {
+            ty += sy;
+            tg += sg;
+          }
+          acc_y += ty;
+          acc_g += tg;
         }
+        in_y[i] = acc_y;
+        in_g[i] = acc_g;
       }
-      for (NodeId t : targets) {
-        ++res.gossip_messages;
-        bool bounced = node[t].stopped || !node[t].alive ||
-                       (gossip_.packet_loss_prob > 0.0 &&
-                        rng.NextBernoulli(gossip_.packet_loss_prob));
-        if (bounced) {
-          self_y += sy;
-          self_g += sg;
-          continue;
-        }
-        in_y[t] += sy;
-        in_g[t] += sg;
-        ++node[t].senders;
-      }
-      in_y[i] += self_y;
-      in_g[i] += self_g;
-    }
+    });
 
     // Apply + convergence evidence.
-    for (NodeId i = 0; i < n; ++i) {
-      NodeState& s = node[i];
-      if (!s.alive || s.stopped) continue;
-      if (adj[i].empty()) {
-        // Churn isolated this node: it can never hear anything again.
-        if (!s.converged) s.converged = 1;
-        s.stopped = 1;
-        continue;
-      }
-      s.y = in_y[i];
-      s.g = in_g[i];
-      double r = ratio_of(i);
-      if (!s.converged) {
-        if (s.senders >= 1 && s.g != 0.0) {
-          s.streak =
-              std::fabs(r - s.prev_ratio) <= gossip_.xi ? s.streak + 1 : 0;
+    std::atomic<uint64_t> announce_messages{0};
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t idx = begin; idx < end; ++idx) {
+        const NodeId i = static_cast<NodeId>(idx);
+        NodeState& s = node[i];
+        if (!s.alive || s.stopped) continue;
+        if (adj[i].empty()) {
+          // Churn isolated this node: it can never hear anything again.
+          if (!s.converged) s.converged = 1;
+          s.stopped = 1;
+          continue;
         }
-        if (s.streak >= gossip_.convergence_rounds) {
-          s.converged = 1;
-          res.control_messages += adj[i].size();
+        s.y = in_y[i];
+        s.g = in_g[i];
+        double r = s.g != 0.0 ? s.y / s.g : gossip_.ratio_sentinel;
+        if (!s.converged) {
+          if (s.senders >= 1 && s.g != 0.0) {
+            s.streak =
+                std::fabs(r - s.prev_ratio) <= gossip_.xi ? s.streak + 1 : 0;
+          }
+          if (s.streak >= gossip_.convergence_rounds) {
+            s.converged = 1;
+            announce_messages.fetch_add(adj[i].size(),
+                                        std::memory_order_relaxed);
+          }
         }
+        s.prev_ratio = r;
       }
-      s.prev_ratio = r;
-    }
+    });
+    res.control_messages += announce_messages.load(std::memory_order_relaxed);
 
     // Starvation escape + stop rule (membership-aware).
     for (NodeId i = 0; i < n; ++i) {

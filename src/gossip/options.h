@@ -19,6 +19,23 @@ enum class PushStrategy {
   kDifferential,
 };
 
+// Where a synchronous engine's push-phase randomness comes from. Results
+// are independent of num_threads in BOTH modes; the modes differ only in
+// which deterministic draw sequence they produce (and in whether push
+// generation itself can run sharded).
+enum class GossipRngMode {
+  // One shared generator consumed in node order during push generation —
+  // the historical serial draw sequence, bit-for-bit. Push generation is
+  // serial (it is O(sum k_i), cheap next to the merge phase); the merge
+  // phase still parallelises.
+  kSequential,
+  // An independent generator per (node, step) derived with Rng::StreamAt,
+  // so each node's push targets are a pure function of (seed, node, step)
+  // and push generation shards across the pool too. Produces a different
+  // (equally valid) random sequence than kSequential.
+  kCounter,
+};
+
 struct GossipOptions {
   PushStrategy strategy = PushStrategy::kDifferential;
 
@@ -47,6 +64,19 @@ struct GossipOptions {
   uint32_t max_steps = 100000;
 
   uint64_t seed = 1;
+
+  // Worker threads for the two-phase parallel step (see ARCHITECTURE.md):
+  // push generation fills per-receiver contribution lists, then every
+  // receiver's merge + convergence test runs sharded with a fixed
+  // per-receiver reduction order. Results are bit-for-bit identical at
+  // every thread count (asserted by tests/gossip/parallel_equivalence_
+  // test.cc); 1 (the default) additionally reproduces the historical
+  // serial engines exactly, and 0 means one thread per hardware core.
+  uint32_t num_threads = 1;
+
+  // Push-phase randomness scheme; see GossipRngMode. The default
+  // reproduces the historical draw sequence.
+  GossipRngMode rng_mode = GossipRngMode::kSequential;
 
   // Record the per-step ratio of every node (Table 1 traces). Scalar
   // engine only; costs O(N) per step.

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace dgt {
 
 Result<PotentialTrace> TrackPotential(const Graph& graph,
                                       PushStrategy strategy, uint32_t steps,
-                                      Rng& rng) {
+                                      Rng& rng, uint32_t num_threads) {
   const uint32_t n = graph.num_nodes();
   if (n == 0) return Status::InvalidArgument("empty graph");
+
+  ThreadPool pool(num_threads);
 
   std::vector<uint32_t> k(n, 1);
   if (strategy == PushStrategy::kDifferential) {
@@ -21,18 +25,27 @@ Result<PotentialTrace> TrackPotential(const Graph& graph,
   std::vector<double> c(nn, 0.0), in(nn, 0.0);
   for (uint32_t i = 0; i < n; ++i) c[static_cast<size_t>(i) * n + i] = 1.0;
 
+  // psi = sum over rows j of sum_i (c_{j,i} - g_j/N)^2; per-row partials
+  // are computed sharded and reduced in row order, so the value is a pure
+  // function of the state (thread-count invariant).
+  std::vector<double> row_psi(n);
   auto potential = [&]() {
-    double psi = 0.0;
-    for (uint32_t j = 0; j < n; ++j) {
-      const size_t row = static_cast<size_t>(j) * n;
-      double gj = 0.0;
-      for (uint32_t i = 0; i < n; ++i) gj += c[row + i];
-      const double target = gj / static_cast<double>(n);
-      for (uint32_t i = 0; i < n; ++i) {
-        double d = c[row + i] - target;
-        psi += d * d;
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t j = begin; j < end; ++j) {
+        const size_t row = j * n;
+        double gj = 0.0;
+        for (uint32_t i = 0; i < n; ++i) gj += c[row + i];
+        const double target = gj / static_cast<double>(n);
+        double psi = 0.0;
+        for (uint32_t i = 0; i < n; ++i) {
+          double d = c[row + i] - target;
+          psi += d * d;
+        }
+        row_psi[j] = psi;
       }
-    }
+    });
+    double psi = 0.0;
+    for (uint32_t j = 0; j < n; ++j) psi += row_psi[j];
     return psi;
   };
 
@@ -40,15 +53,22 @@ Result<PotentialTrace> TrackPotential(const Graph& graph,
   trace.psi.reserve(steps + 1);
   trace.psi.push_back(potential());  // = N - 1 exactly at n = 0
 
+  // Phase-A plan: per receiver row, the contributing source rows (sender,
+  // scale) in ascending-sender order with the kept share at the sender's
+  // own slot — the same deterministic merge shape as the engines.
+  struct Contribution {
+    NodeId sender;
+    double scale;
+  };
+  std::vector<std::vector<Contribution>> inbox(n);
   std::vector<NodeId> targets;
   for (uint32_t m = 0; m < steps; ++m) {
-    std::fill(in.begin(), in.end(), 0.0);
+    for (auto& box : inbox) box.clear();
     for (NodeId j = 0; j < n; ++j) {
       const auto& nbrs = graph.Neighbors(j);
       const uint32_t deg = static_cast<uint32_t>(nbrs.size());
-      const size_t row = static_cast<size_t>(j) * n;
       if (deg == 0) {
-        for (uint32_t i = 0; i < n; ++i) in[row + i] += c[row + i];
+        inbox[j].push_back({j, 1.0});  // isolated: row carries over intact
         continue;
       }
       const uint32_t kk = std::min(k[j], deg);
@@ -61,14 +81,24 @@ Result<PotentialTrace> TrackPotential(const Graph& graph,
           targets.push_back(nbrs[idx]);
         }
       }
-      for (uint32_t i = 0; i < n; ++i) {
-        const double share = c[row + i] * inv;
-        in[row + i] += share;
-        for (NodeId t : targets) {
-          in[static_cast<size_t>(t) * n + i] += share;
+      inbox[j].push_back({j, inv});
+      for (NodeId t : targets) inbox[t].push_back({j, inv});
+    }
+
+    // Phase B: every receiver row accumulates its contributions in
+    // ascending-sender order; rows are independent, so they shard.
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t r = begin; r < end; ++r) {
+        const size_t row = r * n;
+        std::fill(in.begin() + row, in.begin() + row + n, 0.0);
+        for (const Contribution& con : inbox[r]) {
+          const size_t srow = static_cast<size_t>(con.sender) * n;
+          for (uint32_t i = 0; i < n; ++i) {
+            in[row + i] += c[srow + i] * con.scale;
+          }
         }
       }
-    }
+    });
     c.swap(in);
     trace.psi.push_back(potential());
   }

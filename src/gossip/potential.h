@@ -31,9 +31,13 @@ struct PotentialTrace {
 };
 
 // Runs `steps` steps of (differential) push over the contribution matrix.
+// The tracker uses the same two-phase step as the engines (serial target
+// draws from `rng`, then a sharded per-receiver-row merge with a fixed
+// reduction order), so the trace is bit-for-bit identical at every
+// num_threads (0 = one thread per hardware core).
 Result<PotentialTrace> TrackPotential(const Graph& graph,
                                       PushStrategy strategy, uint32_t steps,
-                                      Rng& rng);
+                                      Rng& rng, uint32_t num_threads = 1);
 
 }  // namespace dgt
 

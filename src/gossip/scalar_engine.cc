@@ -1,9 +1,13 @@
 #include "gossip/scalar_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <string>
+
+#include "common/thread_pool.h"
+#include "gossip/step_plan.h"
 
 namespace dgt {
 
@@ -38,6 +42,7 @@ Result<GossipResult> ScalarPushSum::Run(const std::vector<double>& y0,
   }
 
   Rng rng(options_.seed);
+  ThreadPool pool(options_.num_threads);
   GossipResult res;
   res.values = y0;
   res.weights = g0;
@@ -47,8 +52,9 @@ Result<GossipResult> ScalarPushSum::Run(const std::vector<double>& y0,
   std::vector<double>& g = res.weights;
   std::vector<double>& c = res.counts;
 
-  std::vector<double> in_y(n), in_g(n), in_c(n);
-  std::vector<uint32_t> senders(n);  // pushes received from *other* nodes
+  // Next-step state, installed after every receiver has merged (Phase B
+  // reads other nodes' previous values, so it cannot update in place).
+  std::vector<double> next_y(n), next_g(n), next_c(use_count ? n : 0);
   std::vector<uint8_t> converged(n, 0), stopped(n, 0);
   // Consecutive qualifying steps towards the convergence announcement.
   std::vector<uint32_t> streak(n, 0);
@@ -81,140 +87,144 @@ Result<GossipResult> ScalarPushSum::Run(const std::vector<double>& y0,
 
   if (options_.track_trace) res.trace.reserve(64);
 
-  uint32_t num_stopped = 0;
+  std::atomic<uint32_t> num_stopped{0};
   // Handle isolated nodes (they can never hear from anybody): converge and
   // stop them immediately.
   for (NodeId i = 0; i < n; ++i) {
     if (graph_->Degree(i) == 0) {
       converged[i] = 1;
       stopped[i] = 1;
-      ++num_stopped;
+      num_stopped.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  std::vector<NodeId> scratch_targets;
+  std::atomic<uint64_t> control_messages{0};
+  StepPlan plan;
   uint32_t step = 0;
-  while (num_stopped < n && step < options_.max_steps) {
+  while (num_stopped.load(std::memory_order_relaxed) < n &&
+         step < options_.max_steps) {
     ++step;
-    std::fill(in_y.begin(), in_y.end(), 0.0);
-    std::fill(in_g.begin(), in_g.end(), 0.0);
-    if (use_count) std::fill(in_c.begin(), in_c.end(), 0.0);
-    std::fill(senders.begin(), senders.end(), 0);
 
-    for (NodeId i = 0; i < n; ++i) {
-      if (stopped[i]) continue;
-      ++node_active_steps[i];
-      const auto& nbrs = graph_->Neighbors(i);
-      const uint32_t deg = static_cast<uint32_t>(nbrs.size());
-      const uint32_t k = std::min(push_counts_[i], deg);
-      const double denom = static_cast<double>(k) + 1.0;
-      const double sy = y[i] / denom;
-      const double sg = g[i] / denom;
-      const double sc = use_count ? c[i] / denom : 0.0;
+    // Phase A: draw every node's pushes and bin them per receiver.
+    BuildStepPlan(*graph_, options_, push_counts_, stopped, step, rng, rng,
+                  pool, plan);
+    res.gossip_messages += plan.pushes;
+    for (NodeId i = 0; i < n; ++i) node_sent[i] += plan.k_used[i];
 
-      // Share kept by the node itself, plus any share bounced back by a
-      // lost push (mass conservation under churn).
-      double self_y = sy, self_g = sg, self_c = sc;
+    // Phase B: each receiver folds its contribution list (ascending-sender
+    // order — the serial engine's exact accumulation order) and evaluates
+    // the convergence predicate. Each iteration only writes node i's own
+    // slots, so receivers shard freely across the pool.
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t idx = begin; idx < end; ++idx) {
+        const NodeId i = static_cast<NodeId>(idx);
+        if (stopped[i]) continue;
+        ++node_active_steps[i];
+        double acc_y = 0.0, acc_g = 0.0, acc_c = 0.0;
+        for (const PlanEntry& e : plan.inbox[i]) {
+          const double denom = static_cast<double>(plan.k_used[e.sender]) + 1.0;
+          const double sy = y[e.sender] / denom;
+          const double sg = g[e.sender] / denom;
+          const double sc = use_count ? c[e.sender] / denom : 0.0;
+          // shares > 1 only for the kept-self entry; replicate the serial
+          // engine's bounce accumulation (repeated adds, not a multiply)
+          // so the result stays bit-for-bit identical.
+          double ty = sy, tg = sg, tc = sc;
+          for (uint32_t s = 1; s < e.shares; ++s) {
+            ty += sy;
+            tg += sg;
+            tc += sc;
+          }
+          acc_y += ty;
+          acc_g += tg;
+          acc_c += tc;
+        }
+        next_y[i] = acc_y;
+        next_g[i] = acc_g;
+        if (use_count) next_c[i] = acc_c;
 
-      scratch_targets.clear();
-      if (k == 1) {
-        scratch_targets.push_back(nbrs[rng.NextBelow(deg)]);
-      } else {
-        for (uint32_t idx : rng.SampleWithoutReplacement(deg, k)) {
-          scratch_targets.push_back(nbrs[idx]);
+        double r = acc_g != 0.0 ? acc_y / acc_g : options_.ratio_sentinel;
+        double change = std::fabs(r - u[i]);
+        if (use_count) {
+          double rc = acc_g != 0.0 ? acc_c / acc_g : options_.ratio_sentinel;
+          change += std::fabs(rc - uc[i]);
+          uc[i] = rc;
         }
-      }
-      for (NodeId t : scratch_targets) {
-        ++res.gossip_messages;  // transmitted whether or not it is lost
-        ++node_sent[i];
-        // A stopped target no longer participates; like a lost packet,
-        // the share bounces back to the sender (mass conservation, and
-        // the sender does not bleed its mass into a frozen sink).
-        if (stopped[t] || (options_.packet_loss_prob > 0.0 &&
-                           rng.NextBernoulli(options_.packet_loss_prob))) {
-          self_y += sy;
-          self_g += sg;
-          self_c += sc;
-          continue;
+        // Convergence evidence: a step counts towards the streak when the
+        // node heard from somebody else (|S| > 1), carries gossip weight
+        // (a weightless node parks at the sentinel, which is trivially
+        // stable), and its tracked ratios moved by at most xi. A step
+        // where it heard something and moved MORE than xi resets the
+        // streak; silent steps carry no evidence either way.
+        if (!converged[i]) {
+          if (plan.senders[i] >= 1 && acc_g != 0.0) {
+            streak[i] = change <= options_.xi ? streak[i] + 1 : 0;
+          }
+          if (streak[i] >= options_.convergence_rounds) {
+            converged[i] = 1;
+            // Announce convergence to all neighbours.
+            control_messages.fetch_add(graph_->Degree(i),
+                                       std::memory_order_relaxed);
+            node_sent[i] += graph_->Degree(i);
+          }
         }
-        in_y[t] += sy;
-        in_g[t] += sg;
-        if (use_count) in_c[t] += sc;
-        ++senders[t];
+        u[i] = r;
       }
-      in_y[i] += self_y;
-      in_g[i] += self_g;
-      if (use_count) in_c[i] += self_c;
-    }
+    });
 
-    // Apply inboxes and evaluate the convergence predicate. Stopped nodes
-    // are frozen: nothing is delivered to them (senders bounce instead).
-    for (NodeId i = 0; i < n; ++i) {
-      if (stopped[i]) continue;
-      y[i] = in_y[i];
-      g[i] = in_g[i];
-      if (use_count) c[i] = in_c[i];
-      double r = ratio_of(i);
-      double change = std::fabs(r - u[i]);
-      if (use_count) {
-        double rc = count_ratio_of(i);
-        change += std::fabs(rc - uc[i]);
-        uc[i] = rc;
+    // Install the merged state. Stopped nodes are frozen: nothing was
+    // delivered to them (senders bounced instead), so they keep their
+    // previous values.
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        if (stopped[i]) continue;
+        y[i] = next_y[i];
+        g[i] = next_g[i];
+        if (use_count) c[i] = next_c[i];
       }
-      // Convergence evidence: a step counts towards the streak when the
-      // node heard from somebody else (|S| > 1), carries gossip weight (a
-      // weightless node parks at the sentinel, which is trivially
-      // stable), and its tracked ratios moved by at most xi. A step where
-      // it heard something and moved MORE than xi resets the streak;
-      // silent steps carry no evidence either way.
-      if (!converged[i]) {
-        if (senders[i] >= 1 && g[i] != 0.0) {
-          streak[i] = change <= options_.xi ? streak[i] + 1 : 0;
-        }
-        if (streak[i] >= options_.convergence_rounds) {
-          converged[i] = 1;
-          // Announce convergence to all neighbours.
-          res.control_messages += graph_->Degree(i);
-          node_sent[i] += graph_->Degree(i);
-        }
-      }
-      u[i] = r;
-    }
+    });
 
     // A node whose neighbours have ALL stopped can never hear from
     // anybody again; no further information can reach it, so it adopts
     // its current estimate and announces convergence.
-    for (NodeId i = 0; i < n; ++i) {
-      if (stopped[i] || converged[i] || graph_->Degree(i) == 0) continue;
-      bool all_stopped = true;
-      for (NodeId v : graph_->Neighbors(i)) {
-        if (!stopped[v]) {
-          all_stopped = false;
-          break;
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t idx = begin; idx < end; ++idx) {
+        const NodeId i = static_cast<NodeId>(idx);
+        if (stopped[i] || converged[i] || graph_->Degree(i) == 0) continue;
+        bool all_stopped = true;
+        for (NodeId v : graph_->Neighbors(i)) {
+          if (!stopped[v]) {
+            all_stopped = false;
+            break;
+          }
+        }
+        if (all_stopped) {
+          converged[i] = 1;
+          control_messages.fetch_add(graph_->Degree(i),
+                                     std::memory_order_relaxed);
+          node_sent[i] += graph_->Degree(i);
         }
       }
-      if (all_stopped) {
-        converged[i] = 1;
-        res.control_messages += graph_->Degree(i);
-        node_sent[i] += graph_->Degree(i);
-      }
-    }
+    });
 
     // A node stops once it and all its neighbours have converged.
-    for (NodeId i = 0; i < n; ++i) {
-      if (stopped[i] || !converged[i]) continue;
-      bool all = true;
-      for (NodeId v : graph_->Neighbors(i)) {
-        if (!converged[v]) {
-          all = false;
-          break;
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t idx = begin; idx < end; ++idx) {
+        const NodeId i = static_cast<NodeId>(idx);
+        if (stopped[i] || !converged[i]) continue;
+        bool all = true;
+        for (NodeId v : graph_->Neighbors(i)) {
+          if (!converged[v]) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          stopped[i] = 1;
+          num_stopped.fetch_add(1, std::memory_order_relaxed);
         }
       }
-      if (all) {
-        stopped[i] = 1;
-        ++num_stopped;
-      }
-    }
+    });
 
     if (options_.track_trace) {
       std::vector<double> row(n);
@@ -223,8 +233,9 @@ Result<GossipResult> ScalarPushSum::Run(const std::vector<double>& y0,
     }
   }
 
+  res.control_messages += control_messages.load(std::memory_order_relaxed);
   res.steps = step;
-  res.converged = (num_stopped == n);
+  res.converged = (num_stopped.load(std::memory_order_relaxed) == n);
   res.ratios.resize(n);
   double per_step_sum = 0.0;
   for (NodeId i = 0; i < n; ++i) {

@@ -1,21 +1,18 @@
 #include "gossip/sparse_vector_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <limits>
 #include <string>
 
+#include "common/thread_pool.h"
+#include "gossip/step_plan.h"
+
 namespace dgt {
 
 namespace {
-
-// One delivered share for the merge phase: scale the sender's previous-step
-// row by `scale` and add it into the receiver's next state.
-struct Contribution {
-  NodeId sender;
-  double scale;
-};
 
 struct MergeCursor {
   const SparseVectorRow* src;
@@ -96,19 +93,24 @@ Result<SparseVectorGossipResult> SparseVectorPushSum::Run(
   }
 
   Rng rng(options_.seed);
+  ThreadPool pool(options_.num_threads);
   std::vector<SparseVectorRow>& state = init;
   // Next-step rows for the nodes updated this step. Previous-step rows are
-  // reference-counted and released as soon as their last consumer merged,
-  // so the live footprint stays near one copy of the state, not two.
+  // reference-counted and released as soon as their last consumer merged
+  // (the count is atomic: under a threaded merge the last consumer may
+  // finish on any worker), so the live footprint stays near one copy of
+  // the state, not two.
   std::vector<SparseVectorRow> next(n);
-  std::vector<uint32_t> refs(n, 0);
+  std::vector<std::atomic<uint32_t>> refs(n);
 
-  std::vector<std::vector<Contribution>> inbox(n);
-  std::vector<uint32_t> senders(n);
   std::vector<uint8_t> converged(n, 0), stopped(n, 0);
   std::vector<uint32_t> streak(n, 0);
   std::vector<uint64_t> node_sent(n, 0);
   std::vector<uint32_t> node_active_steps(n, 0);
+  // Serial-replay bookkeeping for the peak_state_nonzeros metric (see the
+  // accounting note below the merge phase).
+  std::vector<uint32_t> replay_refs(n, 0);
+  std::vector<uint64_t> prev_nnz(n, 0), merged_nnz(n, 0);
 
   const double sentinel = options_.ratio_sentinel;
 
@@ -121,145 +123,149 @@ Result<SparseVectorGossipResult> SparseVectorPushSum::Run(
     for (NodeId i = 0; i < n; ++i) node_sent[i] += graph_->Degree(i);
   }
 
-  uint32_t num_stopped = 0;
+  std::atomic<uint32_t> num_stopped{0};
   for (NodeId i = 0; i < n; ++i) {
     if (graph_->Degree(i) == 0) {
       converged[i] = 1;
       stopped[i] = 1;
-      ++num_stopped;
+      num_stopped.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   const double threshold = static_cast<double>(n) * options_.xi;
-  std::vector<NodeId> targets;
-  std::vector<MergeCursor> cursors;
+  std::atomic<uint64_t> control_messages{0};
+  StepPlan plan;
   uint32_t step = 0;
-  while (num_stopped < n && step < options_.max_steps) {
+  while (num_stopped.load(std::memory_order_relaxed) < n &&
+         step < options_.max_steps) {
     ++step;
-    for (auto& box : inbox) box.clear();
-    std::fill(senders.begin(), senders.end(), 0);
 
-    // Push phase: identical RNG draw sequence to the dense engine. Shares
-    // are recorded as (sender, scale) pairs; no vector is copied yet.
+    // Phase A: identical draw sequence to the dense engine. Shares are
+    // recorded as (sender, shares) entries; no vector is copied yet.
+    BuildStepPlan(*graph_, options_, push_counts_, stopped, step, rng, rng,
+                  pool, plan);
+    res.gossip_messages += plan.pushes;
+    for (NodeId i = 0; i < n; ++i) {
+      node_sent[i] += plan.k_used[i];
+      prev_nnz[i] = state[i].nnz();
+      replay_refs[i] = 0;
+    }
     for (NodeId i = 0; i < n; ++i) {
       if (stopped[i]) continue;
-      ++node_active_steps[i];
-      const auto& nbrs = graph_->Neighbors(i);
-      const uint32_t deg = static_cast<uint32_t>(nbrs.size());
-      const uint32_t k = std::min(push_counts_[i], deg);
-      const double inv = 1.0 / (static_cast<double>(k) + 1.0);
-
-      targets.clear();
-      if (k == 1) {
-        targets.push_back(nbrs[rng.NextBelow(deg)]);
-      } else {
-        for (uint32_t idx : rng.SampleWithoutReplacement(deg, k)) {
-          targets.push_back(nbrs[idx]);
-        }
-      }
-
-      // Self share starts at 1 and grows by 1 per lost or bounced push.
-      double self_shares = 1.0;
-      for (NodeId t : targets) {
-        ++res.gossip_messages;
-        ++node_sent[i];
-        if (stopped[t] || (options_.packet_loss_prob > 0.0 &&
-                           rng.NextBernoulli(options_.packet_loss_prob))) {
-          self_shares += 1.0;
-          continue;
-        }
-        inbox[t].push_back({i, inv});
-        ++refs[i];
-        ++senders[t];
-      }
-      // Appended while processing sender i, so each inbox keeps strict
-      // sender order — the order the dense engine accumulates in.
-      inbox[i].push_back({i, self_shares * inv});
-      ++refs[i];
+      for (const PlanEntry& e : plan.inbox[i]) ++replay_refs[e.sender];
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      refs[i].store(replay_refs[i], std::memory_order_relaxed);
     }
 
-    // Merge phase: k-way sorted-column walk over each node's inbox. Cost
-    // is proportional to the nonzeros contributed, not to N.
-    for (NodeId i = 0; i < n; ++i) {
-      if (stopped[i]) continue;  // frozen; senders bounced instead
-      assert(!inbox[i].empty());
-      cursors.clear();
-      for (const Contribution& con : inbox[i]) {
-        cursors.push_back({&state[con.sender], 0, con.scale, con.sender == i});
-      }
-      SparseVectorRow& merged = next[i];
-
-      double l1_change = 0.0;
-      bool has_weight = false;
-      while (true) {
-        uint32_t jmin = kNoColumn;
-        for (const MergeCursor& cur : cursors) {
-          if (cur.pos < cur.src->cols.size()) {
-            jmin = std::min(jmin, cur.src->cols[cur.pos]);
-          }
+    // Phase B: k-way sorted-column walk over each receiver's inbox
+    // (ascending-sender cursor order — the dense engine's accumulation
+    // order). Cost is proportional to the nonzeros contributed, not to N.
+    // Receivers shard across the pool; previous-step rows are read-only
+    // here and released by whichever merge consumes the last reference.
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      std::vector<MergeCursor> cursors;
+      for (size_t idx = begin; idx < end; ++idx) {
+        const NodeId i = static_cast<NodeId>(idx);
+        if (stopped[i]) continue;
+        ++node_active_steps[i];
+        assert(!plan.inbox[i].empty());
+        cursors.clear();
+        for (const PlanEntry& e : plan.inbox[i]) {
+          const double inv =
+              1.0 / (static_cast<double>(plan.k_used[e.sender]) + 1.0);
+          cursors.push_back({&state[e.sender], 0,
+                             static_cast<double>(e.shares) * inv,
+                             e.sender == i});
         }
-        if (jmin == kNoColumn) break;
-        double ay = 0.0, ag = 0.0, ac = 0.0;
-        double old_y = 0.0, old_g = 0.0, old_c = 0.0;
-        bool in_old = false;
-        for (MergeCursor& cur : cursors) {
-          if (cur.pos < cur.src->cols.size() &&
-              cur.src->cols[cur.pos] == jmin) {
-            ay += cur.src->y[cur.pos] * cur.scale;
-            ag += cur.src->g[cur.pos] * cur.scale;
-            if (use_count) ac += cur.src->c[cur.pos] * cur.scale;
-            if (cur.is_self) {
-              in_old = true;
-              old_y = cur.src->y[cur.pos];
-              old_g = cur.src->g[cur.pos];
-              if (use_count) old_c = cur.src->c[cur.pos];
+        SparseVectorRow& merged = next[i];
+
+        double l1_change = 0.0;
+        bool has_weight = false;
+        while (true) {
+          uint32_t jmin = kNoColumn;
+          for (const MergeCursor& cur : cursors) {
+            if (cur.pos < cur.src->cols.size()) {
+              jmin = std::min(jmin, cur.src->cols[cur.pos]);
             }
-            ++cur.pos;
+          }
+          if (jmin == kNoColumn) break;
+          double ay = 0.0, ag = 0.0, ac = 0.0;
+          double old_y = 0.0, old_g = 0.0, old_c = 0.0;
+          bool in_old = false;
+          for (MergeCursor& cur : cursors) {
+            if (cur.pos < cur.src->cols.size() &&
+                cur.src->cols[cur.pos] == jmin) {
+              ay += cur.src->y[cur.pos] * cur.scale;
+              ag += cur.src->g[cur.pos] * cur.scale;
+              if (use_count) ac += cur.src->c[cur.pos] * cur.scale;
+              if (cur.is_self) {
+                in_old = true;
+                old_y = cur.src->y[cur.pos];
+                old_g = cur.src->g[cur.pos];
+                if (use_count) old_c = cur.src->c[cur.pos];
+              }
+              ++cur.pos;
+            }
+          }
+          // eq. (7) terms, in the dense engine's exact order (ratio term,
+          // then count term). Columns outside the merged set contribute
+          // exact zeros (sentinel minus sentinel), so skipping them leaves
+          // the L1 sum bit-identical. The previous-step ratio is
+          // recomputed from the kept share's source row — the node's own
+          // old state.
+          double r = ag != 0.0 ? ay / ag : sentinel;
+          double prev = (in_old && old_g != 0.0) ? old_y / old_g : sentinel;
+          l1_change += std::fabs(r - prev);
+          if (use_count) {
+            double rc = ag != 0.0 ? ac / ag : sentinel;
+            double prev_c = (in_old && old_g != 0.0) ? old_c / old_g : sentinel;
+            l1_change += std::fabs(rc - prev_c);
+          }
+          if (ag != 0.0) has_weight = true;
+          if (ay != 0.0 || ag != 0.0 || ac != 0.0) {
+            merged.cols.push_back(jmin);
+            merged.y.push_back(ay);
+            merged.g.push_back(ag);
+            if (use_count) merged.c.push_back(ac);
           }
         }
-        // eq. (7) terms, in the dense engine's exact order (ratio term,
-        // then count term). Columns outside the merged set contribute
-        // exact zeros (sentinel minus sentinel), so skipping them leaves
-        // the L1 sum bit-identical. The previous-step ratio is recomputed
-        // from the kept share's source row — the node's own old state.
-        double r = ag != 0.0 ? ay / ag : sentinel;
-        double prev = (in_old && old_g != 0.0) ? old_y / old_g : sentinel;
-        l1_change += std::fabs(r - prev);
-        if (use_count) {
-          double rc = ag != 0.0 ? ac / ag : sentinel;
-          double prev_c = (in_old && old_g != 0.0) ? old_c / old_g : sentinel;
-          l1_change += std::fabs(rc - prev_c);
+        merged_nnz[i] = merged.nnz();
+
+        // Release previous-step rows whose last consumer was this merge
+        // (acq_rel: the release must observe every consumer's reads).
+        for (const PlanEntry& e : plan.inbox[i]) {
+          if (refs[e.sender].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            state[e.sender] = SparseVectorRow();
+          }
         }
-        if (ag != 0.0) has_weight = true;
-        if (ay != 0.0 || ag != 0.0 || ac != 0.0) {
-          merged.cols.push_back(jmin);
-          merged.y.push_back(ay);
-          merged.g.push_back(ag);
-          if (use_count) merged.c.push_back(ac);
+
+        if (!converged[i]) {
+          if (plan.senders[i] >= 1 && has_weight) {
+            streak[i] = l1_change <= threshold ? streak[i] + 1 : 0;
+          }
+          if (streak[i] >= options_.convergence_rounds) {
+            converged[i] = 1;
+            control_messages.fetch_add(graph_->Degree(i),
+                                       std::memory_order_relaxed);
+            node_sent[i] += graph_->Degree(i);
+          }
         }
       }
-      total_nnz += merged.nnz();
+    });
+
+    // peak_state_nonzeros accounting: replay the serial engine's receiver-
+    // order bookkeeping (merge row i, then release rows whose last
+    // consumer was i), so the reported metric is identical at every
+    // thread count. (A threaded merge's instantaneous footprint can
+    // transiently exceed it by the rows still queued for release; releases
+    // above keep that slack to the in-flight shard set.)
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i]) continue;
+      total_nnz += merged_nnz[i];
       res.peak_state_nonzeros = std::max(res.peak_state_nonzeros, total_nnz);
-
-      // Release previous-step rows whose last consumer was this merge.
-      // (Only non-stopped nodes are ever referenced; every non-stopped
-      // node gets its replacement row from `next` below.)
-      for (const Contribution& con : inbox[i]) {
-        if (--refs[con.sender] == 0) {
-          total_nnz -= state[con.sender].nnz();
-          state[con.sender] = SparseVectorRow();
-        }
-      }
-
-      if (!converged[i]) {
-        if (senders[i] >= 1 && has_weight) {
-          streak[i] = l1_change <= threshold ? streak[i] + 1 : 0;
-        }
-        if (streak[i] >= options_.convergence_rounds) {
-          converged[i] = 1;
-          res.control_messages += graph_->Degree(i);
-          node_sent[i] += graph_->Degree(i);
-        }
+      for (const PlanEntry& e : plan.inbox[i]) {
+        if (--replay_refs[e.sender] == 0) total_nnz -= prev_nnz[e.sender];
       }
     }
 
@@ -272,40 +278,48 @@ Result<SparseVectorGossipResult> SparseVectorPushSum::Run(
     }
 
     // Force-converge nodes that can never hear from anybody again.
-    for (NodeId i = 0; i < n; ++i) {
-      if (stopped[i] || converged[i] || graph_->Degree(i) == 0) continue;
-      bool all_stopped = true;
-      for (NodeId v : graph_->Neighbors(i)) {
-        if (!stopped[v]) {
-          all_stopped = false;
-          break;
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t idx = begin; idx < end; ++idx) {
+        const NodeId i = static_cast<NodeId>(idx);
+        if (stopped[i] || converged[i] || graph_->Degree(i) == 0) continue;
+        bool all_stopped = true;
+        for (NodeId v : graph_->Neighbors(i)) {
+          if (!stopped[v]) {
+            all_stopped = false;
+            break;
+          }
+        }
+        if (all_stopped) {
+          converged[i] = 1;
+          control_messages.fetch_add(graph_->Degree(i),
+                                     std::memory_order_relaxed);
+          node_sent[i] += graph_->Degree(i);
         }
       }
-      if (all_stopped) {
-        converged[i] = 1;
-        res.control_messages += graph_->Degree(i);
-        node_sent[i] += graph_->Degree(i);
-      }
-    }
+    });
 
-    for (NodeId i = 0; i < n; ++i) {
-      if (stopped[i] || !converged[i]) continue;
-      bool all = true;
-      for (NodeId v : graph_->Neighbors(i)) {
-        if (!converged[v]) {
-          all = false;
-          break;
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t idx = begin; idx < end; ++idx) {
+        const NodeId i = static_cast<NodeId>(idx);
+        if (stopped[i] || !converged[i]) continue;
+        bool all = true;
+        for (NodeId v : graph_->Neighbors(i)) {
+          if (!converged[v]) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          stopped[i] = 1;
+          num_stopped.fetch_add(1, std::memory_order_relaxed);
         }
       }
-      if (all) {
-        stopped[i] = 1;
-        ++num_stopped;
-      }
-    }
+    });
   }
 
+  res.control_messages += control_messages.load(std::memory_order_relaxed);
   res.steps = step;
-  res.converged = (num_stopped == n);
+  res.converged = (num_stopped.load(std::memory_order_relaxed) == n);
   double per_step_sum = 0.0;
   for (NodeId i = 0; i < n; ++i) {
     per_step_sum += static_cast<double>(node_sent[i]) /
@@ -315,26 +329,28 @@ Result<SparseVectorGossipResult> SparseVectorPushSum::Run(
       n > 0 ? per_step_sum / static_cast<double>(n) : 0.0;
 
   res.rows.resize(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    SparseVectorRow& row = state[i];
-    SparseVectorGossipResult::Row& out = res.rows[i];
-    size_t kept = 0;
-    for (size_t k = 0; k < row.cols.size(); ++k) {
-      if (row.g[k] != 0.0) ++kept;
+  pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      SparseVectorRow& row = state[i];
+      SparseVectorGossipResult::Row& out = res.rows[i];
+      size_t kept = 0;
+      for (size_t k = 0; k < row.cols.size(); ++k) {
+        if (row.g[k] != 0.0) ++kept;
+      }
+      out.cols.reserve(kept);
+      out.estimates.reserve(kept);
+      if (use_count) out.count_estimates.reserve(kept);
+      for (size_t k = 0; k < row.cols.size(); ++k) {
+        if (row.g[k] == 0.0) continue;  // sentinel, i.e. absent
+        out.cols.push_back(row.cols[k]);
+        out.estimates.push_back(row.y[k] / row.g[k]);
+        if (use_count) out.count_estimates.push_back(row.c[k] / row.g[k]);
+      }
+      // Release the state row eagerly so peak memory is one state row plus
+      // the accumulated result, not both in full.
+      row = SparseVectorRow();
     }
-    out.cols.reserve(kept);
-    out.estimates.reserve(kept);
-    if (use_count) out.count_estimates.reserve(kept);
-    for (size_t k = 0; k < row.cols.size(); ++k) {
-      if (row.g[k] == 0.0) continue;  // sentinel, i.e. absent
-      out.cols.push_back(row.cols[k]);
-      out.estimates.push_back(row.y[k] / row.g[k]);
-      if (use_count) out.count_estimates.push_back(row.c[k] / row.g[k]);
-    }
-    // Release the state row eagerly so peak memory is one state row plus
-    // the accumulated result, not both in full.
-    row = SparseVectorRow();
-  }
+  });
   return res;
 }
 

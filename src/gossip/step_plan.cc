@@ -1,0 +1,69 @@
+#include "gossip/step_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dgt {
+
+void StepPlan::Reset(uint32_t num_nodes) {
+  if (inbox.size() != num_nodes) inbox.resize(num_nodes);
+  for (auto& box : inbox) box.clear();
+  k_used.assign(num_nodes, 0);
+  senders.assign(num_nodes, 0);
+  pushes = 0;
+}
+
+void BuildStepPlan(const Graph& graph, const GossipOptions& options,
+                   const std::vector<uint32_t>& push_counts,
+                   const std::vector<uint8_t>& stopped, uint32_t step,
+                   Rng& shared_rng, const Rng& stream_root, ThreadPool& pool,
+                   StepPlan& plan) {
+  const uint32_t n = graph.num_nodes();
+  plan.Reset(n);
+  auto bounces = [&](NodeId t) { return stopped[t] != 0; };
+
+  if (options.rng_mode == GossipRngMode::kSequential) {
+    std::vector<NodeId> targets;
+    for (NodeId i = 0; i < n; ++i) {
+      if (stopped[i]) continue;
+      plan.k_used[i] = DrawNodePushes(
+          graph.Neighbors(i), push_counts[i], options.packet_loss_prob, i,
+          shared_rng, targets, bounces, [&](NodeId t, PlanEntry e) {
+            plan.inbox[t].push_back(e);
+            if (e.sender != t) ++plan.senders[t];
+          });
+      plan.pushes += plan.k_used[i];
+    }
+    return;
+  }
+
+  // Counter mode: each node draws from its own (node, step) stream, so
+  // shards can generate concurrently into per-shard delivery buffers.
+  // Binning walks the shards in order — within a shard nodes were
+  // processed in ascending order, so every receiver's list again ends up
+  // in ascending-sender order, independent of the shard count.
+  const size_t num_shards = pool.NumShards(n);
+  std::vector<std::vector<std::pair<NodeId, PlanEntry>>> shard_out(num_shards);
+  pool.ParallelFor(n, [&](size_t shard, size_t begin, size_t end) {
+    auto& out = shard_out[shard];
+    std::vector<NodeId> targets;
+    for (size_t i = begin; i < end; ++i) {
+      if (stopped[i]) continue;
+      const NodeId node = static_cast<NodeId>(i);
+      Rng rng = stream_root.StreamAt(node, step);
+      plan.k_used[i] = DrawNodePushes(
+          graph.Neighbors(node), push_counts[i], options.packet_loss_prob,
+          node, rng, targets, bounces,
+          [&](NodeId t, PlanEntry e) { out.emplace_back(t, e); });
+    }
+  });
+  for (const auto& out : shard_out) {
+    for (const auto& [receiver, entry] : out) {
+      plan.inbox[receiver].push_back(entry);
+      if (entry.sender != receiver) ++plan.senders[receiver];
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) plan.pushes += plan.k_used[i];
+}
+
+}  // namespace dgt

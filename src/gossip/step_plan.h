@@ -1,0 +1,108 @@
+// Phase A of the two-phase deterministic gossip step shared by the
+// synchronous engines (scalar, dense vector, sparse vector).
+//
+// A synchronous push-sum step factors cleanly into
+//   (A) push generation — every active node draws its k_i targets and the
+//       per-push loss outcomes; each delivered share becomes a
+//       (sender, shares) entry in the receiver's contribution list;
+//   (B) merge — every receiver folds its contribution list into its next
+//       state and evaluates the convergence predicate.
+// Phase B is embarrassingly parallel across receivers once the lists
+// exist, PROVIDED each list is reduced in a fixed order. BuildStepPlan
+// emits every receiver's list in ascending-sender order with the
+// receiver's own kept share sitting at its own sender slot — exactly the
+// accumulation order of the historical serial engines — so the merge is
+// bit-for-bit identical to the serial run at any thread count.
+//
+// `shares` counts how many (1/(k+1))-shares of the sender's state the
+// entry carries: 1 for a delivered push, and 1 + number of bounced pushes
+// for the sender's own kept entry (lost packets and pushes to stopped
+// nodes return their share to the sender, preserving mass).
+
+#ifndef DGT_GOSSIP_STEP_PLAN_H_
+#define DGT_GOSSIP_STEP_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "gossip/options.h"
+#include "graph/graph.h"
+
+namespace dgt {
+
+struct PlanEntry {
+  NodeId sender;
+  uint32_t shares;
+};
+
+// Draws node i's pushes for one step and emits them as
+// (receiver, PlanEntry) pairs — delivered shares first (in target draw
+// order), then the kept-self entry. The draw order (targets first, then
+// one loss trial per transmitted push, short-circuited to zero draws when
+// loss_prob == 0) is the historical serial engines' exact RNG consumption
+// order; EVERY engine must draw through this helper so the sequence stays
+// uniform across engines (the churn engine supplies its own bounce
+// predicate over its dynamic membership). Returns k, the number of pushes
+// transmitted. Precondition: nbrs is non-empty.
+template <typename BouncePred, typename Emit>
+uint32_t DrawNodePushes(const std::vector<NodeId>& nbrs, uint32_t push_count,
+                        double loss_prob, NodeId i, Rng& rng,
+                        std::vector<NodeId>& targets,
+                        BouncePred&& target_bounces, Emit&& emit) {
+  const uint32_t deg = static_cast<uint32_t>(nbrs.size());
+  const uint32_t k = std::min(push_count, deg);
+  targets.clear();
+  if (k == 1) {
+    targets.push_back(nbrs[rng.NextBelow(deg)]);
+  } else {
+    for (uint32_t idx : rng.SampleWithoutReplacement(deg, k)) {
+      targets.push_back(nbrs[idx]);
+    }
+  }
+  uint32_t self_shares = 1;
+  for (NodeId t : targets) {
+    // A bounced or lost push returns its share to the sender (mass
+    // conservation; the sender does not bleed mass into a frozen sink).
+    if (target_bounces(t) ||
+        (loss_prob > 0.0 && rng.NextBernoulli(loss_prob))) {
+      ++self_shares;
+      continue;
+    }
+    emit(t, PlanEntry{i, 1});
+  }
+  emit(i, PlanEntry{i, self_shares});
+  return k;
+}
+
+struct StepPlan {
+  // inbox[t]: contribution list of receiver t, ascending-sender order.
+  std::vector<std::vector<PlanEntry>> inbox;
+  // Pushes each sender transmitted this step (0 for stopped nodes); the
+  // denominator of its share split is k_used[i] + 1.
+  std::vector<uint32_t> k_used;
+  // Distinct other-node senders that delivered to each receiver (the
+  // |S| > 1 convergence guard).
+  std::vector<uint32_t> senders;
+  // Total pushes transmitted (lost / bounced ones included: transmission
+  // cost is incurred before the loss is detected).
+  uint64_t pushes = 0;
+
+  void Reset(uint32_t num_nodes);
+};
+
+// Draws one step's push targets and loss outcomes for every non-stopped
+// node and bins the deliveries per receiver. kSequential consumes
+// `shared_rng` in node order (the historical serial sequence); kCounter
+// derives a per-(node, step) generator from `stream_root` via StreamAt and
+// shards the generation across `pool`. Both are thread-count invariant.
+void BuildStepPlan(const Graph& graph, const GossipOptions& options,
+                   const std::vector<uint32_t>& push_counts,
+                   const std::vector<uint8_t>& stopped, uint32_t step,
+                   Rng& shared_rng, const Rng& stream_root, ThreadPool& pool,
+                   StepPlan& plan);
+
+}  // namespace dgt
+
+#endif  // DGT_GOSSIP_STEP_PLAN_H_

@@ -1,8 +1,12 @@
 #include "gossip/vector_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+
+#include "common/thread_pool.h"
+#include "gossip/step_plan.h"
 
 namespace dgt {
 
@@ -38,6 +42,7 @@ Result<VectorGossipResult> VectorPushSum::Run(
   }
 
   Rng rng(options_.seed);
+  ThreadPool pool(options_.num_threads);
 
   // Flat row-major state for cache friendliness.
   const size_t nn = static_cast<size_t>(n) * n;
@@ -48,28 +53,26 @@ Result<VectorGossipResult> VectorPushSum::Run(
     if (use_count) std::copy(c0[i].begin(), c0[i].end(), c.begin() + i * n);
   }
 
-  std::vector<double> in_y(nn), in_g(nn), in_c(use_count ? nn : 0);
-  std::vector<uint32_t> senders(n);
+  // Next-step rows (Phase B reads other nodes' previous rows, so the
+  // merge cannot update in place).
+  std::vector<double> next_y(nn), next_g(nn), next_c(use_count ? nn : 0);
   std::vector<uint8_t> converged(n, 0), stopped(n, 0);
   std::vector<uint32_t> streak(n, 0);
   std::vector<uint64_t> node_sent(n, 0);
   std::vector<uint32_t> node_active_steps(n, 0);
 
   const double sentinel = options_.ratio_sentinel;
-  auto ratio = [&](size_t idx) {
-    return g[idx] != 0.0 ? y[idx] / g[idx] : sentinel;
-  };
-
-  auto count_ratio = [&](size_t idx) {
-    return g[idx] != 0.0 ? c[idx] / g[idx] : sentinel;
-  };
 
   // prev_ratio[i*n + j]: u-vector per node (plus the count-channel ratios
   // when that channel is active — eq. (7) must cover both).
   std::vector<double> prev_ratio(nn), prev_cratio(use_count ? nn : 0);
-  for (size_t idx = 0; idx < nn; ++idx) prev_ratio[idx] = ratio(idx);
+  for (size_t idx = 0; idx < nn; ++idx) {
+    prev_ratio[idx] = g[idx] != 0.0 ? y[idx] / g[idx] : sentinel;
+  }
   if (use_count) {
-    for (size_t idx = 0; idx < nn; ++idx) prev_cratio[idx] = count_ratio(idx);
+    for (size_t idx = 0; idx < nn; ++idx) {
+      prev_cratio[idx] = g[idx] != 0.0 ? c[idx] / g[idx] : sentinel;
+    }
   }
 
   VectorGossipResult res;
@@ -80,146 +83,156 @@ Result<VectorGossipResult> VectorPushSum::Run(
     for (NodeId i = 0; i < n; ++i) node_sent[i] += graph_->Degree(i);
   }
 
-  uint32_t num_stopped = 0;
+  std::atomic<uint32_t> num_stopped{0};
   for (NodeId i = 0; i < n; ++i) {
     if (graph_->Degree(i) == 0) {
       converged[i] = 1;
       stopped[i] = 1;
-      ++num_stopped;
+      num_stopped.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   const double threshold = static_cast<double>(n) * options_.xi;
-  std::vector<NodeId> targets;
+  std::atomic<uint64_t> control_messages{0};
+  StepPlan plan;
   uint32_t step = 0;
-  while (num_stopped < n && step < options_.max_steps) {
+  while (num_stopped.load(std::memory_order_relaxed) < n &&
+         step < options_.max_steps) {
     ++step;
-    std::fill(in_y.begin(), in_y.end(), 0.0);
-    std::fill(in_g.begin(), in_g.end(), 0.0);
-    if (use_count) std::fill(in_c.begin(), in_c.end(), 0.0);
-    std::fill(senders.begin(), senders.end(), 0);
 
-    for (NodeId i = 0; i < n; ++i) {
-      if (stopped[i]) continue;
-      ++node_active_steps[i];
-      const auto& nbrs = graph_->Neighbors(i);
-      const uint32_t deg = static_cast<uint32_t>(nbrs.size());
-      const uint32_t k = std::min(push_counts_[i], deg);
-      const double inv = 1.0 / (static_cast<double>(k) + 1.0);
+    // Phase A: draw every node's pushes and bin them per receiver.
+    BuildStepPlan(*graph_, options_, push_counts_, stopped, step, rng, rng,
+                  pool, plan);
+    res.gossip_messages += plan.pushes;
+    for (NodeId i = 0; i < n; ++i) node_sent[i] += plan.k_used[i];
 
-      targets.clear();
-      if (k == 1) {
-        targets.push_back(nbrs[rng.NextBelow(deg)]);
-      } else {
-        for (uint32_t idx : rng.SampleWithoutReplacement(deg, k)) {
-          targets.push_back(nbrs[idx]);
+    // Phase B: every receiver accumulates its contributions (ascending-
+    // sender order, the serial engine's exact float order) into its next
+    // row and evaluates eq. (7). Only row i is written, so receivers
+    // shard freely across the pool.
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t idx = begin; idx < end; ++idx) {
+        const NodeId i = static_cast<NodeId>(idx);
+        if (stopped[i]) continue;
+        ++node_active_steps[i];
+        const size_t row = static_cast<size_t>(i) * n;
+        std::fill(next_y.begin() + row, next_y.begin() + row + n, 0.0);
+        std::fill(next_g.begin() + row, next_g.begin() + row + n, 0.0);
+        if (use_count) {
+          std::fill(next_c.begin() + row, next_c.begin() + row + n, 0.0);
         }
-      }
-
-      // Self share starts at 1 and grows by 1 per lost push.
-      double self_shares = 1.0;
-      const size_t row = static_cast<size_t>(i) * n;
-      for (NodeId t : targets) {
-        ++res.gossip_messages;
-        ++node_sent[i];
-        // Stopped targets bounce the share back (see scalar engine).
-        if (stopped[t] || (options_.packet_loss_prob > 0.0 &&
-                           rng.NextBernoulli(options_.packet_loss_prob))) {
-          self_shares += 1.0;
-          continue;
+        for (const PlanEntry& e : plan.inbox[i]) {
+          const double inv =
+              1.0 / (static_cast<double>(plan.k_used[e.sender]) + 1.0);
+          const double scale = static_cast<double>(e.shares) * inv;
+          const size_t srow = static_cast<size_t>(e.sender) * n;
+          for (uint32_t j = 0; j < n; ++j) {
+            next_y[row + j] += y[srow + j] * scale;
+            next_g[row + j] += g[srow + j] * scale;
+          }
+          if (use_count) {
+            for (uint32_t j = 0; j < n; ++j) {
+              next_c[row + j] += c[srow + j] * scale;
+            }
+          }
         }
-        const size_t trow = static_cast<size_t>(t) * n;
+
+        double l1_change = 0.0;
+        bool has_weight = false;
         for (uint32_t j = 0; j < n; ++j) {
-          in_y[trow + j] += y[row + j] * inv;
-          in_g[trow + j] += g[row + j] * inv;
+          if (next_g[row + j] != 0.0) has_weight = true;
+          double r = next_g[row + j] != 0.0 ? next_y[row + j] / next_g[row + j]
+                                            : sentinel;
+          l1_change += std::fabs(r - prev_ratio[row + j]);
+          prev_ratio[row + j] = r;
+          if (use_count) {
+            double rc = next_g[row + j] != 0.0
+                            ? next_c[row + j] / next_g[row + j]
+                            : sentinel;
+            l1_change += std::fabs(rc - prev_cratio[row + j]);
+            prev_cratio[row + j] = rc;
+          }
         }
-        if (use_count) {
-          for (uint32_t j = 0; j < n; ++j) in_c[trow + j] += c[row + j] * inv;
+        // eq. (7) with the |S| > 1 guard, a weight guard (a node that has
+        // received no gossip weight parks at the sentinel, which is
+        // trivially stable), and an evidence-streak requirement (see
+        // GossipOptions::convergence_rounds): steps where the node heard
+        // something count for (change <= N xi) or against (reset); silent
+        // steps carry no evidence.
+        if (!converged[i]) {
+          if (plan.senders[i] >= 1 && has_weight) {
+            streak[i] = l1_change <= threshold ? streak[i] + 1 : 0;
+          }
+          if (streak[i] >= options_.convergence_rounds) {
+            converged[i] = 1;
+            control_messages.fetch_add(graph_->Degree(i),
+                                       std::memory_order_relaxed);
+            node_sent[i] += graph_->Degree(i);
+          }
         }
-        ++senders[t];
       }
-      const double self_f = self_shares * inv;
-      for (uint32_t j = 0; j < n; ++j) {
-        in_y[row + j] += y[row + j] * self_f;
-        in_g[row + j] += g[row + j] * self_f;
-      }
-      if (use_count) {
-        for (uint32_t j = 0; j < n; ++j) in_c[row + j] += c[row + j] * self_f;
-      }
-    }
+    });
 
-    for (NodeId i = 0; i < n; ++i) {
-      const size_t row = static_cast<size_t>(i) * n;
-      if (stopped[i]) continue;  // frozen; senders bounced instead
-      double l1_change = 0.0;
-      bool has_weight = false;
-      for (uint32_t j = 0; j < n; ++j) {
-        y[row + j] = in_y[row + j];
-        g[row + j] = in_g[row + j];
-        if (use_count) c[row + j] = in_c[row + j];
-        if (g[row + j] != 0.0) has_weight = true;
-        double r = ratio(row + j);
-        l1_change += std::fabs(r - prev_ratio[row + j]);
-        prev_ratio[row + j] = r;
+    // Install the merged rows (stopped nodes are frozen: senders bounced
+    // instead, so their previous rows stand).
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        if (stopped[i]) continue;
+        const size_t row = i * n;
+        std::copy(next_y.begin() + row, next_y.begin() + row + n,
+                  y.begin() + row);
+        std::copy(next_g.begin() + row, next_g.begin() + row + n,
+                  g.begin() + row);
         if (use_count) {
-          double rc = count_ratio(row + j);
-          l1_change += std::fabs(rc - prev_cratio[row + j]);
-          prev_cratio[row + j] = rc;
+          std::copy(next_c.begin() + row, next_c.begin() + row + n,
+                    c.begin() + row);
         }
       }
-      // eq. (7) with the |S| > 1 guard, a weight guard (a node that has
-      // received no gossip weight parks at the sentinel, which is
-      // trivially stable), and an evidence-streak requirement (see
-      // GossipOptions::convergence_rounds): steps where the node heard
-      // something count for (change <= N xi) or against (reset); silent
-      // steps carry no evidence.
-      if (!converged[i]) {
-        if (senders[i] >= 1 && has_weight) {
-          streak[i] = l1_change <= threshold ? streak[i] + 1 : 0;
+    });
+
+    // Force-converge nodes that can never hear from anybody again.
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t idx = begin; idx < end; ++idx) {
+        const NodeId i = static_cast<NodeId>(idx);
+        if (stopped[i] || converged[i] || graph_->Degree(i) == 0) continue;
+        bool all_stopped = true;
+        for (NodeId v : graph_->Neighbors(i)) {
+          if (!stopped[v]) {
+            all_stopped = false;
+            break;
+          }
         }
-        if (streak[i] >= options_.convergence_rounds) {
+        if (all_stopped) {
           converged[i] = 1;
-          res.control_messages += graph_->Degree(i);
+          control_messages.fetch_add(graph_->Degree(i),
+                                     std::memory_order_relaxed);
           node_sent[i] += graph_->Degree(i);
         }
       }
-    }
+    });
 
-    // Force-converge nodes that can never hear from anybody again.
-    for (NodeId i = 0; i < n; ++i) {
-      if (stopped[i] || converged[i] || graph_->Degree(i) == 0) continue;
-      bool all_stopped = true;
-      for (NodeId v : graph_->Neighbors(i)) {
-        if (!stopped[v]) {
-          all_stopped = false;
-          break;
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t idx = begin; idx < end; ++idx) {
+        const NodeId i = static_cast<NodeId>(idx);
+        if (stopped[i] || !converged[i]) continue;
+        bool all = true;
+        for (NodeId v : graph_->Neighbors(i)) {
+          if (!converged[v]) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          stopped[i] = 1;
+          num_stopped.fetch_add(1, std::memory_order_relaxed);
         }
       }
-      if (all_stopped) {
-        converged[i] = 1;
-        res.control_messages += graph_->Degree(i);
-        node_sent[i] += graph_->Degree(i);
-      }
-    }
-
-    for (NodeId i = 0; i < n; ++i) {
-      if (stopped[i] || !converged[i]) continue;
-      bool all = true;
-      for (NodeId v : graph_->Neighbors(i)) {
-        if (!converged[v]) {
-          all = false;
-          break;
-        }
-      }
-      if (all) {
-        stopped[i] = 1;
-        ++num_stopped;
-      }
-    }
+    });
   }
 
+  res.control_messages += control_messages.load(std::memory_order_relaxed);
   res.steps = step;
-  res.converged = (num_stopped == n);
+  res.converged = (num_stopped.load(std::memory_order_relaxed) == n);
   double per_step_sum = 0.0;
   for (NodeId i = 0; i < n; ++i) {
     per_step_sum += static_cast<double>(node_sent[i]) /
@@ -232,8 +245,12 @@ Result<VectorGossipResult> VectorPushSum::Run(
   for (uint32_t i = 0; i < n; ++i) {
     const size_t row = static_cast<size_t>(i) * n;
     for (uint32_t j = 0; j < n; ++j) {
-      res.estimates[i][j] = ratio(row + j);
-      if (use_count) res.count_estimates[i][j] = count_ratio(row + j);
+      res.estimates[i][j] =
+          g[row + j] != 0.0 ? y[row + j] / g[row + j] : sentinel;
+      if (use_count) {
+        res.count_estimates[i][j] =
+            g[row + j] != 0.0 ? c[row + j] / g[row + j] : sentinel;
+      }
     }
   }
   return res;

@@ -43,6 +43,12 @@ struct AsyncGossipOptions {
   double packet_loss_prob = 0.0;
   uint64_t seed = 1;
 
+  // Accepted for API uniformity with GossipOptions, but inert: the
+  // event-driven engine serialises on its global event queue, so there is
+  // no parallel phase to shard. Results are identical for every value
+  // (asserted by tests/gossip/parallel_equivalence_test.cc).
+  uint32_t num_threads = 1;
+
   LinkModelOptions link;
 };
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "gossip/scalar_engine.h"
 #include "gossip/sparse_vector_engine.h"
 #include "gossip/vector_engine.h"
@@ -298,19 +299,18 @@ Result<VectorAggregationResult> AggregateGclrVector(
 
   VectorAggregationResult out;
   out.estimates.assign(n, std::vector<double>(n, 0.0));
-  // yhat_row[j] for observer i, accumulated sparsely over the rated
-  // nodes' opinion rows (the observer's interaction set; everyone else
-  // has weight exactly 1): O(sum_i |rated_i| * |row|).
-  std::vector<double> yhat_row(n);
   // Observer i's output for target j from the gossiped (est, count_est).
-  auto assemble = [&](NodeId i, NodeId j, double excess_den, double est,
-                      double count_channel) {
+  // yhat_j is yhat_row[j] for observer i, accumulated sparsely over the
+  // rated nodes' opinion rows (the observer's interaction set; everyone
+  // else has weight exactly 1): O(sum_i |rated_i| * |row|).
+  auto assemble = [&](NodeId i, NodeId j, double yhat_j, double excess_den,
+                      double est, double count_channel) {
     double count_est = options.denominator == DenominatorMode::kAllNodes
                            ? static_cast<double>(n)
                            : count_channel;
     double denominator = excess_den + count_est;
     if (denominator <= 0.0) return;
-    out.estimates[i][j] = (yhat_row[j] + est) / denominator;
+    out.estimates[i][j] = (yhat_j + est) / denominator;
   };
 
   if (options.engine == VectorGossipEngine::kDense) {
@@ -327,15 +327,25 @@ Result<VectorAggregationResult> AggregateGclrVector(
     }
     VectorPushSum engine(&graph, options.gossip);
     DGT_ASSIGN_OR_RETURN(VectorGossipResult run, engine.Run(y0, g0, c0));
-    for (NodeId i = 0; i < n; ++i) {
-      FillYhatRow(sorted_rows, tables[i], &yhat_row);
-      const double excess_den = tables[i].TotalExcessWeight();
-      for (NodeId j = 0; j < n; ++j) {
-        double est = run.estimates[i][j];
-        if (est == options.gossip.ratio_sentinel) continue;
-        assemble(i, j, excess_den, est, run.count_estimates[i][j]);
+    // Observer post-processing (yhat accumulation + output assembly) is
+    // independent per observer, so it shards across its own pool; each
+    // observer writes only its own output row. Constructed only after
+    // the engine (and its pool) has finished.
+    ThreadPool pool(options.gossip.num_threads);
+    pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+      std::vector<double> yhat_row(n);
+      for (size_t idx = begin; idx < end; ++idx) {
+        const NodeId i = static_cast<NodeId>(idx);
+        FillYhatRow(sorted_rows, tables[i], &yhat_row);
+        const double excess_den = tables[i].TotalExcessWeight();
+        for (NodeId j = 0; j < n; ++j) {
+          double est = run.estimates[i][j];
+          if (est == options.gossip.ratio_sentinel) continue;
+          assemble(i, j, yhat_row[j], excess_den, est,
+                   run.count_estimates[i][j]);
+        }
       }
-    }
+    });
     out.stats = StatsFromVector(run);
     // Pre-round feedback vectors: one per edge direction.
     out.stats.control_messages += graph.DegreeSum();
@@ -346,16 +356,24 @@ Result<VectorAggregationResult> AggregateGclrVector(
   SparseVectorPushSum engine(&graph, options.gossip);
   DGT_ASSIGN_OR_RETURN(SparseVectorGossipResult run,
                        engine.Run(std::move(init), /*use_count=*/true));
-  for (NodeId i = 0; i < n; ++i) {
-    FillYhatRow(sorted_rows, tables[i], &yhat_row);
-    const double excess_den = tables[i].TotalExcessWeight();
-    const auto& row = run.rows[i];
-    for (size_t k = 0; k < row.cols.size(); ++k) {
-      double est = row.estimates[k];
-      if (est == options.gossip.ratio_sentinel) continue;
-      assemble(i, row.cols[k], excess_den, est, row.count_estimates[k]);
+  // See the dense branch: the post-processing pool lives only after the
+  // engine's own pool is gone.
+  ThreadPool pool(options.gossip.num_threads);
+  pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+    std::vector<double> yhat_row(n);
+    for (size_t idx = begin; idx < end; ++idx) {
+      const NodeId i = static_cast<NodeId>(idx);
+      FillYhatRow(sorted_rows, tables[i], &yhat_row);
+      const double excess_den = tables[i].TotalExcessWeight();
+      const auto& row = run.rows[i];
+      for (size_t k = 0; k < row.cols.size(); ++k) {
+        double est = row.estimates[k];
+        if (est == options.gossip.ratio_sentinel) continue;
+        assemble(i, row.cols[k], yhat_row[row.cols[k]], excess_den, est,
+                 row.count_estimates[k]);
+      }
     }
-  }
+  });
   out.stats = StatsFromSparse(run);
   // Pre-round feedback vectors: one per edge direction.
   out.stats.control_messages += graph.DegreeSum();

@@ -42,6 +42,9 @@ enum class VectorGossipEngine {
 };
 
 struct AggregationOptions {
+  // gossip.num_threads also governs the aggregation layer's own
+  // per-observer post-processing (yhat accumulation + output assembly);
+  // like the engines, results are identical at every thread count.
   GossipOptions gossip;
 
   // Engine for AggregateGlobalVector / AggregateGclrVector.

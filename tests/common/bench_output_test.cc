@@ -1,0 +1,109 @@
+#include "common/bench_output.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BenchOutputTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tmp_ = fs::temp_directory_path() /
+           ("dgt_bench_output_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(tmp_);
+    unsetenv("DGT_OUT_DIR");
+  }
+  void TearDown() override {
+    fs::remove_all(tmp_);
+    unsetenv("DGT_OUT_DIR");
+  }
+
+  static std::string Resolve(std::vector<const char*> args) {
+    args.insert(args.begin(), "bench");
+    return ResolveOutDir(static_cast<int>(args.size()),
+                         const_cast<char**>(args.data()));
+  }
+
+  fs::path tmp_;
+};
+
+TEST_F(BenchOutputTest, DefaultIsDgtResultsRelativeToCwd) {
+  EXPECT_EQ(ResolveOutDir(0, nullptr), "dgt_results");
+  EXPECT_EQ(Resolve({}), "dgt_results");
+  EXPECT_EQ(Resolve({"--smoke", "--large"}), "dgt_results");
+}
+
+TEST_F(BenchOutputTest, FlagWithEqualsSign) {
+  EXPECT_EQ(Resolve({"--out_dir=/tmp/x"}), "/tmp/x");
+}
+
+TEST_F(BenchOutputTest, FlagWithSeparateValue) {
+  EXPECT_EQ(Resolve({"--out_dir", "/tmp/y"}), "/tmp/y");
+}
+
+TEST_F(BenchOutputTest, LastFlagWinsAndTrailingValuelessFlagIsIgnored) {
+  EXPECT_EQ(Resolve({"--out_dir=/tmp/a", "--out_dir", "/tmp/b"}), "/tmp/b");
+  EXPECT_EQ(Resolve({"--out_dir=/tmp/a", "--out_dir"}), "/tmp/a");
+}
+
+TEST_F(BenchOutputTest, EnvironmentVariableBeatsDefaultButNotFlag) {
+  setenv("DGT_OUT_DIR", "/tmp/from_env", 1);
+  EXPECT_EQ(Resolve({}), "/tmp/from_env");
+  EXPECT_EQ(Resolve({"--out_dir=/tmp/flag"}), "/tmp/flag");
+}
+
+TEST_F(BenchOutputTest, EnsureDirCreatesNestedAndIsIdempotent) {
+  const std::string nested = (tmp_ / "a" / "b").string();
+  EXPECT_EQ(EnsureDir(nested), nested);
+  EXPECT_TRUE(fs::is_directory(nested));
+  EXPECT_EQ(EnsureDir(nested), nested);
+  EXPECT_EQ(EnsureDir(""), "");
+}
+
+TEST_F(BenchOutputTest, WriterProducesFileAtResolvedPath) {
+  BenchJsonWriter writer("unit", (tmp_ / "results").string());
+  writer.AddPoint({{"n", 100.0}, {"steps", 42.0}});
+  writer.AddPoint({{"n", 200.0}, {"steps", 57.5}});
+  EXPECT_EQ(writer.path(),
+            (tmp_ / "results" / "BENCH_unit.json").string());
+  EXPECT_TRUE(writer.Write());
+  ASSERT_TRUE(fs::exists(writer.path()));
+
+  std::ifstream in(writer.path());
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string json = content.str();
+  EXPECT_NE(json.find("\"bench\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"steps\": 57.5"), std::string::npos);
+}
+
+TEST_F(BenchOutputTest, WriterIsBestEffortOnBadDir) {
+  // A path under a regular file cannot be created; Write must fail
+  // gracefully, not throw.
+  const std::string file = (tmp_ / "plain_file").string();
+  ASSERT_EQ(EnsureDir(tmp_.string()), tmp_.string());
+  std::ofstream(file) << "x";
+  BenchJsonWriter writer("unit", file + "/sub");
+  writer.AddPoint({{"n", 1.0}});
+  EXPECT_FALSE(writer.Write());
+
+  BenchJsonWriter disabled("unit", "");
+  EXPECT_EQ(disabled.path(), "");
+  EXPECT_FALSE(disabled.Write());
+}
+
+}  // namespace
+}  // namespace dgt

@@ -215,6 +215,69 @@ TEST(RngTest, ForkDeterministicGivenParentSeed) {
   for (int i = 0; i < 16; ++i) EXPECT_EQ(fa.NextU64(), fb.NextU64());
 }
 
+TEST(RngTest, StreamAtIsAPureFunctionOfSeedStreamCounter) {
+  Rng a(42), b(42);
+  // Consuming state must not change the derived streams (unlike Fork):
+  // that is what makes StreamAt safe to call from any worker in any order.
+  for (int i = 0; i < 10; ++i) a.NextU64();
+  Rng sa = a.StreamAt(7, 3), sb = b.StreamAt(7, 3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(sa.NextU64(), sb.NextU64());
+}
+
+TEST(RngTest, StreamAtDistinctStreamsDiverge) {
+  Rng root(42);
+  // Adjacent (stream, counter) pairs — the gossip engines' (node, step)
+  // lattice — must produce unrelated draws.
+  Rng s00 = root.StreamAt(0, 0);
+  Rng s01 = root.StreamAt(0, 1);
+  Rng s10 = root.StreamAt(1, 0);
+  int eq01 = 0, eq10 = 0;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t v = s00.NextU64();
+    if (v == s01.NextU64()) ++eq01;
+    if (v == s10.NextU64()) ++eq10;
+  }
+  EXPECT_LT(eq01, 3);
+  EXPECT_LT(eq10, 3);
+}
+
+TEST(RngTest, StreamAtSurvivesCopies) {
+  Rng root(9);
+  Rng copy = root;
+  copy.NextU64();
+  Rng sa = root.StreamAt(5, 11), sb = copy.StreamAt(5, 11);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(sa.NextU64(), sb.NextU64());
+}
+
+TEST(RngTest, StreamAtDrawsAreWellDistributed) {
+  // First draw across a lattice of streams should look uniform (the
+  // engines draw push targets from exactly this pattern).
+  Rng root(1234);
+  const int kStreams = 5000;
+  int counts[16] = {0};
+  for (int s = 0; s < kStreams; ++s) {
+    for (int step = 0; step < 4; ++step) {
+      Rng r = root.StreamAt(s, step);
+      ++counts[r.NextBelow(16)];
+    }
+  }
+  const double expected = kStreams * 4 / 16.0;
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_NEAR(counts[b] / expected, 1.0, 0.1) << "bucket " << b;
+  }
+}
+
+TEST(Mix64Test, PureAndAvalanching) {
+  EXPECT_EQ(Mix64(123), Mix64(123));
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  for (int b = 0; b < 64; ++b) {
+    uint64_t d = Mix64(0x12345678u) ^ Mix64(0x12345678u ^ (1ull << b));
+    total_flips += __builtin_popcountll(d);
+  }
+  EXPECT_NEAR(total_flips / 64.0, 32.0, 6.0);
+}
+
 class RngBitUniformityTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RngBitUniformityTest, EachBitIsUnbiased) {

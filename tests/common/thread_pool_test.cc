@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    for (size_t n : {0ul, 1ul, 7ul, 64ul, 1000ul}) {
+      std::vector<std::atomic<uint32_t>> hits(n);
+      for (auto& h : hits) h.store(0);
+      pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1u) << "n=" << n << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ShardDecompositionIsContiguousAndOrdered) {
+  // Shard boundaries must be a pure function of n: contiguous, ascending
+  // with shard id, and covering [0, n) — the determinism contract that
+  // lets callers keep per-shard buffers and concatenate them in order.
+  ThreadPool pool(4);
+  const size_t n = 1003;
+  const size_t shards = pool.NumShards(n);
+  std::vector<std::pair<size_t, size_t>> ranges(shards, {0, 0});
+  pool.ParallelFor(n, [&](size_t shard, size_t begin, size_t end) {
+    ranges[shard] = {begin, end};
+  });
+  size_t expect_begin = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    EXPECT_EQ(ranges[s].first, expect_begin);
+    EXPECT_GE(ranges[s].second, ranges[s].first);
+    expect_begin = ranges[s].second;
+  }
+  EXPECT_EQ(expect_begin, n);
+}
+
+TEST(ThreadPoolTest, PerShardBuffersConcatenateDeterministically) {
+  // The pattern the gossip engines rely on: workers write per-shard
+  // buffers, the caller concatenates in shard order; the result must not
+  // depend on the thread count.
+  auto run = [](uint32_t threads) {
+    ThreadPool pool(threads);
+    const size_t n = 512;
+    std::vector<std::vector<size_t>> shard_out(pool.NumShards(n));
+    pool.ParallelFor(n, [&](size_t shard, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        shard_out[shard].push_back(i * i % 97);
+      }
+    });
+    std::vector<size_t> flat;
+    for (const auto& out : shard_out) {
+      flat.insert(flat.end(), out.begin(), out.end());
+    }
+    return flat;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ThreadPoolTest, BackToBackJobsReuseWorkers) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  for (int job = 0; job < 200; ++job) {
+    pool.ParallelFor(100, [&](size_t, size_t begin, size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 100u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  uint64_t sum = 0;
+  std::mutex mu;
+  pool.ParallelFor(10, [&](size_t, size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 45u);
+}
+
+}  // namespace
+}  // namespace dgt

@@ -10,6 +10,7 @@
 #include <string>
 #include <tuple>
 
+#include "gossip/potential.h"
 #include "gossip/scalar_engine.h"
 #include "graph/generators.h"
 #include "graph/pa_generator.h"
@@ -185,6 +186,43 @@ TEST_P(SumEstimationSweep, OneHotWeightRecoversTheSum) {
   for (double v : r->ratios) mean_err += std::fabs(v - total);
   EXPECT_LT(mean_err / n, 0.01 * total);
 }
+
+// Theorem 5.2's potential-function decay must hold — and hold
+// *identically* — under the threaded tracker: the per-row merge order is
+// fixed, so the psi trace at 8 threads is the same doubles as at 1.
+class ThreadedPotentialSweep : public ::testing::TestWithParam<Topology> {};
+
+TEST_P(ThreadedPotentialSweep, MonotoneDecayIdenticalAt1And8Threads) {
+  Graph g = MakeTopology(GetParam(), 64);
+  Rng r1(41), r8(41);
+  auto serial = TrackPotential(g, PushStrategy::kDifferential, 30, r1,
+                               /*num_threads=*/1);
+  auto threaded = TrackPotential(g, PushStrategy::kDifferential, 30, r8,
+                                 /*num_threads=*/8);
+  ASSERT_TRUE(serial.ok() && threaded.ok());
+
+  // Bit-for-bit identical trace and uniformity metric.
+  EXPECT_EQ(threaded->psi, serial->psi);
+  EXPECT_EQ(threaded->final_max_relative_deviation,
+            serial->final_max_relative_deviation);
+
+  // Monotone decay over 5-step windows down to the noise floor (individual
+  // steps may fluctuate; the theorem bounds the expectation).
+  ASSERT_EQ(serial->psi.size(), 31u);
+  EXPECT_NEAR(serial->psi[0], 63.0, 1e-9);  // psi_0 = N - 1 (eq. 28)
+  for (size_t m = 5; m < serial->psi.size(); m += 5) {
+    EXPECT_LT(serial->psi[m], serial->psi[m - 5] + 1e-12)
+        << "window ending at step " << m;
+  }
+  EXPECT_LT(serial->psi.back(), 0.05 * serial->psi[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, ThreadedPotentialSweep,
+                         ::testing::Values(Topology::kPa, Topology::kComplete,
+                                           Topology::kErdosRenyi),
+                         [](const ::testing::TestParamInfo<Topology>& info) {
+                           return TopologyName(info.param);
+                         });
 
 INSTANTIATE_TEST_SUITE_P(
     Topologies, SumEstimationSweep,
