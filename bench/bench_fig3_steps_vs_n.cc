@@ -153,7 +153,11 @@ int main(int argc, char** argv) {
             static_cast<double>(r->stats.gossip_messages)},
            {"gclr_peak_nnz",
             static_cast<double>(r->stats.peak_state_nonzeros)},
-           {"gclr_ms", ms}});
+           {"gclr_ms", ms},
+           // Process-wide peak up to this point (advisory): makes the
+           // large-N memory acceptance numbers (PR 2's ~6 GB at
+           // N = 10,000) part of the recorded JSON.
+           {"gclr_peak_rss_mb", PeakRssMb()}});
     }
   }
   bench_util::Emit(gclr_table, "fig3_gclr_large_n.csv");

@@ -7,14 +7,15 @@ Compares a freshly produced bench JSON against a committed baseline:
 
 Point identity: two points match when all their *key* fields are equal.
 Field classes:
-  - metric fields  : "steps" or names ending in "_steps", "_messages" or
-    "_nnz" — must match the baseline within the relative tolerance
-    (default 10%), otherwise the check FAILS. These counts are
-    deterministic per seed, so drift means the algorithm changed
-    behaviour.
-  - advisory fields: names ending in "_ms" — wall-clock; reported with a
-    ratio but never failing (CI machines are too noisy to gate on).
-  - key fields     : everything else (n, xi, gclr_threads, ...).
+  - metric fields  : "steps" or names ending in "_steps", "_messages",
+    "_nnz", "_queries", "_rounds" or "_updates" — must match the
+    baseline within the relative tolerance (default 10%), otherwise the
+    check FAILS. These counts are deterministic per seed/configuration,
+    so drift means the algorithm (or the workload) changed behaviour.
+  - advisory fields: names ending in "_ms" (wall-clock), "_per_sec"
+    (rates) or "_mb" (memory) — reported with a ratio but never failing
+    (CI machines are too noisy to gate on).
+  - key fields     : everything else (n, xi, gclr_threads, readers, ...).
 
 A baseline point with no matching current point fails: silently dropping
 a configuration is exactly the kind of regression this check exists to
@@ -27,11 +28,15 @@ import json
 import sys
 
 
+METRIC_SUFFIXES = ("_steps", "_messages", "_nnz", "_queries", "_rounds",
+                   "_updates")
+ADVISORY_SUFFIXES = ("_ms", "_per_sec", "_mb")
+
+
 def classify(name):
-    if (name == "steps" or name.endswith("_steps")
-            or name.endswith("_messages") or name.endswith("_nnz")):
+    if name == "steps" or name.endswith(METRIC_SUFFIXES):
         return "metric"
-    if name.endswith("_ms"):
+    if name.endswith(ADVISORY_SUFFIXES):
         return "advisory"
     return "key"
 

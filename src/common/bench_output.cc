@@ -7,7 +7,25 @@
 #include <iostream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace dgt {
+
+double PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
 
 std::string ResolveOutDir(int argc, char** argv,
                           const std::string& default_dir) {
@@ -47,7 +65,11 @@ bool BenchJsonWriter::Write() const {
   const std::string file = path();
   std::ofstream out(file);
   if (!out) return false;
-  out << "{\n  \"bench\": \"" << name_ << "\",\n  \"points\": [\n";
+  std::ostringstream rss;
+  rss.precision(12);
+  rss << PeakRssMb();
+  out << "{\n  \"bench\": \"" << name_ << "\",\n  \"peak_rss_mb\": "
+      << rss.str() << ",\n  \"points\": [\n";
   for (size_t p = 0; p < points_.size(); ++p) {
     out << "    {";
     for (size_t f = 0; f < points_[p].size(); ++f) {

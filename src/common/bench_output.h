@@ -30,11 +30,23 @@ std::string ResolveOutDir(int argc, char** argv,
 // best-effort contract.
 std::string EnsureDir(const std::string& dir);
 
+// Peak resident set size of this process in MiB, via getrusage's
+// ru_maxrss (reported in KiB on Linux, bytes on macOS). 0.0 on platforms
+// without getrusage. Monotone over the process lifetime, so a per-point
+// reading is "the peak up to this configuration" — benches record it so
+// memory acceptance numbers live in the BENCH_*.json files instead of
+// being eyeballed from `top`.
+double PeakRssMb();
+
 // Machine-readable per-bench output: collects flat numeric measurement
 // points and writes <out_dir>/BENCH_<name>.json, so successive PRs have a
 // comparable perf trajectory next to the human-readable tables. CI's
 // perf-regression smoke diffs these files against committed baselines
-// (scripts/check_bench_baseline.py).
+// (scripts/check_bench_baseline.py). Write() stamps a top-level
+// "peak_rss_mb" field (PeakRssMb at write time) into every file; the
+// baseline checker only reads "points", and within points the *_mb /
+// *_ms / *_per_sec suffixes are advisory, so memory and wall-clock are
+// recorded without ever gating CI.
 class BenchJsonWriter {
  public:
   BenchJsonWriter(std::string bench_name, std::string out_dir)

@@ -1,0 +1,73 @@
+#include "common/epoch_gate.h"
+
+#include <cassert>
+
+namespace dgt {
+
+uint32_t EpochGate::RegisterReader() {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(published_ == 0 && "readers must register before the first Publish");
+  acked_.push_back(0);
+  return static_cast<uint32_t>(acked_.size() - 1);
+}
+
+uint32_t EpochGate::num_readers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(acked_.size());
+}
+
+void EpochGate::Publish(uint64_t epoch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(epoch > published_ && "epochs must be strictly increasing");
+    published_ = epoch;
+  }
+  cv_.notify_all();
+}
+
+bool EpochGate::AwaitAllAcked(uint64_t epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    if (cancelled_) return true;
+    for (uint64_t a : acked_) {
+      if (a < epoch) return false;
+    }
+    return true;
+  });
+  for (uint64_t a : acked_) {
+    if (a < epoch) return false;  // released by Cancel, not by acks
+  }
+  return true;
+}
+
+uint64_t EpochGate::AwaitNewer(uint64_t last_seen) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return cancelled_ || published_ > last_seen; });
+  // Deliver a pending epoch even when cancelled, so readers drain
+  // everything the writer actually published.
+  return published_ > last_seen ? published_ : 0;
+}
+
+void EpochGate::Ack(uint32_t reader_id, uint64_t epoch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(reader_id < acked_.size());
+    if (epoch > acked_[reader_id]) acked_[reader_id] = epoch;
+  }
+  cv_.notify_all();
+}
+
+void EpochGate::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool EpochGate::cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_;
+}
+
+}  // namespace dgt

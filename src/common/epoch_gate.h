@@ -1,0 +1,68 @@
+// EpochGate: a publication barrier between one epoch writer and a fixed
+// set of registered readers. The writer publishes monotonically increasing
+// epochs (1-based; 0 means "nothing published") and can wait until every
+// reader has acknowledged an epoch before moving on; each reader blocks
+// for the next epoch strictly newer than the last one it saw. With the
+// writer gating on acknowledgements, every reader observes every epoch
+// exactly once, in order — the property the serving layer's paced mode
+// (and its snapshot-consistency stress test) is built on.
+//
+// Cancel() releases everyone: pending and future AwaitNewer calls drain
+// any not-yet-seen published epoch first and then return 0, and
+// AwaitAllAcked returns false, so shutdown never deadlocks and a reader
+// never misses an epoch that was published before the cancel.
+
+#ifndef DGT_COMMON_EPOCH_GATE_H_
+#define DGT_COMMON_EPOCH_GATE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dgt {
+
+class EpochGate {
+ public:
+  EpochGate() = default;
+  EpochGate(const EpochGate&) = delete;
+  EpochGate& operator=(const EpochGate&) = delete;
+
+  // Adds a reader and returns its id. Must complete before the writer's
+  // first Publish (registration is not synchronised against publishing).
+  uint32_t RegisterReader();
+
+  uint32_t num_readers() const;
+
+  // Writer: announces `epoch` (must exceed the previous announcement).
+  void Publish(uint64_t epoch);
+
+  // Writer: blocks until every registered reader has acknowledged
+  // `epoch` (or newer). Returns false if the gate was cancelled first.
+  // Trivially true with zero readers — the gate is then a pass-through.
+  bool AwaitAllAcked(uint64_t epoch);
+
+  // Reader: blocks until the published epoch exceeds `last_seen` and
+  // returns it. Returns 0 once the gate is cancelled and no unseen epoch
+  // remains (published epochs still pending are delivered first).
+  uint64_t AwaitNewer(uint64_t last_seen);
+
+  // Reader `reader_id` has finished consuming `epoch`.
+  void Ack(uint32_t reader_id, uint64_t epoch);
+
+  // Releases all waiters (see class comment). Idempotent.
+  void Cancel();
+
+  bool cancelled() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<uint64_t> acked_;  // acked_[r] = highest epoch reader r acked
+  uint64_t published_ = 0;
+  bool cancelled_ = false;
+};
+
+}  // namespace dgt
+
+#endif  // DGT_COMMON_EPOCH_GATE_H_

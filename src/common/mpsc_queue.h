@@ -1,0 +1,83 @@
+// BoundedMpscQueue: a bounded multi-producer queue drained by a single
+// consumer — the trust-update ingest path of the serving layer. Producers
+// (query/application threads) TryPush concurrently and see explicit
+// backpressure when the queue is full; the consumer (the round driver)
+// drains everything accumulated since the last round in one call, so the
+// fold into the TrustMatrix happens at a round boundary, never mid-round.
+//
+// A mutex-protected ring is deliberately chosen over a lock-free list:
+// pushes are rare next to reads (reads never touch this queue), the
+// consumer drains in O(batch), and the simple implementation is trivially
+// TSan-clean. The serving hot path — snapshot queries — takes no lock.
+
+#ifndef DGT_COMMON_MPSC_QUEUE_H_
+#define DGT_COMMON_MPSC_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dgt {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  // capacity 0 is bumped to 1 (a zero-capacity queue would reject every
+  // push and turn the backpressure signal into a constant).
+  explicit BoundedMpscQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  // Producer side. Returns false (and counts the rejection) when the
+  // queue is full — the caller owns the retry policy.
+  bool TryPush(T value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    items_.push_back(std::move(value));
+    return true;
+  }
+
+  // Consumer side: appends everything queued to `out` (preserving
+  // per-producer push order) and empties the queue. Returns the number
+  // of items drained.
+  size_t DrainInto(std::vector<T>& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t n = items_.size();
+    out.reserve(out.size() + n);
+    for (auto& item : items_) out.push_back(std::move(item));
+    items_.clear();
+    return n;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // TryPush calls that returned false since construction (backpressure
+  // observability for the service's stats).
+  uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace dgt
+
+#endif  // DGT_COMMON_MPSC_QUEUE_H_

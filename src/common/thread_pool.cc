@@ -1,8 +1,23 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace dgt {
+
+uint32_t ClampThreadsToHardware(uint32_t requested, const char* context) {
+  const uint32_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) return std::max(1u, requested);
+  if (requested == 0) return hw;
+  if (requested > hw) {
+    std::fprintf(stderr,
+                 "note: %s requested %u worker threads but the machine "
+                 "reports %u hardware thread%s; clamping to %u\n",
+                 context, requested, hw, hw == 1 ? "" : "s", hw);
+    return hw;
+  }
+  return requested;
+}
 
 ThreadPool::ThreadPool(uint32_t num_threads) {
   if (num_threads == 0) {

@@ -22,6 +22,17 @@
 
 namespace dgt {
 
+// Resolves a requested worker count against the machine: 0 becomes
+// hardware_concurrency, and values above hardware_concurrency are clamped
+// to it with a note on stderr naming `context` — long-lived services and
+// throughput benches use this so a single-core CI container degrades to
+// serial execution instead of oversubscribing. The gossip engines and
+// ThreadPool itself deliberately do NOT clamp: their equivalence tests
+// run T > cores on purpose, and results are thread-count invariant.
+// When hardware_concurrency is unreported (0), the request is honoured
+// as-is (minimum 1).
+uint32_t ClampThreadsToHardware(uint32_t requested, const char* context);
+
 class ThreadPool {
  public:
   // num_threads counts the calling thread too: the pool spawns

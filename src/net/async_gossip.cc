@@ -47,6 +47,12 @@ Result<AsyncGossipResult> AsyncPushSum::Run(const std::vector<double>& y0,
   if (options_.period_jitter < 0.0 || options_.period_jitter >= 1.0) {
     return Status::InvalidArgument("period_jitter must lie in [0, 1)");
   }
+  if (options_.num_threads > 1) {
+    return Status::InvalidArgument(
+        "AsyncPushSum is a serialised engine (one global event queue "
+        "processed in timestamp order); num_threads > 1 has no parallel "
+        "phase to shard — run independent engines for concurrency");
+  }
 
   DGT_ASSIGN_OR_RETURN(LinkModel links, LinkModel::Create(n, options_.link));
 

@@ -43,10 +43,13 @@ struct AsyncGossipOptions {
   double packet_loss_prob = 0.0;
   uint64_t seed = 1;
 
-  // Accepted for API uniformity with GossipOptions, but inert: the
-  // event-driven engine serialises on its global event queue, so there is
-  // no parallel phase to shard. Results are identical for every value
-  // (asserted by tests/gossip/parallel_equivalence_test.cc).
+  // Kept for API uniformity with GossipOptions, but this engine is
+  // serialised: it processes one global event queue in timestamp order on
+  // the calling thread, so there is no parallel phase to shard. Run()
+  // accepts 0 ("auto", resolves to 1) and 1, and returns InvalidArgument
+  // for larger values rather than silently ignoring them (asserted by
+  // tests/gossip/parallel_equivalence_test.cc). For concurrency, run
+  // independent AsyncPushSum instances.
   uint32_t num_threads = 1;
 
   LinkModelOptions link;

@@ -1,0 +1,76 @@
+#include "serve/query.h"
+
+#include <algorithm>
+
+#include "reputation/ranking.h"
+
+namespace dgt {
+
+namespace {
+
+Status CheckObserver(const ReputationSnapshot& snapshot, NodeId observer) {
+  if (observer >= snapshot.num_nodes()) {
+    return Status::OutOfRange("observer id out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PointQueryResult> PointQuery(const ReputationSnapshot& snapshot,
+                                    NodeId observer, NodeId target) {
+  DGT_RETURN_IF_ERROR(CheckObserver(snapshot, observer));
+  if (target >= snapshot.num_nodes()) {
+    return Status::OutOfRange("target id out of range");
+  }
+  PointQueryResult result;
+  result.epoch = snapshot.epoch;
+  result.score = snapshot.scores[observer][target];
+  return result;
+}
+
+Result<BatchQueryResult> BatchQuery(const ReputationSnapshot& snapshot,
+                                    NodeId observer,
+                                    const std::vector<NodeId>& targets) {
+  DGT_RETURN_IF_ERROR(CheckObserver(snapshot, observer));
+  if (targets.empty()) {
+    return Status::InvalidArgument("batch query needs at least one target");
+  }
+  const std::vector<double>& row = snapshot.scores[observer];
+  BatchQueryResult result;
+  result.epoch = snapshot.epoch;
+  result.scores.reserve(targets.size());
+  for (NodeId target : targets) {
+    if (target >= snapshot.num_nodes()) {
+      return Status::OutOfRange("target id out of range");
+    }
+    result.scores.push_back(row[target]);
+  }
+  return result;
+}
+
+Result<TopKQueryResult> TopKQuery(const ReputationSnapshot& snapshot,
+                                  NodeId observer, uint32_t k) {
+  DGT_RETURN_IF_ERROR(CheckObserver(snapshot, observer));
+  if (k == 0) {
+    return Status::InvalidArgument("top-k query needs k > 0");
+  }
+  const std::vector<double>& row = snapshot.scores[observer];
+  // Reputation scores are non-negative (averages of t_ij in [0, 1] under
+  // non-negative weights), so sinking the observer's own entry below zero
+  // excludes it from any top-(N-1) selection.
+  std::vector<double> candidates = row;
+  candidates[observer] = -1.0;
+  TopKQueryResult result;
+  result.epoch = snapshot.epoch;
+  result.ids = TopK(candidates, std::min<uint32_t>(k, snapshot.num_nodes()));
+  // With k == N the sunk self entry ranks last; drop it.
+  if (!result.ids.empty() && result.ids.back() == observer) {
+    result.ids.pop_back();
+  }
+  result.scores.reserve(result.ids.size());
+  for (NodeId id : result.ids) result.scores.push_back(row[id]);
+  return result;
+}
+
+}  // namespace dgt

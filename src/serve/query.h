@@ -1,0 +1,59 @@
+// Query evaluation against one pinned ReputationSnapshot. These are free
+// functions so they can be tested (and composed) without a running
+// service; ReputationService's Query* methods acquire the current
+// snapshot and delegate here. Every result carries the epoch it was
+// answered from — a batch or top-k answer is always internally
+// consistent because it is computed against a single immutable snapshot.
+
+#ifndef DGT_SERVE_QUERY_H_
+#define DGT_SERVE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "serve/reputation_store.h"
+
+namespace dgt {
+
+struct PointQueryResult {
+  uint64_t epoch = 0;
+  double score = 0.0;
+};
+
+struct BatchQueryResult {
+  uint64_t epoch = 0;
+  // scores[t] = observer's view of targets[t], in request order.
+  std::vector<double> scores;
+};
+
+struct TopKQueryResult {
+  uint64_t epoch = 0;
+  // The observer's k highest-reputation peers, descending by score (ties
+  // broken by lower id), self excluded — the paper's partner-selection
+  // use case (§4.1.2) and GossipTrust's ranking layer.
+  std::vector<NodeId> ids;
+  std::vector<double> scores;  // scores[r] = snapshot score of ids[r]
+};
+
+// Observer i's view of target j. OutOfRange on bad ids.
+Result<PointQueryResult> PointQuery(const ReputationSnapshot& snapshot,
+                                    NodeId observer, NodeId target);
+
+// Observer i's view of each target, in request order. Duplicate targets
+// are allowed. OutOfRange on any bad id; InvalidArgument on an empty
+// target list.
+Result<BatchQueryResult> BatchQuery(const ReputationSnapshot& snapshot,
+                                    NodeId observer,
+                                    const std::vector<NodeId>& targets);
+
+// Observer i's top-k peers by reputation, self excluded (k is clamped to
+// N - 1). Reuses TopK from reputation/ranking.h for the selection.
+// InvalidArgument on k == 0; OutOfRange on a bad observer.
+Result<TopKQueryResult> TopKQuery(const ReputationSnapshot& snapshot,
+                                  NodeId observer, uint32_t k);
+
+}  // namespace dgt
+
+#endif  // DGT_SERVE_QUERY_H_

@@ -1,0 +1,43 @@
+#include "serve/reputation_store.h"
+
+#include <cassert>
+
+namespace dgt {
+
+namespace {
+
+// Thread-local shard assignment: threads are striped round-robin across
+// shards in first-Acquire order, so up to num_read_shards reader threads
+// get private slots. (A hash of the thread id would risk collisions even
+// with few readers; a counter cannot collide until shards are exhausted.)
+size_t ReaderSlotIndex(size_t num_slots) {
+  static std::atomic<size_t> next_reader{0};
+  thread_local const size_t reader_index =
+      next_reader.fetch_add(1, std::memory_order_relaxed);
+  return reader_index % num_slots;
+}
+
+}  // namespace
+
+ReputationStore::ReputationStore(uint32_t num_read_shards)
+    : slots_(num_read_shards == 0 ? 1 : num_read_shards) {}
+
+std::shared_ptr<const ReputationSnapshot> ReputationStore::Acquire() const {
+  const Slot& slot = slots_[ReaderSlotIndex(slots_.size())];
+  return std::atomic_load(&slot.snapshot);
+}
+
+void ReputationStore::Publish(
+    std::shared_ptr<const ReputationSnapshot> snapshot) {
+  assert(snapshot != nullptr);
+  assert(snapshot->epoch > epoch_.load(std::memory_order_relaxed) &&
+         "published epochs must be strictly increasing");
+  for (Slot& slot : slots_) {
+    std::atomic_store(&slot.snapshot, snapshot);
+  }
+  // Stored last, so epoch() never reports a round some shard cannot yet
+  // serve.
+  epoch_.store(snapshot->epoch, std::memory_order_release);
+}
+
+}  // namespace dgt

@@ -1,0 +1,123 @@
+#include "serve/round_driver.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace dgt {
+
+RoundDriver::RoundDriver(ReputationSystem* system, TrustMatrix* trust,
+                         ReputationStore* store, EpochGate* gate,
+                         BoundedMpscQueue<TrustUpdate>* updates,
+                         RoundDriverOptions options)
+    : system_(system),
+      trust_(trust),
+      store_(store),
+      gate_(gate),
+      updates_(updates),
+      options_(options) {
+  assert(system_ != nullptr && trust_ != nullptr && store_ != nullptr &&
+         updates_ != nullptr);
+}
+
+RoundDriver::~RoundDriver() { Stop(); }
+
+Status RoundDriver::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return Status::FailedPrecondition("round driver already started");
+  }
+  if (options_.paced && gate_ == nullptr) {
+    return Status::FailedPrecondition("paced mode requires an epoch gate");
+  }
+  started_ = true;
+  thread_ = std::thread([this] { DriveLoop(); });
+  return Status::OK();
+}
+
+void RoundDriver::Stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (gate_ != nullptr) gate_->Cancel();
+  Join();
+}
+
+void RoundDriver::Join() {
+  // join_mu_ serialises joiners and is never taken by the driver thread,
+  // so holding it across join() cannot deadlock against DriveLoop's use
+  // of mu_ (e.g. when recording last_status_).
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || joined_) return;
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  joined_ = true;
+}
+
+Status RoundDriver::last_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_status_;
+}
+
+uint64_t RoundDriver::FoldPendingUpdates() {
+  drain_buffer_.clear();
+  updates_->DrainInto(drain_buffer_);
+  for (const TrustUpdate& update : drain_buffer_) {
+    // Updates were validated at submit time; Set can only fail on inputs
+    // that bypassed SubmitTrustUpdate, which we surface loudly in debug
+    // builds and skip in release.
+    Status s = trust_->Set(update.observer, update.target, update.value);
+    assert(s.ok());
+    (void)s;
+  }
+  return drain_buffer_.size();
+}
+
+void RoundDriver::DriveLoop() {
+  uint64_t folded_total = 0;
+  for (uint32_t round = 1;
+       !stop_requested_.load(std::memory_order_acquire) &&
+       (options_.num_rounds == 0 || round <= options_.num_rounds);
+       ++round) {
+    // (a) Fold updates queued since the last boundary — the matrix is
+    // stable for the whole round that follows.
+    folded_total += FoldPendingUpdates();
+    updates_folded_.store(folded_total, std::memory_order_release);
+
+    // (b) One full aggregation round (Delta gating + GCLR gossip).
+    Status s = system_->RunRound();
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_status_ = std::move(s);
+      break;
+    }
+
+    // (c) Publish the round as an immutable snapshot.
+    auto snapshot = std::make_shared<ReputationSnapshot>();
+    snapshot->epoch = system_->rounds_completed();
+    snapshot->scores = system_->reputations();  // copy; system keeps state
+    snapshot->round_stats = system_->last_round_stats();
+    snapshot->trust_updates_folded = folded_total;
+    snapshot->feedback_pushes = system_->last_round_feedback_pushes();
+    const uint64_t epoch = snapshot->epoch;
+    store_->Publish(std::move(snapshot));
+    rounds_completed_.store(epoch, std::memory_order_release);
+
+    // (d) Paced mode: wait for every reader to consume this epoch before
+    // the next round starts. AwaitAllAcked returning false means the
+    // gate was cancelled (shutdown) — but only after readers had the
+    // chance to drain the epoch published above.
+    if (options_.paced) {
+      gate_->Publish(epoch);
+      if (!gate_->AwaitAllAcked(epoch)) break;
+    }
+  }
+  // Natural completion: release any reader still waiting for a further
+  // epoch. (On Stop() the gate is already cancelled.) By this point every
+  // registered reader has acked the final epoch, so none can miss one.
+  if (gate_ != nullptr) gate_->Cancel();
+  finished_.store(true, std::memory_order_release);
+}
+
+}  // namespace dgt

@@ -1,0 +1,119 @@
+// RoundDriver: the write side of the serving layer. It owns one
+// background thread that repeatedly (a) drains the bounded MPSC
+// trust-update queue and folds the updates into the TrustMatrix — so the
+// matrix only ever changes at a round boundary, exactly the "simulation
+// mutates it in between" contract ReputationSystem was built for —
+// (b) runs one full GCLR aggregation round via
+// ReputationSystem::RunRound(), which applies the paper's Delta re-push
+// gating and runs the gossip on the engines' ThreadPool
+// (GossipOptions::num_threads), and (c) publishes the round's scores to
+// the ReputationStore as an immutable epoch-numbered snapshot.
+//
+// In paced mode an EpochGate synchronises the driver with a fixed set of
+// registered readers: the driver publishes epoch e, then waits until
+// every reader has acknowledged e before starting round e + 1. That is
+// what gives the "every epoch observed exactly once per reader, in
+// order" guarantee the consistency stress test asserts; free-running
+// mode skips the gate and rounds proceed as fast as aggregation allows.
+
+#ifndef DGT_SERVE_ROUND_DRIVER_H_
+#define DGT_SERVE_ROUND_DRIVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/epoch_gate.h"
+#include "common/mpsc_queue.h"
+#include "common/result.h"
+#include "reputation/reputation_system.h"
+#include "serve/reputation_store.h"
+#include "trust/trust_matrix.h"
+
+namespace dgt {
+
+// One queued direct-trust observation: observer's new t_ij for target.
+// Validated at submit time (see ReputationService::SubmitTrustUpdate).
+struct TrustUpdate {
+  NodeId observer = 0;
+  NodeId target = 0;
+  double value = 0.0;
+};
+
+struct RoundDriverOptions {
+  // Rounds to run before finishing; 0 = free-run until Stop().
+  uint32_t num_rounds = 0;
+  // Gate each published epoch on reader acknowledgements (requires a
+  // non-null EpochGate with all readers registered before Start).
+  bool paced = false;
+};
+
+class RoundDriver {
+ public:
+  // All pointers are borrowed and must outlive the driver. `gate` may be
+  // null when options.paced is false. The driver thread is the only
+  // mutator of `trust` and the only caller into `system` while running.
+  RoundDriver(ReputationSystem* system, TrustMatrix* trust,
+              ReputationStore* store, EpochGate* gate,
+              BoundedMpscQueue<TrustUpdate>* updates,
+              RoundDriverOptions options);
+  ~RoundDriver();
+
+  RoundDriver(const RoundDriver&) = delete;
+  RoundDriver& operator=(const RoundDriver&) = delete;
+
+  // Spawns the driver thread. FailedPrecondition if already started or
+  // if paced without a gate.
+  Status Start();
+
+  // Requests shutdown (cancelling the gate so nobody blocks) and joins.
+  // Idempotent; safe after natural completion.
+  void Stop();
+
+  // Blocks until the driver thread finishes its fixed round budget (or
+  // is stopped). With num_rounds == 0 this only returns after Stop().
+  void Join();
+
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+  // First error RunRound returned, if any (the driver stops on error).
+  Status last_status() const;
+
+  uint64_t rounds_completed() const {
+    return rounds_completed_.load(std::memory_order_acquire);
+  }
+  uint64_t updates_folded() const {
+    return updates_folded_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void DriveLoop();
+  // Drains the update queue into the trust matrix; returns #folded.
+  uint64_t FoldPendingUpdates();
+
+  ReputationSystem* system_;
+  TrustMatrix* trust_;
+  ReputationStore* store_;
+  EpochGate* gate_;
+  BoundedMpscQueue<TrustUpdate>* updates_;
+  RoundDriverOptions options_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<uint64_t> rounds_completed_{0};
+  std::atomic<uint64_t> updates_folded_{0};
+
+  mutable std::mutex mu_;  // guards started_, joined_, last_status_
+  std::mutex join_mu_;     // serialises Join; never taken by the driver
+  bool started_ = false;
+  bool joined_ = false;
+  Status last_status_;
+  std::vector<TrustUpdate> drain_buffer_;  // driver-thread only
+};
+
+}  // namespace dgt
+
+#endif  // DGT_SERVE_ROUND_DRIVER_H_

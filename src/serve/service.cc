@@ -1,0 +1,115 @@
+#include "serve/service.h"
+
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace dgt {
+
+namespace {
+
+// Clamp the worker request once, before anything consumes it, so the
+// aggregation pool and the default read-shard count agree. 0 resolves to
+// hardware concurrency (matching ThreadPool's contract).
+ReputationServiceOptions ResolveOptions(ReputationServiceOptions options) {
+  uint32_t& workers = options.system.aggregation.gossip.num_threads;
+  workers = ClampThreadsToHardware(workers, "ReputationService");
+  if (options.read_shards == 0) options.read_shards = workers;
+  return options;
+}
+
+}  // namespace
+
+ReputationService::ReputationService(const Graph* graph,
+                                     TrustMatrix initial_trust,
+                                     ReputationServiceOptions options)
+    : graph_(graph),
+      trust_(std::move(initial_trust)),
+      options_(ResolveOptions(std::move(options))),
+      system_(graph_, &trust_, options_.system),
+      store_(options_.read_shards),
+      update_queue_(options_.update_queue_capacity),
+      driver_(&system_, &trust_, &store_, &gate_, &update_queue_,
+              RoundDriverOptions{options_.num_rounds, options_.paced}) {}
+
+ReputationService::~ReputationService() { Stop(); }
+
+Status ReputationService::Start() {
+  if (graph_->num_nodes() != trust_.num_nodes()) {
+    return Status::FailedPrecondition("graph/trust node count mismatch");
+  }
+  return driver_.Start();
+}
+
+void ReputationService::Stop() { driver_.Stop(); }
+
+void ReputationService::AwaitCompletion() { driver_.Join(); }
+
+std::shared_ptr<const ReputationSnapshot> ReputationService::Snapshot()
+    const {
+  return store_.Acquire();
+}
+
+namespace {
+
+Status NoSnapshotYet() {
+  return Status::FailedPrecondition(
+      "no reputation snapshot published yet; wait for the first "
+      "aggregation round");
+}
+
+}  // namespace
+
+Result<PointQueryResult> ReputationService::QueryPoint(NodeId observer,
+                                                       NodeId target) const {
+  std::shared_ptr<const ReputationSnapshot> snapshot = store_.Acquire();
+  if (snapshot == nullptr) return NoSnapshotYet();
+  return PointQuery(*snapshot, observer, target);
+}
+
+Result<BatchQueryResult> ReputationService::QueryBatch(
+    NodeId observer, const std::vector<NodeId>& targets) const {
+  std::shared_ptr<const ReputationSnapshot> snapshot = store_.Acquire();
+  if (snapshot == nullptr) return NoSnapshotYet();
+  return BatchQuery(*snapshot, observer, targets);
+}
+
+Result<TopKQueryResult> ReputationService::QueryTopK(NodeId observer,
+                                                     uint32_t k) const {
+  std::shared_ptr<const ReputationSnapshot> snapshot = store_.Acquire();
+  if (snapshot == nullptr) return NoSnapshotYet();
+  return TopKQuery(*snapshot, observer, k);
+}
+
+Status ReputationService::SubmitTrustUpdate(NodeId observer, NodeId target,
+                                            double value) {
+  const uint32_t n = trust_.num_nodes();
+  if (observer >= n || target >= n) {
+    return Status::OutOfRange("trust update ids out of range");
+  }
+  if (observer == target) {
+    return Status::InvalidArgument("self-trust is not modelled");
+  }
+  if (!(value >= 0.0 && value <= 1.0)) {
+    return Status::InvalidArgument("trust values lie in [0, 1]");
+  }
+  if (!update_queue_.TryPush(TrustUpdate{observer, target, value})) {
+    return Status::FailedPrecondition(
+        "trust-update queue full; the next round boundary drains it");
+  }
+  return Status::OK();
+}
+
+uint32_t ReputationService::RegisterReader() {
+  return gate_.RegisterReader();
+}
+
+uint64_t ReputationService::AwaitEpochAfter(uint64_t last_seen) {
+  return gate_.AwaitNewer(last_seen);
+}
+
+void ReputationService::AckEpoch(uint32_t reader_id, uint64_t epoch) {
+  gate_.Ack(reader_id, epoch);
+}
+
+}  // namespace dgt

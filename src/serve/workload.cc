@@ -1,0 +1,32 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "trust/trust_matrix.h"
+
+namespace dgt {
+
+std::vector<TrustUpdate> MakeDistinctTrustUpdates(uint32_t num_nodes,
+                                                  uint64_t seed,
+                                                  uint32_t count) {
+  std::vector<TrustUpdate> updates;
+  if (num_nodes < 2) return updates;
+  const uint64_t max_keys =
+      static_cast<uint64_t>(num_nodes) * (num_nodes - 1);
+  count = static_cast<uint32_t>(
+      std::min<uint64_t>(count, max_keys));
+  Rng rng(seed);
+  TrustMatrix dedup(num_nodes);
+  while (updates.size() < count) {
+    const NodeId i = static_cast<NodeId>(rng.NextBelow(num_nodes));
+    const NodeId j = static_cast<NodeId>(rng.NextBelow(num_nodes));
+    if (i == j || dedup.HasOpinion(i, j)) continue;
+    const double value = rng.NextDouble();
+    (void)dedup.Set(i, j, value);
+    updates.push_back(TrustUpdate{i, j, value});
+  }
+  return updates;
+}
+
+}  // namespace dgt

@@ -88,6 +88,25 @@ TEST_F(BenchOutputTest, WriterProducesFileAtResolvedPath) {
   EXPECT_NE(json.find("\"bench\": \"unit\""), std::string::npos);
   EXPECT_NE(json.find("\"n\": 100"), std::string::npos);
   EXPECT_NE(json.find("\"steps\": 57.5"), std::string::npos);
+  // Every file records the process's peak RSS so memory acceptance
+  // numbers live in the JSON (advisory for the baseline checker).
+  EXPECT_NE(json.find("\"peak_rss_mb\": "), std::string::npos);
+}
+
+TEST_F(BenchOutputTest, PeakRssIsPositiveOnSupportedPlatforms) {
+#if defined(__unix__) || defined(__APPLE__)
+  // A running test binary has resident pages; a zero reading would mean
+  // the getrusage plumbing broke.
+  const double before = PeakRssMb();
+  EXPECT_GT(before, 0.0);
+  // Touching 32 MiB of fresh pages must raise the recorded peak — this
+  // is what distinguishes peak RSS from a current-RSS (or bogus) reading.
+  std::vector<char> ballast(32 * 1024 * 1024);
+  for (size_t i = 0; i < ballast.size(); i += 4096) ballast[i] = 1;
+  EXPECT_GE(PeakRssMb(), before + 16.0);
+#else
+  EXPECT_EQ(PeakRssMb(), 0.0);
+#endif
 }
 
 TEST_F(BenchOutputTest, WriterIsBestEffortOnBadDir) {

@@ -1,0 +1,90 @@
+#include "common/mpsc_queue.h"
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+TEST(BoundedMpscQueueTest, FifoOrderSingleProducer) {
+  BoundedMpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_EQ(q.size(), 5u);
+
+  std::vector<int> out{-1};  // DrainInto must append, not overwrite
+  EXPECT_EQ(q.DrainInto(out), 5u);
+  EXPECT_EQ(out, (std::vector<int>{-1, 0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.DrainInto(out), 0u);
+}
+
+TEST(BoundedMpscQueueTest, FullQueueRejectsWithBackpressureCount) {
+  BoundedMpscQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_FALSE(q.TryPush(4));
+  EXPECT_EQ(q.rejected(), 2u);
+
+  std::vector<int> out;
+  EXPECT_EQ(q.DrainInto(out), 2u);
+  EXPECT_TRUE(q.TryPush(5));  // drained -> accepting again
+  EXPECT_EQ(q.rejected(), 2u);
+}
+
+TEST(BoundedMpscQueueTest, ZeroCapacityIsBumpedToOne) {
+  BoundedMpscQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.TryPush(7));
+  EXPECT_FALSE(q.TryPush(8));
+}
+
+TEST(BoundedMpscQueueTest, ConcurrentProducersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 10000;
+  BoundedMpscQueue<uint64_t> q(512);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const uint64_t value =
+            static_cast<uint64_t>(p) * kPerProducer + static_cast<uint64_t>(i);
+        while (!q.TryPush(value)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<uint64_t> received;
+  while (received.size() <
+         static_cast<size_t>(kProducers) * kPerProducer) {
+    if (q.DrainInto(received) == 0) std::this_thread::yield();
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(q.size(), 0u);
+
+  // Every value arrives exactly once, and each producer's values arrive
+  // in its own push order.
+  std::vector<uint64_t> last_seen(kProducers, 0);
+  std::vector<uint32_t> counts(kProducers, 0);
+  for (uint64_t value : received) {
+    const int p = static_cast<int>(value / kPerProducer);
+    ASSERT_LT(p, kProducers);
+    if (counts[p] > 0) {
+      EXPECT_LT(last_seen[p], value);
+    }
+    last_seen[p] = value;
+    ++counts[p];
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(counts[p], static_cast<uint32_t>(kPerProducer)) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace dgt

@@ -201,9 +201,11 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0.0, 0.2)),
     SweepName);
 
-// The event-driven engine serialises on its event queue; its num_threads
-// knob is documented as inert, and this pins that contract.
-TEST(AsyncEquivalence, NumThreadsIsInert) {
+// The event-driven engine serialises on its event queue. Its num_threads
+// knob used to be silently inert; it now rejects values > 1 with an
+// explicit "serialised engine" note, while 0 ("auto") and 1 behave
+// identically. This pins that contract.
+TEST(AsyncEquivalence, NumThreadsAboveOneIsRejected) {
   const uint32_t n = 32;
   Graph g = MakePaGraph(n, 2, 34);
   auto y0 = RandomValues(n, 23);
@@ -217,15 +219,24 @@ TEST(AsyncEquivalence, NumThreadsIsInert) {
   auto base = serial.Run(y0, g0);
   ASSERT_TRUE(base.ok()) << base.status().ToString();
 
+  // 0 means "auto" and resolves to the same serialised run.
+  o.num_threads = 0;
+  AsyncPushSum auto_engine(&g, o);
+  auto auto_run = auto_engine.Run(y0, g0);
+  ASSERT_TRUE(auto_run.ok()) << auto_run.status().ToString();
+  EXPECT_EQ(auto_run->ratios, base->ratios);
+  EXPECT_EQ(auto_run->sim_time, base->sim_time);
+  EXPECT_EQ(auto_run->gossip_messages, base->gossip_messages);
+  EXPECT_EQ(auto_run->events, base->events);
+
   for (uint32_t t : kThreadCounts) {
     o.num_threads = t;
     AsyncPushSum engine(&g, o);
     auto r = engine.Run(y0, g0);
-    ASSERT_TRUE(r.ok()) << r.status().ToString();
-    EXPECT_EQ(r->ratios, base->ratios) << "T=" << t;
-    EXPECT_EQ(r->sim_time, base->sim_time) << "T=" << t;
-    EXPECT_EQ(r->gossip_messages, base->gossip_messages) << "T=" << t;
-    EXPECT_EQ(r->events, base->events) << "T=" << t;
+    ASSERT_FALSE(r.ok()) << "T=" << t;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << "T=" << t;
+    EXPECT_NE(r.status().message().find("serialised"), std::string::npos)
+        << "T=" << t << ": " << r.status().message();
   }
 }
 

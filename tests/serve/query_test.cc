@@ -1,0 +1,80 @@
+#include "serve/query.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+ReputationSnapshot MakeSnapshot() {
+  // 4 nodes; row i = observer i's view. Crafted so node 2 is the global
+  // favourite and observer 0 has a tie between nodes 1 and 3.
+  ReputationSnapshot snap;
+  snap.epoch = 7;
+  snap.scores = {
+      {0.9, 0.4, 0.8, 0.4},
+      {0.1, 0.2, 0.9, 0.3},
+      {0.5, 0.6, 0.7, 0.2},
+      {0.3, 0.1, 0.6, 0.8},
+  };
+  return snap;
+}
+
+TEST(PointQueryTest, ReturnsScoreAndEpoch) {
+  const ReputationSnapshot snap = MakeSnapshot();
+  auto r = PointQuery(snap, 1, 2);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->epoch, 7u);
+  EXPECT_EQ(r->score, 0.9);
+}
+
+TEST(PointQueryTest, RejectsOutOfRangeIds) {
+  const ReputationSnapshot snap = MakeSnapshot();
+  EXPECT_EQ(PointQuery(snap, 4, 0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(PointQuery(snap, 0, 4).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BatchQueryTest, AnswersInRequestOrderWithDuplicates) {
+  const ReputationSnapshot snap = MakeSnapshot();
+  auto r = BatchQuery(snap, 2, {3, 0, 3, 1});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->epoch, 7u);
+  EXPECT_EQ(r->scores, (std::vector<double>{0.2, 0.5, 0.2, 0.6}));
+}
+
+TEST(BatchQueryTest, RejectsEmptyAndOutOfRange) {
+  const ReputationSnapshot snap = MakeSnapshot();
+  EXPECT_EQ(BatchQuery(snap, 0, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BatchQuery(snap, 0, {1, 4}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(TopKQueryTest, RanksDescendingExcludingSelfWithLowIdTieBreak) {
+  const ReputationSnapshot snap = MakeSnapshot();
+  // Observer 0's row is {0.9, 0.4, 0.8, 0.4}; self (0.9) is excluded,
+  // and the 1-vs-3 tie at 0.4 breaks to the lower id.
+  auto r = TopKQuery(snap, 0, 3);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->epoch, 7u);
+  EXPECT_EQ(r->ids, (std::vector<NodeId>{2, 1, 3}));
+  EXPECT_EQ(r->scores, (std::vector<double>{0.8, 0.4, 0.4}));
+}
+
+TEST(TopKQueryTest, KIsClampedToNMinusOne) {
+  const ReputationSnapshot snap = MakeSnapshot();
+  auto r = TopKQuery(snap, 1, 100);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->ids, (std::vector<NodeId>{2, 3, 0}));
+}
+
+TEST(TopKQueryTest, RejectsZeroKAndBadObserver) {
+  const ReputationSnapshot snap = MakeSnapshot();
+  EXPECT_EQ(TopKQuery(snap, 0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TopKQuery(snap, 9, 1).status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace dgt
