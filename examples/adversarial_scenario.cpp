@@ -1,0 +1,168 @@
+// Phased adversarial scenario demo — the scenario engine driving a live
+// ReputationService through a collusion onset -> detection -> recovery
+// arc (paper §5.2's attack, made time-varying):
+//
+//   phase 1 "pre-attack": the colluders-to-be behave cooperatively;
+//     served scores track the collusion-free reference (RMS ~ 0).
+//   phase 2 "collusion": the group forms — colluders serve only group
+//     mates and poison their reported rows at every gossip boundary
+//     (1 for group mates, an explicit 0 about everyone else). The served
+//     scores diverge from the reference (RMS error jumps) and honest
+//     peers' service visibly degrades — the §5.2 harm, measured against
+//     the *served* epochs rather than a private batch matrix.
+//   phase 3 "recovery": the group dissolves; honest reporting resumes,
+//     the per-phase RMS error falls back and honest service recovers.
+//
+// Admission decisions are answered from the service's epoch snapshots
+// (never a private batch matrix), trust flows through the MPSC ingest
+// queue, and the per-phase timeline is written as BENCH_scenario_smoke
+// JSON whose deterministic counters CI gates against a committed
+// baseline (ci/bench_baselines/, scripts/check_bench_baseline.py).
+//
+// Run: ./example_adversarial_scenario [--smoke] [--out_dir=DIR]
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/bench_output.h"
+#include "common/table_writer.h"
+#include "graph/pa_generator.h"
+#include "scenario/scenario_runner.h"
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // Smoke = the CI-gated configuration; default is a larger run.
+  const uint32_t n = smoke ? 48 : 96;
+  const uint32_t phase_rounds = smoke ? 8 : 12;
+  const uint32_t num_rounds = 3 * phase_rounds;
+
+  dgt::PaOptions pa;
+  pa.num_nodes = n;
+  pa.edges_per_node = 2;
+  pa.seed = 71;
+  auto graph = dgt::GeneratePreferentialAttachment(pa);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+
+  // 25% colluders in groups of 4; everyone else cooperative. Free riders
+  // would also be suppressed here, but the arc is about the group.
+  dgt::CollusionConfig cfg;
+  cfg.colluding_fraction = 0.25;
+  cfg.group_size = 4;
+  cfg.seed = 72;
+  auto plan = dgt::MakeCollusionPlan(n, cfg);
+  if (!plan.ok()) {
+    std::cerr << plan.status().ToString() << "\n";
+    return 1;
+  }
+  dgt::ScenarioSpec spec;
+  spec.profiles.resize(n);
+  dgt::Rng qrng(73);
+  for (dgt::NodeId i = 0; i < n; ++i) {
+    spec.profiles[i].strategy = plan->IsColluder(i)
+                                    ? dgt::PeerStrategy::kColluder
+                                    : dgt::PeerStrategy::kCooperative;
+    spec.profiles[i].service_quality = qrng.NextDouble(0.6, 1.0);
+  }
+  spec.collusion = *plan;
+  spec.num_rounds = num_rounds;
+  spec.gossip_every = 4;
+  spec.reputation.aggregation.gossip.xi = 1e-4;
+  spec.compute_rms = true;
+  spec.seed = 74;
+
+  dgt::ScenarioPhase pre, attack, recovery;
+  pre.name = "pre-attack";
+  pre.start_round = 1;
+  pre.end_round = phase_rounds;
+  attack.name = "collusion";
+  attack.start_round = phase_rounds + 1;
+  attack.end_round = 2 * phase_rounds;
+  attack.collusion_active = true;
+  recovery.name = "recovery";
+  recovery.start_round = 2 * phase_rounds + 1;
+  recovery.end_round = num_rounds;
+  spec.phases = {pre, attack, recovery};
+
+  auto runner = dgt::ScenarioRunner::Create(&*graph, spec);
+  if (!runner.ok()) {
+    std::cerr << runner.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("scenario: %u peers (%zu colluders in groups of %u), "
+              "%u rounds, epoch every %u rounds, live serving layer\n",
+              n, plan->colluders.size(), cfg.group_size, num_rounds,
+              spec.gossip_every);
+  if (dgt::Status s = (*runner)->Run(); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  const dgt::ScenarioReport& report = (*runner)->report();
+  dgt::TableWriter table("\nper-phase view (served reputations vs. "
+                         "collusion-free reference):");
+  table.SetHeader({"phase", "rounds", "epochs", "coop ok", "colluder ok",
+                   "mean rms", "last rms"});
+  for (const auto& phase : report.phases) {
+    table.AddRow({phase.name,
+                  std::to_string(phase.start_round) + "-" +
+                      std::to_string(phase.end_round),
+                  std::to_string(phase.epochs),
+                  dgt::FormatDouble(phase.cooperative.SuccessRate(), 3),
+                  dgt::FormatDouble(phase.colluder.SuccessRate(), 3),
+                  dgt::FormatDouble(phase.MeanRms(), 4),
+                  dgt::FormatDouble(phase.LastRms(), 4)});
+  }
+  table.Print(std::cout);
+  std::printf("\ntrust updates streamed through the ingest queue: %llu "
+              "(epochs served: %u)\n",
+              static_cast<unsigned long long>(
+                  report.trust_updates_submitted),
+              report.gossip_rounds);
+
+  // Machine-readable timeline for the CI perf/correctness gate.
+  std::string out_dir = dgt::EnsureDir(dgt::ResolveOutDir(argc, argv));
+  if (!out_dir.empty()) {
+    dgt::BenchJsonWriter writer("scenario_smoke", out_dir);
+    AppendScenarioTimeline(report, {{"n", static_cast<double>(n)}},
+                           &writer);
+    writer.Write();
+  }
+
+  // The demo's acceptance claims, enforced so CI notices regressions:
+  // collusion must raise the RMS error well above the pre-attack level
+  // and measurably hurt honest peers' service; recovery must bring the
+  // error back down and restore honest service.
+  const auto& phases = report.phases;
+  bool ok = true;
+  auto expect = [&](bool cond, const char* what) {
+    if (!cond) {
+      std::fprintf(stderr, "ACCEPTANCE FAILED: %s\n", what);
+      ok = false;
+    }
+  };
+  expect(phases[0].MeanRms() < 1e-9,
+         "pre-attack served scores must match the reference");
+  expect(phases[1].MeanRms() > phases[0].MeanRms() + 0.05,
+         "collusion onset must raise the RMS error");
+  expect(phases[2].MeanRms() < phases[1].MeanRms(),
+         "recovery must lower the mean RMS error");
+  expect(phases[2].LastRms() < phases[1].LastRms(),
+         "recovery must lower the last-epoch RMS error");
+  expect(phases[1].cooperative.SuccessRate() <
+             phases[0].cooperative.SuccessRate(),
+         "the attack must measurably degrade honest peers' service");
+  expect(phases[2].cooperative.SuccessRate() >
+             phases[1].cooperative.SuccessRate(),
+         "recovery must restore honest peers' service");
+  std::printf("%s\n", ok ? "acceptance criteria hold"
+                         : "acceptance criteria VIOLATED");
+  return ok ? 0 : 1;
+}

@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
             << "), free rider success="
             << dgt::FormatDouble(report.free_rider.SuccessRate(), 3)
             << "\nreputation rounds run: " << report.gossip_rounds
-            << ", last round: " << (*sim)->reputation().last_round_stats().steps
+            << ", last round: " << (*sim)->last_round_stats().steps
             << " gossip steps\n";
   return 0;
 }

@@ -8,13 +8,16 @@ Compares a freshly produced bench JSON against a committed baseline:
 Point identity: two points match when all their *key* fields are equal.
 Field classes:
   - metric fields  : "steps" or names ending in "_steps", "_messages",
-    "_nnz", "_queries", "_rounds" or "_updates" — must match the
-    baseline within the relative tolerance (default 10%), otherwise the
-    check FAILS. These counts are deterministic per seed/configuration,
-    so drift means the algorithm (or the workload) changed behaviour.
+    "_nnz", "_queries", "_rounds", "_updates", "_requests", "_served",
+    "_refused", "_resets", "_arrivals", "_epochs" or "_count" — must
+    match the baseline within the relative tolerance (default 10%),
+    otherwise the check FAILS. These counts are deterministic per
+    seed/configuration, so drift means the algorithm (or the workload)
+    changed behaviour.
   - advisory fields: names ending in "_ms" (wall-clock), "_per_sec"
-    (rates) or "_mb" (memory) — reported with a ratio but never failing
-    (CI machines are too noisy to gate on).
+    (rates), "_mb" (memory) or "_rms" (error metrics that go through
+    libm) — reported with a ratio but never failing (CI machines are too
+    noisy / libm too version-dependent to gate on).
   - key fields     : everything else (n, xi, gclr_threads, readers, ...).
 
 A baseline point with no matching current point fails: silently dropping
@@ -29,8 +32,9 @@ import sys
 
 
 METRIC_SUFFIXES = ("_steps", "_messages", "_nnz", "_queries", "_rounds",
-                   "_updates")
-ADVISORY_SUFFIXES = ("_ms", "_per_sec", "_mb")
+                   "_updates", "_requests", "_served", "_refused",
+                   "_resets", "_arrivals", "_epochs", "_count")
+ADVISORY_SUFFIXES = ("_ms", "_per_sec", "_mb", "_rms")
 
 
 def classify(name):
@@ -92,7 +96,10 @@ def main(argv):
                 failures.append(f"[{label}] field {field} missing")
                 continue
             if cls == "advisory":
-                ratio = cval / bval if bval else float("inf")
+                if bval:
+                    ratio = cval / bval
+                else:
+                    ratio = 1.0 if cval == bval else float("inf")
                 print(f"  [{label}] {field}: {bval:.1f} -> {cval:.1f} "
                       f"({ratio:.2f}x, advisory)")
                 continue

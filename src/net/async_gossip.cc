@@ -96,23 +96,28 @@ Result<AsyncGossipResult> AsyncPushSum::Run(const std::vector<double>& y0,
   // event handlers.
   std::function<void(NodeId)> fire;
 
-  auto announce_convergence = [&](NodeId i) {
-    node[i].converged = true;
-    for (NodeId v : graph_->Neighbors(i)) {
-      ++res.control_messages;
-      double latency = links.Latency(i, v, rng);
-      queue.ScheduleAfter(latency, [&, v]() {
-        ++node[v].neighbors_converged;
-      });
-    }
-  };
-
   auto maybe_stop = [&](NodeId i) {
     if (node[i].stopped || !node[i].converged) return;
     if (node[i].neighbors_converged >= graph_->Degree(i)) {
       node[i].stopped = true;
       ++num_stopped;
       last_stop_time = queue.now();
+    }
+  };
+
+  auto announce_convergence = [&](NodeId i) {
+    node[i].converged = true;
+    for (NodeId v : graph_->Neighbors(i)) {
+      ++res.control_messages;
+      double latency = links.Latency(i, v, rng);
+      // Evaluate the stop rule at arrival: a node that has already
+      // converged must not keep pushing for up to a full period just
+      // because its own timer has not fired yet (that latency inflated
+      // sim_time, gossip_messages and max_node_firings).
+      queue.ScheduleAfter(latency, [&, v]() {
+        ++node[v].neighbors_converged;
+        maybe_stop(v);
+      });
     }
   };
 
@@ -221,18 +226,27 @@ Result<AsyncGossipResult> AsyncPushSum::Run(const std::vector<double>& y0,
                    [&, i]() { fire(i); });
   }
 
+  // Events strictly past the cap never execute as protocol actions: the
+  // loop peeks the next timestamp instead of noticing the overrun only
+  // after RunNext() already advanced the clock (which let the first event
+  // past the cap run and reported sim_time > max_time).
   while (num_stopped < n && queue.events_pending() > 0 &&
-         queue.now() <= options_.max_time) {
+         queue.NextEventTime() <= options_.max_time) {
     queue.RunNext();
   }
-  // Drain in-flight deliveries so no mass is lost (no new pushes are
-  // scheduled once every node has stopped).
-  while (queue.events_pending() > 0 && queue.now() <= options_.max_time) {
+  const bool hit_cap = num_stopped < n && queue.events_pending() > 0;
+  // Drain every remaining event so no mass is lost: past the cap (and
+  // once every node has stopped) fire() is inert, so these events only
+  // return in-flight shares to node-resident state; their post-cap
+  // timestamps never reach the reported sim_time.
+  while (queue.events_pending() > 0) {
     queue.RunNext();
   }
 
-  res.converged = (num_stopped == n);
-  res.sim_time = res.converged ? last_stop_time : queue.now();
+  res.converged = !hit_cap && num_stopped == n;
+  res.sim_time = res.converged
+                     ? last_stop_time
+                     : std::min(queue.now(), options_.max_time);
   res.events = queue.events_processed();
   res.ratios.resize(n);
   res.values.resize(n);

@@ -1,12 +1,18 @@
 #include "net/event_queue.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace dgt {
 
 void EventQueue::Schedule(double time, Callback fn) {
   queue_.push(Entry{std::max(time, now_), seq_++, std::move(fn)});
+}
+
+double EventQueue::NextEventTime() const {
+  if (queue_.empty()) return std::numeric_limits<double>::infinity();
+  return queue_.top().time;
 }
 
 bool EventQueue::RunNext() {

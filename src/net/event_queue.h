@@ -31,6 +31,11 @@ class EventQueue {
   uint64_t events_processed() const { return processed_; }
   uint64_t events_pending() const { return queue_.size(); }
 
+  // Timestamp of the earliest pending event, or +infinity when the queue
+  // is empty — lets callers clamp execution at a horizon (run only events
+  // at or before t) without popping anything.
+  double NextEventTime() const;
+
   // Schedules `fn` at absolute simulated time `time` (>= now(); earlier
   // times are clamped to now()). Events at equal times run in the order
   // they were scheduled.

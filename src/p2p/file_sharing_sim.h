@@ -8,6 +8,14 @@
 // The headline observable: free riders' download success collapses once
 // reputation rounds start, while cooperative peers keep being served —
 // reputation management suppresses free riding.
+//
+// Since the scenario engine landed this class is a thin facade: Create()
+// translates the options into the canned file-sharing ScenarioSpec
+// (scenario/canned_specs.h) and Run() drives a ScenarioRunner, which
+// serves reputations from a live ReputationService instead of a private
+// batch matrix (tests/scenario/wrapper_equivalence_test.cc proves the
+// round loop it replaced is reproduced bit-for-bit). The implementation
+// lives in src/scenario/legacy_sims.cc.
 
 #ifndef DGT_P2P_FILE_SHARING_SIM_H_
 #define DGT_P2P_FILE_SHARING_SIM_H_
@@ -22,10 +30,13 @@
 #include "graph/graph.h"
 #include "p2p/peer.h"
 #include "reputation/reputation_system.h"
+#include "scenario/metrics.h"
 #include "trust/trust_estimator.h"
 #include "trust/trust_matrix.h"
 
 namespace dgt {
+
+class ScenarioRunner;
 
 struct FileSharingOptions {
   uint32_t num_rounds = 100;
@@ -43,44 +54,14 @@ struct FileSharingOptions {
   double newcomer_serve_prob = 0.5;
   // Satisfaction noise amplitude around the provider's intrinsic quality.
   double satisfaction_noise = 0.05;
+  // Colluder reporting mode at gossip boundaries: true = the paper's
+  // dense model (explicit 0 about every outsider), false = poison only
+  // the opinions the colluder already held. Previously the sim silently
+  // forced the dense mode regardless of the experiment's CollusionConfig.
+  bool collusion_report_zero_for_outsiders = true;
   TrustEstimatorOptions trust;
   ReputationSystemOptions reputation;
   uint64_t seed = 1;
-};
-
-// Per-strategy-class transaction accounting. `served` counts downloads
-// received by the class; `uploads` counts service the class provided —
-// the two sides of the paper's section-3 economics (every download is
-// somebody's upload, so free riding is the dominant strategy absent a
-// reputation system).
-struct ClassMetrics {
-  uint64_t requests = 0;
-  uint64_t served = 0;
-  uint64_t refused = 0;
-  uint64_t uploads = 0;
-  double satisfaction_sum = 0.0;
-
-  double SuccessRate() const {
-    return requests == 0
-               ? 0.0
-               : static_cast<double>(served) / static_cast<double>(requests);
-  }
-  double MeanSatisfaction() const {
-    return served == 0 ? 0.0
-                       : satisfaction_sum / static_cast<double>(served);
-  }
-  // Net benefit in transfer units: downloads received minus uploads
-  // contributed (the quantity a selfish node maximises).
-  int64_t NetUtility() const {
-    return static_cast<int64_t>(served) - static_cast<int64_t>(uploads);
-  }
-};
-
-struct RoundSnapshot {
-  uint32_t round = 0;
-  ClassMetrics cooperative;
-  ClassMetrics free_rider;
-  ClassMetrics colluder;
 };
 
 struct FileSharingReport {
@@ -98,8 +79,8 @@ class FileSharingSim {
   // `graph` is borrowed and must outlive the simulator. `profiles` must
   // have one entry per node. Optional collusion plan poisons the matrix
   // the reputation rounds see (direct trust stays honest). Returned by
-  // pointer because the simulator holds internal self-references and is
-  // deliberately neither copyable nor movable.
+  // pointer because the underlying engine holds internal self-references
+  // and is deliberately neither copyable nor movable.
   static Result<std::unique_ptr<FileSharingSim>> Create(
       const Graph* graph, std::vector<PeerProfile> profiles,
       FileSharingOptions options,
@@ -107,40 +88,27 @@ class FileSharingSim {
 
   FileSharingSim(const FileSharingSim&) = delete;
   FileSharingSim& operator=(const FileSharingSim&) = delete;
+  ~FileSharingSim();
 
   // Runs all configured rounds. Call once.
   Status Run();
 
   const FileSharingReport& report() const { return report_; }
-  const TrustMatrix& trust() const { return trust_; }
-  const ReputationSystem& reputation() const { return reputation_; }
-  const std::vector<PeerProfile>& profiles() const { return profiles_; }
+  // Honest direct-interaction trust.
+  const TrustMatrix& trust() const;
+  // The matrix the last reputation round aggregated (collusion-poisoned
+  // when a plan is active); empty before the first gossip round.
+  const TrustMatrix& reported_trust() const;
+  // Gossip statistics of the last reputation round (default-constructed
+  // before the first).
+  GossipRunStats last_round_stats() const;
+  const std::vector<PeerProfile>& profiles() const;
 
  private:
-  FileSharingSim(const Graph* graph, std::vector<PeerProfile> profiles,
-                 FileSharingOptions options,
-                 std::optional<CollusionPlan> collusion);
+  explicit FileSharingSim(std::unique_ptr<ScenarioRunner> runner);
 
-  // Provider discovery: random node within query_ttl hops of `requester`.
-  std::optional<NodeId> DiscoverProvider(NodeId requester);
-
-  // The provider-side admission decision.
-  bool DecideToServe(NodeId provider, NodeId requester);
-
-  Status RunReputationRound();
-
-  const Graph* graph_;
-  std::vector<PeerProfile> profiles_;
-  FileSharingOptions options_;
-  std::optional<CollusionPlan> collusion_;
-
-  TrustMatrix trust_;           // honest direct-interaction trust
-  TrustMatrix reported_trust_;  // what aggregation sees (poisoned if colluding)
-  TrustEstimator estimator_;
-  ReputationSystem reputation_;
-  Rng rng_;
+  std::unique_ptr<ScenarioRunner> runner_;
   FileSharingReport report_;
-  bool ran_ = false;
 };
 
 }  // namespace dgt

@@ -14,6 +14,11 @@
 // The simulator measures what each policy buys: service received by
 // whitewashers (lower = stronger defence) versus service received by
 // honest newcomers (higher = better bootstrap).
+//
+// Since the scenario engine landed this class is a thin facade over the
+// canned whitewashing ScenarioSpec (scenario/canned_specs.h) run by a
+// ScenarioRunner; the implementation lives in src/scenario/legacy_sims.cc
+// and tests/scenario/wrapper_equivalence_test.cc pins the equivalence.
 
 #ifndef DGT_P2P_WHITEWASHING_SIM_H_
 #define DGT_P2P_WHITEWASHING_SIM_H_
@@ -27,15 +32,10 @@
 #include "graph/graph.h"
 #include "p2p/file_sharing_sim.h"
 #include "reputation/newcomer_policy.h"
+#include "scenario/scenario_spec.h"
 #include "trust/trust_matrix.h"
 
 namespace dgt {
-
-enum class NewcomerMode {
-  kZero,
-  kOptimistic,
-  kAdaptive,
-};
 
 struct WhitewashingOptions {
   uint32_t num_rounds = 150;
@@ -49,6 +49,14 @@ struct WhitewashingOptions {
   // Serving: probability = min(1, trust / serve_threshold); strangers use
   // the policy's initial trust instead.
   double serve_threshold = 0.4;
+  // Weight of the provider-side reciprocity rating recorded when the
+  // request was *refused*: no transaction happened, so the encounter
+  // carries much less information than a completed transfer. 1.0
+  // reproduces the pre-fix accounting in which refusals built trust at
+  // full strength (understating the cost of free riding); 0 records
+  // nothing on refusal (and starves the bootstrap: under kZero nobody
+  // would ever earn a first opinion).
+  double refused_reciprocity_weight = 0.25;
   NewcomerMode mode = NewcomerMode::kAdaptive;
   NewcomerPolicyOptions policy;
   TrustEstimatorOptions trust;
@@ -74,35 +82,18 @@ class WhitewashingSim {
 
   WhitewashingSim(const WhitewashingSim&) = delete;
   WhitewashingSim& operator=(const WhitewashingSim&) = delete;
+  ~WhitewashingSim();
 
   Status Run();
 
   const WhitewashingReport& report() const { return report_; }
-  const NewcomerPolicy& policy() const { return policy_; }
+  const NewcomerPolicy& policy() const;
 
  private:
-  WhitewashingSim(const Graph* graph, std::vector<PeerProfile> profiles,
-                  WhitewashingOptions options);
+  explicit WhitewashingSim(std::unique_ptr<ScenarioRunner> runner);
 
-  double StrangerTrust() const;
-  void ResetIdentity(NodeId node);
-
-  const Graph* graph_;
-  std::vector<PeerProfile> profiles_;
-  WhitewashingOptions options_;
-
-  TrustMatrix trust_;
-  TrustEstimator estimator_;
-  NewcomerPolicy policy_;
-  Rng rng_;
+  std::unique_ptr<ScenarioRunner> runner_;
   WhitewashingReport report_;
-
-  // Per-node rolling acceptance accounting for the rejoin decision and
-  // the "newcomer" classification.
-  std::vector<uint32_t> window_requests_;
-  std::vector<uint32_t> window_served_;
-  std::vector<uint32_t> rounds_since_join_;
-  bool ran_ = false;
 };
 
 }  // namespace dgt

@@ -1,0 +1,35 @@
+// Canned ScenarioSpecs for the paper's stock scenarios. Each builder
+// translates a legacy simulator's options into the equivalent spec for
+// the unified engine — the legacy classes are thin facades over these
+// (tests/scenario/wrapper_equivalence_test.cc pins both directions), and
+// composed scenarios can start from one and edit the phase schedule.
+
+#ifndef DGT_SCENARIO_CANNED_SPECS_H_
+#define DGT_SCENARIO_CANNED_SPECS_H_
+
+#include <optional>
+#include <vector>
+
+#include "p2p/file_sharing_sim.h"
+#include "p2p/whitewashing_sim.h"
+#include "scenario/scenario_spec.h"
+
+namespace dgt {
+
+// The file-sharing workload (paper §1/§4 free-riding economics, §5.2
+// collusion when a plan is given): query-flood discovery, served-
+// reputation admission with bootstrap altruism, requester-side refusal
+// scores, one all-run phase with collusion active.
+ScenarioSpec FileSharingScenarioSpec(
+    std::vector<PeerProfile> profiles, const FileSharingOptions& options,
+    std::optional<CollusionPlan> collusion = std::nullopt);
+
+// The whitewashing study (paper §4.1.2): uniform-random discovery,
+// direct-trust admission with the stranger-policy dial, provider-side
+// reciprocity ratings, identity lifecycle on, no gossip rounds.
+ScenarioSpec WhitewashingScenarioSpec(std::vector<PeerProfile> profiles,
+                                      const WhitewashingOptions& options);
+
+}  // namespace dgt
+
+#endif  // DGT_SCENARIO_CANNED_SPECS_H_

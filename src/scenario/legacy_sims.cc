@@ -1,0 +1,158 @@
+// Canned-spec builders plus the FileSharingSim / WhitewashingSim facades
+// (declared in p2p/). Their bespoke round loops were replaced by the
+// ScenarioRunner in the scenario-engine PR; what remains here is options
+// translation in and report translation out.
+
+#include <utility>
+
+#include "p2p/file_sharing_sim.h"
+#include "p2p/whitewashing_sim.h"
+#include "scenario/canned_specs.h"
+#include "scenario/scenario_runner.h"
+
+namespace dgt {
+
+ScenarioSpec FileSharingScenarioSpec(
+    std::vector<PeerProfile> profiles, const FileSharingOptions& options,
+    std::optional<CollusionPlan> collusion) {
+  ScenarioSpec spec;
+  spec.profiles = std::move(profiles);
+  spec.collusion = std::move(collusion);
+  spec.collusion_report_zero_for_outsiders =
+      options.collusion_report_zero_for_outsiders;
+  spec.num_rounds = options.num_rounds;
+  spec.discovery = DiscoveryMode::kQueryFlood;
+  spec.query_ttl = options.query_ttl;
+  spec.admission = AdmissionMode::kServedReputation;
+  spec.serve_threshold = options.serve_threshold;
+  spec.newcomer_serve_prob = options.newcomer_serve_prob;
+  spec.satisfaction_noise = options.satisfaction_noise;
+  spec.trust = options.trust;
+  spec.requester_records_refusals = true;
+  spec.rate_requester = false;
+  spec.lifecycle_enabled = false;
+  spec.gossip_every = options.gossip_every;
+  spec.reputation = options.reputation;
+  spec.seed = options.seed;
+  ScenarioPhase phase;
+  phase.name = "file-sharing";
+  phase.start_round = 1;
+  phase.end_round = options.num_rounds;
+  // Always-on: matches the legacy sim, where a colluder colluded for the
+  // whole run (and one without a plan refused outsiders but poisoned
+  // nothing).
+  phase.collusion_active = true;
+  spec.phases = {std::move(phase)};
+  return spec;
+}
+
+ScenarioSpec WhitewashingScenarioSpec(std::vector<PeerProfile> profiles,
+                                      const WhitewashingOptions& options) {
+  ScenarioSpec spec;
+  spec.profiles = std::move(profiles);
+  spec.num_rounds = options.num_rounds;
+  spec.discovery = DiscoveryMode::kUniformRandom;
+  spec.admission = AdmissionMode::kDirectTrust;
+  spec.serve_threshold = options.serve_threshold;
+  spec.newcomer_mode = options.mode;
+  spec.newcomer_policy = options.policy;
+  spec.satisfaction_noise = 0.05;  // the study's fixed rating noise
+  spec.trust = options.trust;
+  spec.requester_records_refusals = false;
+  spec.rate_requester = true;
+  spec.refused_reciprocity_weight = options.refused_reciprocity_weight;
+  spec.lifecycle_enabled = true;
+  spec.rejoin_threshold = options.rejoin_threshold;
+  spec.assessment_window = options.assessment_window;
+  spec.honest_arrival_prob = options.honest_arrival_prob;
+  spec.gossip_every = 0;  // the stranger-policy dial needs no aggregation
+  spec.seed = options.seed;
+  ScenarioPhase phase;
+  phase.name = "whitewashing";
+  phase.start_round = 1;
+  phase.end_round = options.num_rounds;
+  phase.whitewashing_active = true;
+  spec.phases = {std::move(phase)};
+  return spec;
+}
+
+// --- FileSharingSim facade -------------------------------------------
+
+Result<std::unique_ptr<FileSharingSim>> FileSharingSim::Create(
+    const Graph* graph, std::vector<PeerProfile> profiles,
+    FileSharingOptions options, std::optional<CollusionPlan> collusion) {
+  DGT_ASSIGN_OR_RETURN(
+      std::unique_ptr<ScenarioRunner> runner,
+      ScenarioRunner::Create(
+          graph, FileSharingScenarioSpec(std::move(profiles), options,
+                                         std::move(collusion))));
+  return std::unique_ptr<FileSharingSim>(
+      new FileSharingSim(std::move(runner)));
+}
+
+FileSharingSim::FileSharingSim(std::unique_ptr<ScenarioRunner> runner)
+    : runner_(std::move(runner)) {}
+
+FileSharingSim::~FileSharingSim() = default;
+
+Status FileSharingSim::Run() {
+  DGT_RETURN_IF_ERROR(runner_->Run());
+  const ScenarioReport& s = runner_->report();
+  report_.cooperative = s.cooperative;
+  report_.free_rider = s.free_rider;
+  report_.colluder = s.colluder;
+  report_.rounds = s.rounds;
+  report_.gossip_rounds = s.gossip_rounds;
+  return Status::OK();
+}
+
+const TrustMatrix& FileSharingSim::trust() const { return runner_->trust(); }
+
+const TrustMatrix& FileSharingSim::reported_trust() const {
+  return runner_->reported_trust();
+}
+
+GossipRunStats FileSharingSim::last_round_stats() const {
+  return runner_->last_round_stats();
+}
+
+const std::vector<PeerProfile>& FileSharingSim::profiles() const {
+  return runner_->profiles();
+}
+
+// --- WhitewashingSim facade ------------------------------------------
+
+Result<std::unique_ptr<WhitewashingSim>> WhitewashingSim::Create(
+    const Graph* graph, std::vector<PeerProfile> profiles,
+    WhitewashingOptions options) {
+  DGT_ASSIGN_OR_RETURN(
+      std::unique_ptr<ScenarioRunner> runner,
+      ScenarioRunner::Create(
+          graph, WhitewashingScenarioSpec(std::move(profiles), options)));
+  return std::unique_ptr<WhitewashingSim>(
+      new WhitewashingSim(std::move(runner)));
+}
+
+WhitewashingSim::WhitewashingSim(std::unique_ptr<ScenarioRunner> runner)
+    : runner_(std::move(runner)) {}
+
+WhitewashingSim::~WhitewashingSim() = default;
+
+Status WhitewashingSim::Run() {
+  DGT_RETURN_IF_ERROR(runner_->Run());
+  const ScenarioReport& s = runner_->report();
+  report_.honest = s.cooperative;
+  report_.newcomer = s.newcomer;
+  report_.whitewasher = s.free_rider;
+  report_.identity_resets = s.identity_resets;
+  report_.honest_arrivals = s.honest_arrivals;
+  report_.final_initial_trust = s.final_initial_trust;
+  report_.final_whitewashing_rate = s.final_whitewashing_rate;
+  return Status::OK();
+}
+
+const NewcomerPolicy& WhitewashingSim::policy() const {
+  return runner_->policy();
+}
+
+}  // namespace dgt

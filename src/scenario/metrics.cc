@@ -1,0 +1,51 @@
+#include "scenario/metrics.h"
+
+#include "common/bench_output.h"
+
+namespace dgt {
+
+namespace {
+
+void AppendClass(const std::string& prefix, const ClassMetrics& m,
+                 std::vector<std::pair<std::string, double>>* fields) {
+  fields->emplace_back(prefix + "_requests",
+                       static_cast<double>(m.requests));
+  fields->emplace_back(prefix + "_served", static_cast<double>(m.served));
+  fields->emplace_back(prefix + "_refused", static_cast<double>(m.refused));
+}
+
+}  // namespace
+
+void AppendScenarioTimeline(
+    const ScenarioReport& report,
+    const std::vector<std::pair<std::string, double>>& key_fields,
+    BenchJsonWriter* writer) {
+  for (size_t p = 0; p < report.phases.size(); ++p) {
+    const ScenarioPhaseReport& phase = report.phases[p];
+    std::vector<std::pair<std::string, double>> fields = key_fields;
+    fields.emplace_back("phase", static_cast<double>(p));
+    AppendClass("coop", phase.cooperative, &fields);
+    AppendClass("fr", phase.free_rider, &fields);
+    AppendClass("col", phase.colluder, &fields);
+    AppendClass("newcomer", phase.newcomer, &fields);
+    fields.emplace_back("lost_count",
+                        static_cast<double>(phase.cooperative.lost +
+                                            phase.free_rider.lost +
+                                            phase.colluder.lost +
+                                            phase.newcomer.lost));
+    fields.emplace_back("identity_resets",
+                        static_cast<double>(phase.identity_resets));
+    fields.emplace_back("churn_resets",
+                        static_cast<double>(phase.churn_resets));
+    fields.emplace_back("honest_arrivals",
+                        static_cast<double>(phase.honest_arrivals));
+    fields.emplace_back("gossip_epochs", static_cast<double>(phase.epochs));
+    // RMS goes through libm (sqrt/exp chains inside aggregation), so it
+    // is advisory in the baseline check rather than count-gated.
+    fields.emplace_back("mean_rms", phase.MeanRms());
+    fields.emplace_back("last_rms", phase.LastRms());
+    writer->AddPoint(std::move(fields));
+  }
+}
+
+}  // namespace dgt

@@ -64,6 +64,10 @@ uint64_t RoundDriver::FoldPendingUpdates() {
   drain_buffer_.clear();
   updates_->DrainInto(drain_buffer_);
   for (const TrustUpdate& update : drain_buffer_) {
+    if (update.erase) {
+      trust_->Erase(update.observer, update.target);
+      continue;
+    }
     // Updates were validated at submit time; Set can only fail on inputs
     // that bypassed SubmitTrustUpdate, which we surface loudly in debug
     // builds and skip in release.

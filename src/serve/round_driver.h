@@ -36,10 +36,15 @@ namespace dgt {
 
 // One queued direct-trust observation: observer's new t_ij for target.
 // Validated at submit time (see ReputationService::SubmitTrustUpdate).
+// `erase` retracts the opinion instead (value ignored) — "no opinion" is
+// distinct from an explicit 0 throughout the trust model, and identity
+// resets (whitewashing, churn) need to retract rows/columns through the
+// same ingest path as ordinary observations.
 struct TrustUpdate {
   NodeId observer = 0;
   NodeId target = 0;
   double value = 0.0;
+  bool erase = false;
 };
 
 struct RoundDriverOptions {

@@ -100,6 +100,22 @@ Status ReputationService::SubmitTrustUpdate(NodeId observer, NodeId target,
   return Status::OK();
 }
 
+Status ReputationService::SubmitTrustErase(NodeId observer, NodeId target) {
+  const uint32_t n = trust_.num_nodes();
+  if (observer >= n || target >= n) {
+    return Status::OutOfRange("trust update ids out of range");
+  }
+  if (observer == target) {
+    return Status::InvalidArgument("self-trust is not modelled");
+  }
+  if (!update_queue_.TryPush(
+          TrustUpdate{observer, target, 0.0, /*erase=*/true})) {
+    return Status::FailedPrecondition(
+        "trust-update queue full; the next round boundary drains it");
+  }
+  return Status::OK();
+}
+
 uint32_t ReputationService::RegisterReader() {
   return gate_.RegisterReader();
 }

@@ -104,6 +104,12 @@ class ReputationService {
   // bounded queue rejects it (also counted in updates_rejected()).
   Status SubmitTrustUpdate(NodeId observer, NodeId target, double value);
 
+  // Enqueues a retraction of observer's opinion about target ("no
+  // opinion", distinct from an explicit 0), applied at the next round
+  // boundary like SubmitTrustUpdate. Retracting an absent opinion is a
+  // harmless no-op at fold time.
+  Status SubmitTrustErase(NodeId observer, NodeId target);
+
   // --- paced-reader protocol (options.paced only) ---
 
   // Register before Start(); returns the reader id for AckEpoch.

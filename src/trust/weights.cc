@@ -26,11 +26,17 @@ Result<WeightTable> WeightTable::Build(const TrustMatrix& trust, NodeId owner,
     return Status::OutOfRange("weight table owner out of range");
   }
   std::unordered_map<NodeId, double> entries;
-  entries.reserve(trust.Row(owner).size());
-  for (const auto& [i, t] : trust.Row(owner)) {
-    entries.emplace(i, params.Weight(t));
+  entries.reserve(trust.RowNnz(owner));
+  // Ascending-id iteration keeps the excess-weight accumulation (and
+  // therefore every GCLR denominator) a pure function of the matrix
+  // *content*, independent of the hash map's insertion history.
+  double total_excess = 0.0;
+  for (const auto& [i, t] : trust.SortedRow(owner)) {
+    const double w = params.Weight(t);
+    entries.emplace(i, w);
+    total_excess += w - 1.0;
   }
-  return WeightTable(owner, std::move(entries));
+  return WeightTable(owner, std::move(entries), total_excess);
 }
 
 double WeightTable::Weight(NodeId i) const {
@@ -41,12 +47,6 @@ double WeightTable::Weight(NodeId i) const {
 double WeightTable::ExcessWeightSum(const std::vector<NodeId>& nodes) const {
   double sum = 0.0;
   for (NodeId i : nodes) sum += Weight(i) - 1.0;
-  return sum;
-}
-
-double WeightTable::TotalExcessWeight() const {
-  double sum = 0.0;
-  for (const auto& [i, w] : entries_) sum += w - 1.0;
   return sum;
 }
 

@@ -47,19 +47,27 @@ class WeightTable {
   double ExcessWeightSum(const std::vector<NodeId>& nodes) const;
 
   // sum over all stored entries of (w_Ii - 1) — eq. (17)'s
-  // sum_i (w_oi - 1) (strangers contribute 0).
-  double TotalExcessWeight() const;
+  // sum_i (w_oi - 1) (strangers contribute 0). Accumulated once at Build
+  // in ascending-id order: summing the hash map in iteration order made
+  // the GCLR denominator depend on the trust matrix's *insertion
+  // history*, so two matrices with identical content could aggregate to
+  // estimates differing in the last ulp.
+  double TotalExcessWeight() const { return total_excess_; }
 
   const std::unordered_map<NodeId, double>& entries() const {
     return entries_;
   }
 
  private:
-  WeightTable(NodeId owner, std::unordered_map<NodeId, double> entries)
-      : owner_(owner), entries_(std::move(entries)) {}
+  WeightTable(NodeId owner, std::unordered_map<NodeId, double> entries,
+              double total_excess)
+      : owner_(owner),
+        entries_(std::move(entries)),
+        total_excess_(total_excess) {}
 
   NodeId owner_;
   std::unordered_map<NodeId, double> entries_;
+  double total_excess_ = 0.0;
 };
 
 }  // namespace dgt

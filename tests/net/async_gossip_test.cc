@@ -97,6 +97,80 @@ TEST(AsyncGossipTest, DeterministicPerSeed) {
   EXPECT_DOUBLE_EQ(a->sim_time, b->sim_time);
 }
 
+TEST(AsyncGossipTest, TimeCapClampsSimTimeAndConservesMass) {
+  // Regression: the run loops used to check the cap only *before*
+  // RunNext(), so the first event past it still executed (sim_time could
+  // exceed max_time) and the drain loop dropped every delivery scheduled
+  // past the cap (in-flight mass vanished from the reported totals).
+  Graph g = MakePaGraph(120, 2, 31);
+  auto y0 = RandomValues(120, 14);
+  std::vector<double> g0(120, 1.0);
+  AsyncGossipOptions o = Opts(1e-12, 32);
+  o.convergence_rounds = 1000;  // cannot converge: the cap must bind
+  o.max_time = 2.6;
+  auto r = AsyncPushSum(&g, o).Run(y0, g0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->converged);
+  EXPECT_LE(r->sim_time, o.max_time);
+  double sum_y = std::accumulate(r->values.begin(), r->values.end(), 0.0);
+  double sum_g = std::accumulate(r->weights.begin(), r->weights.end(), 0.0);
+  EXPECT_NEAR(sum_y, std::accumulate(y0.begin(), y0.end(), 0.0), 1e-9);
+  EXPECT_NEAR(sum_g, 120.0, 1e-9);
+}
+
+TEST(AsyncGossipTest, StopsOnAnnouncementArrivalNotNextFiring) {
+  // Two nodes, constant link latency L (no access/backbone/jitter
+  // randomness), no period jitter: every firing of node i happens at
+  // t_i + k (t_i = its random start offset), and every convergence
+  // announcement arrives at a firing time + L. The later-converging node
+  // stops at its own firing; the other must stop when that announcement
+  // *arrives* — so the reported stop time is (some firing) + L, never a
+  // grid point. Before the fix the receiver waited for its next firing,
+  // putting sim_time back on the firing grid (and one period late).
+  Graph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  auto run = [&](double backbone, uint64_t seed) {
+    AsyncGossipOptions o;
+    o.seed = seed;
+    o.xi = 1e-4;
+    o.push_period = 1.0;
+    o.period_jitter = 0.0;
+    o.max_time = 10000.0;
+    o.link.access_latency_min = 0.02;
+    o.link.access_latency_max = 0.02;
+    o.link.backbone_latency = backbone;
+    o.link.jitter = 0.0;
+    return AsyncPushSum(&g, o).Run({0.2, 0.8}, {1.0, 1.0});
+  };
+  const uint64_t seed = 5;
+  const double latency = 0.02 + 0.10 + 0.02;
+  auto r = run(0.10, seed);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->converged);
+  // The start offsets are the first two draws of the engine's RNG.
+  Rng probe(seed);
+  const double t0 = probe.NextDouble(0.0, 1.0);
+  const double t1 = probe.NextDouble(0.0, 1.0);
+  auto on_grid_of = [&](double time, double offset) {
+    const double frac = std::fmod(time - offset, 1.0);
+    return std::min(frac, 1.0 - frac) < 1e-9;
+  };
+  // Stop time sits one latency after a firing, not on a firing.
+  EXPECT_TRUE(on_grid_of(r->sim_time - latency, t0) ||
+              on_grid_of(r->sim_time - latency, t1))
+      << "sim_time " << r->sim_time << " is not firing + latency";
+  EXPECT_FALSE(on_grid_of(r->sim_time, t0) || on_grid_of(r->sim_time, t1))
+      << "sim_time " << r->sim_time << " sits on the firing grid";
+  // Cross-check: nudging the constant latency shifts the stop time by
+  // exactly the nudge (the announcement arrival moved with it), while
+  // the protocol trajectory — message counts included — is unchanged.
+  auto r2 = run(0.13, seed);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r2->converged);
+  EXPECT_EQ(r->gossip_messages, r2->gossip_messages);
+  EXPECT_NEAR(r2->sim_time - r->sim_time, 0.03, 1e-9);
+}
+
 TEST(AsyncGossipTest, TimeCapReported) {
   Graph g = MakePaGraph(200, 2, 25);
   auto y0 = RandomValues(200, 10);

@@ -1,5 +1,6 @@
 #include "net/event_queue.h"
 
+#include <cmath>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -68,6 +69,79 @@ TEST(EventQueueTest, ScheduleAfterIsRelative) {
   });
   q.RunAll();
   EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+// --- RunUntil / RunAll boundary contract -------------------------------
+// The async engine's time-cap handling relies on these exact semantics:
+// an event exactly at t_end is *inside* the horizon, anything later stays
+// pending, and the clock ends up at the boundary either way.
+
+TEST(EventQueueTest, EventExactlyAtBoundaryRuns) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(2.0, [&] { ++ran; });
+  q.Schedule(2.0, [&] { ++ran; });  // tie at the boundary runs too
+  q.Schedule(2.0000001, [&] { ++ran; });
+  EXPECT_EQ(q.RunUntil(2.0), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.events_pending(), 1u);
+}
+
+TEST(EventQueueTest, CallbackSchedulingPastBoundaryStaysPending) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(1.0, [&] {
+    ++ran;
+    // Scheduled from inside the horizon, lands outside it: must stay
+    // pending and must not drag now() past t_end.
+    q.Schedule(3.0, [&] { ++ran; });
+  });
+  EXPECT_EQ(q.RunUntil(2.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.events_pending(), 1u);
+  // The horizon does not cancel anything: a later RunAll delivers it.
+  EXPECT_EQ(q.RunAll(), 1u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, RunUntilOnEmptyQueueAdvancesClock) {
+  EventQueue q;
+  EXPECT_EQ(q.RunUntil(5.0), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  // A horizon in the past never rewinds the clock.
+  EXPECT_EQ(q.RunUntil(1.0), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueueTest, MaxEventsCutoffLeavesRestPending) {
+  EventQueue q;
+  int ran = 0;
+  for (double t : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    q.Schedule(t, [&] { ++ran; });
+  }
+  EXPECT_EQ(q.RunAll(3), 3u);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(q.events_processed(), 3u);
+  EXPECT_EQ(q.events_pending(), 2u);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.RunAll(), 2u);
+  EXPECT_EQ(ran, 5);
+}
+
+TEST(EventQueueTest, NextEventTimePeeksWithoutPopping) {
+  EventQueue q;
+  EXPECT_TRUE(std::isinf(q.NextEventTime()));
+  q.Schedule(3.0, [] {});
+  q.Schedule(1.5, [] {});
+  EXPECT_DOUBLE_EQ(q.NextEventTime(), 1.5);
+  EXPECT_EQ(q.events_pending(), 2u);  // peeking consumed nothing
+  EXPECT_TRUE(q.RunNext());
+  EXPECT_DOUBLE_EQ(q.NextEventTime(), 3.0);
+  EXPECT_TRUE(q.RunNext());
+  EXPECT_TRUE(std::isinf(q.NextEventTime()));
 }
 
 TEST(EventQueueTest, RunUntilStopsAtBoundary) {

@@ -169,6 +169,51 @@ TEST(FileSharingSimTest, ColludersServeOnlyGroupMates) {
   EXPECT_GT((*sim)->report().colluder.requests, 0u);
 }
 
+TEST(FileSharingSimTest, CollusionReportingModeReachesAggregation) {
+  // Regression for the plumbing bug: RunReputationRound used to build a
+  // default CollusionConfig, silently forcing dense reporting
+  // (report_zero_for_outsiders = true) no matter what the experiment
+  // configured — the sparse "poison only held opinions" mode of
+  // ApplyCollusion was unreachable from the sim. The option now flows
+  // end-to-end: the two modes must produce different reported matrices
+  // (and different aggregates).
+  const uint32_t n = 40;
+  Graph g = MakePaGraph(n, 2, 240);
+  CollusionConfig cfg;
+  cfg.colluding_fraction = 0.25;
+  cfg.group_size = 4;
+  cfg.seed = 241;
+  auto plan = MakeCollusionPlan(n, cfg).value();
+  std::vector<PeerProfile> peers(n);
+  Rng qrng(242);
+  for (NodeId i = 0; i < n; ++i) {
+    peers[i].strategy = plan.IsColluder(i) ? PeerStrategy::kColluder
+                                           : PeerStrategy::kCooperative;
+    peers[i].service_quality = qrng.NextDouble(0.6, 1.0);
+  }
+  FileSharingOptions dense = SimOpts(20, 10);
+  dense.seed = 243;
+  FileSharingOptions sparse = dense;
+  sparse.collusion_report_zero_for_outsiders = false;
+
+  auto dense_sim = FileSharingSim::Create(&g, peers, dense, plan);
+  auto sparse_sim = FileSharingSim::Create(&g, peers, sparse, plan);
+  ASSERT_TRUE(dense_sim.ok() && sparse_sim.ok());
+  ASSERT_TRUE((*dense_sim)->Run().ok());
+  ASSERT_TRUE((*sparse_sim)->Run().ok());
+
+  // Dense mode reports an explicit 0 about every outsider, so colluder
+  // rows are (n - 1)-wide; sparse mode only rewrites opinions the
+  // colluder already held.
+  const TrustMatrix& dense_reported = (*dense_sim)->reported_trust();
+  const TrustMatrix& sparse_reported = (*sparse_sim)->reported_trust();
+  const NodeId colluder = plan.colluders.front();
+  EXPECT_EQ(dense_reported.RowNnz(colluder), n - 1);
+  EXPECT_LT(sparse_reported.RowNnz(colluder), n - 1);
+  EXPECT_GT(dense_reported.TotalOpinions(),
+            sparse_reported.TotalOpinions());
+}
+
 TEST(FileSharingSimTest, SnapshotSeriesConsistent) {
   Graph g = MakePaGraph(30, 2, 209);
   auto sim =

@@ -1,0 +1,254 @@
+#include "scenario/scenario_runner.h"
+
+#include <cmath>
+
+#include "scenario/canned_specs.h"
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using testing_util::MakePaGraph;
+
+std::vector<PeerProfile> Cooperators(uint32_t n, uint64_t seed) {
+  Rng rng(seed);
+  PopulationMix mix;
+  mix.min_quality = 0.6;
+  return MakePopulation(n, mix, rng);
+}
+
+// A population whose colluders follow an explicit plan; everyone else is
+// cooperative with good quality.
+std::vector<PeerProfile> PlannedPopulation(uint32_t n,
+                                           const CollusionPlan& plan,
+                                           uint64_t seed) {
+  std::vector<PeerProfile> profiles(n);
+  Rng rng(seed);
+  for (NodeId i = 0; i < n; ++i) {
+    profiles[i].strategy = plan.IsColluder(i) ? PeerStrategy::kColluder
+                                              : PeerStrategy::kCooperative;
+    profiles[i].service_quality = rng.NextDouble(0.6, 1.0);
+  }
+  return profiles;
+}
+
+ScenarioSpec BaseSpec(uint32_t n, uint64_t seed) {
+  ScenarioSpec spec;
+  spec.profiles = Cooperators(n, seed);
+  spec.num_rounds = 12;
+  spec.gossip_every = 4;
+  spec.reputation.aggregation.gossip.xi = 1e-4;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(ScenarioRunnerTest, CreateValidatesInput) {
+  Graph g = MakePaGraph(16);
+  ScenarioSpec spec = BaseSpec(16, 1);
+  EXPECT_FALSE(ScenarioRunner::Create(nullptr, spec).ok());
+
+  ScenarioSpec bad = spec;
+  bad.profiles.pop_back();
+  EXPECT_FALSE(ScenarioRunner::Create(&g, bad).ok());
+
+  bad = spec;
+  bad.serve_threshold = 0.0;
+  EXPECT_FALSE(ScenarioRunner::Create(&g, bad).ok());
+
+  bad = spec;
+  bad.phases = {{"a", 1, 6, false, 0.0, 0.0, false},
+                {"b", 4, 12, false, 0.0, 0.0, false}};  // overlap
+  EXPECT_FALSE(ScenarioRunner::Create(&g, bad).ok());
+
+  bad = spec;
+  bad.phases = {{"late", 1, 40, false, 0.0, 0.0, false}};  // out of range
+  EXPECT_FALSE(ScenarioRunner::Create(&g, bad).ok());
+
+  bad = spec;
+  bad.phases = {{"loss", 1, 0, false, 1.5, 0.0, false}};
+  EXPECT_FALSE(ScenarioRunner::Create(&g, bad).ok());
+
+  bad = spec;
+  bad.lifecycle_enabled = false;
+  bad.phases = {{"ww", 1, 0, false, 0.0, 0.0, true}};
+  EXPECT_FALSE(ScenarioRunner::Create(&g, bad).ok());
+}
+
+TEST(ScenarioRunnerTest, RunOnceOnly) {
+  Graph g = MakePaGraph(16);
+  auto runner = ScenarioRunner::Create(&g, BaseSpec(16, 2));
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->Run().ok());
+  EXPECT_EQ((*runner)->Run().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ScenarioRunnerTest, ScheduleNormalisationFillsGaps) {
+  Graph g = MakePaGraph(16);
+  ScenarioSpec spec = BaseSpec(16, 3);
+  ScenarioPhase mid;
+  mid.name = "mid";
+  mid.start_round = 5;
+  mid.end_round = 8;
+  spec.phases = {mid};
+  auto runner = ScenarioRunner::Create(&g, spec);
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->Run().ok());
+  const auto& phases = (*runner)->report().phases;
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].start_round, 1u);
+  EXPECT_EQ(phases[0].end_round, 4u);
+  EXPECT_EQ(phases[1].name, "mid");
+  EXPECT_EQ(phases[2].start_round, 9u);
+  EXPECT_EQ(phases[2].end_round, 12u);
+  // Every request lands in exactly one phase.
+  uint64_t phase_requests = 0;
+  for (const auto& p : phases) {
+    phase_requests += p.cooperative.requests + p.free_rider.requests +
+                      p.colluder.requests + p.newcomer.requests;
+  }
+  const auto& rep = (*runner)->report();
+  EXPECT_EQ(phase_requests, rep.cooperative.requests +
+                                rep.free_rider.requests +
+                                rep.colluder.requests +
+                                rep.newcomer.requests);
+}
+
+TEST(ScenarioRunnerTest, PacketLossWindowCountsLostTransfers) {
+  Graph g = MakePaGraph(32, 2, 400);
+  ScenarioSpec spec = BaseSpec(32, 401);
+  spec.num_rounds = 15;
+  ScenarioPhase lossy;
+  lossy.name = "lossy";
+  lossy.start_round = 6;
+  lossy.end_round = 10;
+  lossy.packet_loss_prob = 0.5;
+  spec.phases = {lossy};
+  auto runner = ScenarioRunner::Create(&g, spec);
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->Run().ok());
+  const auto& phases = (*runner)->report().phases;
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].cooperative.lost, 0u);
+  EXPECT_GT(phases[1].cooperative.lost, 0u);
+  EXPECT_EQ(phases[2].cooperative.lost, 0u);
+  // Losses count as refusals (requests = served + refused holds) and
+  // never exceed them.
+  const ClassMetrics& lossy_coop = phases[1].cooperative;
+  EXPECT_EQ(lossy_coop.requests, lossy_coop.served + lossy_coop.refused);
+  EXPECT_LE(lossy_coop.lost, lossy_coop.refused);
+}
+
+TEST(ScenarioRunnerTest, ChurnBurstResetsIdentities) {
+  Graph g = MakePaGraph(40, 2, 410);
+  ScenarioSpec spec = BaseSpec(40, 411);
+  spec.num_rounds = 16;
+  spec.lifecycle_enabled = true;  // newcomer tracking for churned peers
+  ScenarioPhase burst;
+  burst.name = "burst";
+  burst.start_round = 9;
+  burst.end_round = 16;
+  burst.churn_fraction = 0.25;
+  spec.phases = {burst};
+  auto runner = ScenarioRunner::Create(&g, spec);
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->Run().ok());
+  const auto& rep = (*runner)->report();
+  EXPECT_EQ(rep.churn_resets, 10u);  // 0.25 * 40, all at phase entry
+  EXPECT_EQ(rep.identity_resets, 0u);
+  ASSERT_EQ(rep.phases.size(), 2u);
+  EXPECT_EQ(rep.phases[1].churn_resets, 10u);
+  // Churned peers re-enter as tracked newcomers.
+  EXPECT_GT(rep.newcomer.requests, 0u);
+  EXPECT_EQ(rep.phases[0].newcomer.requests, 0u);
+}
+
+TEST(ScenarioRunnerTest, PhasedCollusionRaisesThenRecoversRmsError) {
+  // The acceptance scenario: collusion onset -> detection -> recovery.
+  // While the attack phase is on, the served scores diverge from the
+  // collusion-free reference (RMS error jumps); once the colluders stop
+  // poisoning, the next epochs fold honest reports again and the error
+  // falls back.
+  const uint32_t n = 48;
+  Graph g = MakePaGraph(n, 2, 420);
+  CollusionConfig cfg;
+  cfg.colluding_fraction = 0.25;
+  cfg.group_size = 4;
+  cfg.seed = 421;
+  auto plan = MakeCollusionPlan(n, cfg);
+  ASSERT_TRUE(plan.ok());
+
+  ScenarioSpec spec;
+  spec.profiles = PlannedPopulation(n, *plan, 422);
+  spec.collusion = *plan;
+  spec.num_rounds = 24;
+  spec.gossip_every = 4;
+  spec.reputation.aggregation.gossip.xi = 1e-4;
+  spec.compute_rms = true;
+  spec.seed = 423;
+  ScenarioPhase pre, attack, recovery;
+  pre.name = "pre-attack";
+  pre.start_round = 1;
+  pre.end_round = 8;
+  attack.name = "collusion";
+  attack.start_round = 9;
+  attack.end_round = 16;
+  attack.collusion_active = true;
+  recovery.name = "recovery";
+  recovery.start_round = 17;
+  recovery.end_round = 24;
+  spec.phases = {pre, attack, recovery};
+
+  auto runner = ScenarioRunner::Create(&g, spec);
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->Run().ok());
+  const auto& phases = (*runner)->report().phases;
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].epochs, 2u);
+  EXPECT_EQ(phases[1].epochs, 2u);
+  EXPECT_EQ(phases[2].epochs, 2u);
+  // No poisoning before the attack: served == reference, RMS ~ 0.
+  EXPECT_LT(phases[0].MeanRms(), 1e-9);
+  // Onset: the poisoned epochs diverge hard from the reference.
+  EXPECT_GT(phases[1].MeanRms(), phases[0].MeanRms() + 0.05);
+  // Recovery: honest reporting resumes and the error falls.
+  EXPECT_LT(phases[2].LastRms(), phases[1].LastRms());
+  EXPECT_LT(phases[2].MeanRms(), phases[1].MeanRms());
+}
+
+TEST(ScenarioRunnerTest, DeterministicPerSeed) {
+  Graph g = MakePaGraph(32, 2, 430);
+  ScenarioSpec spec = BaseSpec(32, 431);
+  spec.compute_rms = true;
+  auto a = ScenarioRunner::Create(&g, spec);
+  auto b = ScenarioRunner::Create(&g, spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*a)->Run().ok());
+  ASSERT_TRUE((*b)->Run().ok());
+  EXPECT_EQ((*a)->report().cooperative.served,
+            (*b)->report().cooperative.served);
+  EXPECT_EQ((*a)->report().trust_updates_submitted,
+            (*b)->report().trust_updates_submitted);
+  ASSERT_EQ((*a)->report().phases.size(), (*b)->report().phases.size());
+  for (size_t p = 0; p < (*a)->report().phases.size(); ++p) {
+    EXPECT_EQ((*a)->report().phases[p].rms, (*b)->report().phases[p].rms);
+  }
+}
+
+TEST(ScenarioRunnerTest, ServiceSnapshotMatchesEpochCount) {
+  Graph g = MakePaGraph(24, 2, 440);
+  ScenarioSpec spec = BaseSpec(24, 441);
+  spec.num_rounds = 10;
+  spec.gossip_every = 3;  // 3 epochs, one trailing transaction round
+  auto runner = ScenarioRunner::Create(&g, spec);
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->Run().ok());
+  EXPECT_EQ((*runner)->report().gossip_rounds, 3u);
+  ASSERT_NE((*runner)->snapshot(), nullptr);
+  EXPECT_EQ((*runner)->snapshot()->epoch, 3u);
+  EXPECT_GT((*runner)->last_round_stats().steps, 0u);
+  EXPECT_GT((*runner)->report().trust_updates_submitted, 0u);
+}
+
+}  // namespace
+}  // namespace dgt
