@@ -1,0 +1,278 @@
+#include "scenario/fuzz/invariant_checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace dgt {
+
+const char* InvariantName(Invariant invariant) {
+  switch (invariant) {
+    case Invariant::kRequestAccounting:
+      return "request_accounting";
+    case Invariant::kFiniteScores:
+      return "finite_scores";
+    case Invariant::kMonotoneEpochs:
+      return "monotone_epochs";
+    case Invariant::kCooperatorFloor:
+      return "cooperator_floor";
+    case Invariant::kRmsRecovery:
+      return "rms_recovery";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct ClassSlice {
+  const char* name;
+  const ClassMetrics& metrics;
+};
+
+// The four class slices of any report-shaped struct, in a fixed order so
+// violation details are deterministic.
+template <typename T>
+std::vector<ClassSlice> Slices(const T& holder) {
+  return {{"cooperative", holder.cooperative},
+          {"free_rider", holder.free_rider},
+          {"colluder", holder.colluder},
+          {"newcomer", holder.newcomer}};
+}
+
+class Checker {
+ public:
+  Checker(const ScenarioSpec& spec, const ScenarioReport& report,
+          const ReputationSnapshot* snapshot,
+          const InvariantOptions& options)
+      : spec_(spec),
+        report_(report),
+        snapshot_(snapshot),
+        options_(options) {}
+
+  std::vector<InvariantViolation> Run() {
+    CheckAccounting();
+    CheckFiniteScores();
+    CheckEpochs();
+    CheckCooperatorFloor();
+    CheckRmsRecovery();
+    return std::move(violations_);
+  }
+
+ private:
+  void Violate(Invariant invariant, const std::string& detail) {
+    violations_.push_back({invariant, detail});
+  }
+
+  void CheckClassBalance(const std::string& where, const ClassSlice& s) {
+    if (s.metrics.served + s.metrics.refused != s.metrics.requests) {
+      std::ostringstream out;
+      out << where << " " << s.name << ": served " << s.metrics.served
+          << " + refused " << s.metrics.refused << " != requests "
+          << s.metrics.requests;
+      Violate(Invariant::kRequestAccounting, out.str());
+    }
+    if (s.metrics.lost > s.metrics.refused) {
+      std::ostringstream out;
+      out << where << " " << s.name << ": lost " << s.metrics.lost
+          << " > refused " << s.metrics.refused;
+      Violate(Invariant::kRequestAccounting, out.str());
+    }
+  }
+
+  void CheckAccounting() {
+    for (const ClassSlice& s : Slices(report_)) {
+      CheckClassBalance("run total", s);
+    }
+    // Per-round and per-phase balance, and slices summing to the totals.
+    ClassMetrics round_sum[4];
+    for (const RoundSnapshot& round : report_.rounds) {
+      const std::string where = "round " + std::to_string(round.round);
+      size_t k = 0;
+      for (const ClassSlice& s : Slices(round)) {
+        CheckClassBalance(where, s);
+        round_sum[k].requests += s.metrics.requests;
+        round_sum[k].served += s.metrics.served;
+        round_sum[k].refused += s.metrics.refused;
+        round_sum[k].lost += s.metrics.lost;
+        ++k;
+      }
+    }
+    ClassMetrics phase_sum[4];
+    for (const ScenarioPhaseReport& phase : report_.phases) {
+      const std::string where = "phase '" + phase.name + "'";
+      size_t k = 0;
+      for (const ClassSlice& s : Slices(phase)) {
+        CheckClassBalance(where, s);
+        phase_sum[k].requests += s.metrics.requests;
+        phase_sum[k].served += s.metrics.served;
+        phase_sum[k].refused += s.metrics.refused;
+        phase_sum[k].lost += s.metrics.lost;
+        ++k;
+      }
+    }
+    size_t k = 0;
+    for (const ClassSlice& total : Slices(report_)) {
+      for (const auto& [granularity, sum] :
+           {std::pair<const char*, const ClassMetrics*>{"rounds",
+                                                        &round_sum[k]},
+            std::pair<const char*, const ClassMetrics*>{"phases",
+                                                        &phase_sum[k]}}) {
+        if (sum->requests != total.metrics.requests ||
+            sum->served != total.metrics.served ||
+            sum->refused != total.metrics.refused ||
+            sum->lost != total.metrics.lost) {
+          std::ostringstream out;
+          out << "sum over " << granularity << " for " << total.name
+              << " (requests " << sum->requests << ", served "
+              << sum->served << ", refused " << sum->refused << ", lost "
+              << sum->lost << ") != run totals (requests "
+              << total.metrics.requests << ", served "
+              << total.metrics.served << ", refused "
+              << total.metrics.refused << ", lost " << total.metrics.lost
+              << ")";
+          Violate(Invariant::kRequestAccounting, out.str());
+        }
+      }
+      ++k;
+    }
+  }
+
+  void CheckFiniteScores() {
+    if (snapshot_ != nullptr) {
+      for (size_t i = 0; i < snapshot_->scores.size(); ++i) {
+        for (size_t j = 0; j < snapshot_->scores[i].size(); ++j) {
+          const double score = snapshot_->scores[i][j];
+          if (!std::isfinite(score) || score < 0.0 ||
+              score > options_.max_score) {
+            std::ostringstream out;
+            out << "served score [" << i << "][" << j << "] = " << score
+                << " outside [0, " << options_.max_score << "]";
+            Violate(Invariant::kFiniteScores, out.str());
+            return;  // one example suffices; matrices can be large
+          }
+        }
+      }
+    }
+    for (const ScenarioPhaseReport& phase : report_.phases) {
+      for (double rms : phase.rms) {
+        if (!std::isfinite(rms) || rms < 0.0) {
+          std::ostringstream out;
+          out << "phase '" << phase.name << "' reported RMS " << rms;
+          Violate(Invariant::kFiniteScores, out.str());
+          return;
+        }
+      }
+    }
+  }
+
+  void CheckEpochs() {
+    const uint32_t expected =
+        spec_.gossip_every > 0 ? spec_.num_rounds / spec_.gossip_every : 0;
+    if (report_.gossip_rounds != expected) {
+      std::ostringstream out;
+      out << "report.gossip_rounds " << report_.gossip_rounds << " != "
+          << expected << " (num_rounds " << spec_.num_rounds
+          << " / gossip_every " << spec_.gossip_every << ")";
+      Violate(Invariant::kMonotoneEpochs, out.str());
+    }
+    uint32_t phase_epochs = 0;
+    for (const ScenarioPhaseReport& phase : report_.phases) {
+      phase_epochs += phase.epochs;
+    }
+    if (phase_epochs != expected) {
+      std::ostringstream out;
+      out << "phase epoch counts sum to " << phase_epochs << ", expected "
+          << expected;
+      Violate(Invariant::kMonotoneEpochs, out.str());
+    }
+    if (expected == 0) {
+      if (snapshot_ != nullptr) {
+        Violate(Invariant::kMonotoneEpochs,
+                "a snapshot was served although the schedule has no "
+                "gossip boundary");
+      }
+    } else if (snapshot_ == nullptr) {
+      Violate(Invariant::kMonotoneEpochs,
+              "no final snapshot although the schedule publishes " +
+                  std::to_string(expected) + " epochs");
+    } else if (snapshot_->epoch != expected) {
+      std::ostringstream out;
+      out << "final snapshot epoch " << snapshot_->epoch << " != "
+          << expected;
+      Violate(Invariant::kMonotoneEpochs, out.str());
+    }
+  }
+
+  void CheckCooperatorFloor() {
+    // The zero-stranger-trust economy (§4.1.2) deadlocks by design: every
+    // peer starts as a stranger with trust 0, so serve probability is 0
+    // and no trust can ever form. The floor is a promise of the
+    // *reputation* mechanisms, not of a dial the paper shows collapsing.
+    if (spec_.admission == AdmissionMode::kDirectTrust &&
+        spec_.newcomer_mode == NewcomerMode::kZero) {
+      return;
+    }
+    const ClassMetrics& coop = report_.cooperative;
+    if (coop.requests < options_.floor_min_requests) return;
+    if (coop.SuccessRate() < options_.cooperator_floor) {
+      std::ostringstream out;
+      out << "cooperative service rate " << coop.SuccessRate() << " ("
+          << coop.served << "/" << coop.requests << ") below floor "
+          << options_.cooperator_floor;
+      Violate(Invariant::kCooperatorFloor, out.str());
+    }
+  }
+
+  // Attack phases are identified by round overlap with a collusion-active
+  // spec phase (report phases include the runner's default fillers, which
+  // the spec knows nothing about).
+  bool IsAttackPhase(const ScenarioPhaseReport& phase) const {
+    for (const ScenarioPhase& declared : spec_.phases) {
+      if (!declared.collusion_active) continue;
+      const uint32_t end = declared.end_round == 0 ? spec_.num_rounds
+                                                   : declared.end_round;
+      if (declared.start_round <= phase.end_round &&
+          end >= phase.start_round) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void CheckRmsRecovery() {
+    if (!spec_.compute_rms || report_.phases.empty()) return;
+    const ScenarioPhaseReport& tail = report_.phases.back();
+    if (IsAttackPhase(tail) || tail.rms.size() < 2) return;
+    double peak = 0.0;
+    for (const ScenarioPhaseReport& phase : report_.phases) {
+      if (!IsAttackPhase(phase)) continue;
+      for (double rms : phase.rms) peak = std::max(peak, rms);
+    }
+    if (peak <= 0.0) return;
+    const double bound =
+        peak * options_.rms_recovery_factor + options_.rms_recovery_slack;
+    if (tail.LastRms() > bound) {
+      std::ostringstream out;
+      out << "final RMS " << tail.LastRms() << " > recovery bound "
+          << bound << " (attack peak " << peak << ")";
+      Violate(Invariant::kRmsRecovery, out.str());
+    }
+  }
+
+  const ScenarioSpec& spec_;
+  const ScenarioReport& report_;
+  const ReputationSnapshot* snapshot_;
+  const InvariantOptions& options_;
+  std::vector<InvariantViolation> violations_;
+};
+
+}  // namespace
+
+std::vector<InvariantViolation> CheckInvariants(
+    const ScenarioSpec& spec, const ScenarioReport& report,
+    const ReputationSnapshot* snapshot, const InvariantOptions& options) {
+  return Checker(spec, report, snapshot, options).Run();
+}
+
+}  // namespace dgt

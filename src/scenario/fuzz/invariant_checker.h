@@ -1,0 +1,77 @@
+// Per-run oracles over a scenario's report timeline and final served
+// snapshot. A fuzzer without oracles only finds crashes; these invariants
+// encode what the paper's reputation system must guarantee on EVERY spec
+// the generator can produce — accounting conservation, finite served
+// scores, the epoch pacing contract, a service floor for cooperators, and
+// RMS recovery once a poisoning attack lifts. The sweep driver runs them
+// after every scenario and archives (shrunk) specs for any that fail.
+
+#ifndef DGT_SCENARIO_FUZZ_INVARIANT_CHECKER_H_
+#define DGT_SCENARIO_FUZZ_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/metrics.h"
+#include "scenario/scenario_spec.h"
+#include "serve/reputation_store.h"
+
+namespace dgt {
+
+enum class Invariant {
+  // For every class, at every granularity (round, phase, run total):
+  // served + refused == requests and lost <= refused; per-round and
+  // per-phase slices each sum to the run totals.
+  kRequestAccounting,
+  // Served snapshot scores and reported RMS values are finite,
+  // non-negative, and below a sanity bound (no NaN/sentinel ever served).
+  kFiniteScores,
+  // The pacing contract: epochs published == num_rounds / gossip_every,
+  // phase epoch counts sum to it, and the final snapshot's epoch matches
+  // (no snapshot at all iff the schedule produced zero epochs).
+  kMonotoneEpochs,
+  // Cooperators keep a minimum service rate over the whole run — the
+  // paper's core promise. Only checked once the class saw enough requests
+  // for the rate to be meaningful.
+  kCooperatorFloor,
+  // After the last attack phase, served-score RMS against the
+  // collusion-free reference drops back below a factor of the in-attack
+  // peak (compute_rms specs with a clean tail phase only).
+  kRmsRecovery,
+};
+
+// Stable lower_snake token for archives, JSON field names and logs.
+const char* InvariantName(Invariant invariant);
+
+struct InvariantViolation {
+  Invariant invariant = Invariant::kRequestAccounting;
+  std::string detail;  // human-readable: what, where, observed vs bound
+};
+
+struct InvariantOptions {
+  // kCooperatorFloor: minimum cooperative SuccessRate, and the request
+  // mass below which the check abstains (tiny runs are all noise).
+  double cooperator_floor = 0.1;
+  uint64_t floor_min_requests = 400;
+
+  // kRmsRecovery: final RMS must be <= peak * factor + slack. The slack
+  // term keeps near-zero peaks (weak attacks) from demanding impossible
+  // precision.
+  double rms_recovery_factor = 0.9;
+  double rms_recovery_slack = 0.05;
+
+  // kFiniteScores sanity bound on any single served score.
+  double max_score = 1e3;
+};
+
+// Evaluates every oracle; returns all violations found (empty == run
+// passed). `snapshot` is the runner's final served snapshot (nullptr when
+// the schedule produced no epochs — that is itself asserted).
+std::vector<InvariantViolation> CheckInvariants(
+    const ScenarioSpec& spec, const ScenarioReport& report,
+    const ReputationSnapshot* snapshot, const InvariantOptions& options);
+
+}  // namespace dgt
+
+#endif  // DGT_SCENARIO_FUZZ_INVARIANT_CHECKER_H_

@@ -1,0 +1,315 @@
+#include "scenario/fuzz/spec_generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/pa_generator.h"
+
+namespace dgt {
+
+Result<Graph> BuildGraph(const GraphSpec& graph) {
+  switch (graph.topology) {
+    case FuzzTopology::kPreferentialAttachment: {
+      PaOptions options;
+      options.num_nodes = graph.num_nodes;
+      options.edges_per_node = graph.degree;
+      options.seed = graph.seed;
+      return GeneratePreferentialAttachment(options);
+    }
+    case FuzzTopology::kComplete:
+      return GenerateComplete(graph.num_nodes);
+    case FuzzTopology::kRing:
+      return GenerateRing(graph.num_nodes);
+  }
+  return Status::InvalidArgument("unknown FuzzTopology");
+}
+
+namespace {
+
+// A scheduled attack sampled as a free interval; overlapping windows are
+// legal here and resolved into phases afterwards.
+struct EventWindow {
+  enum class Kind { kCollusion, kLoss, kChurn, kWhitewash };
+  Kind kind = Kind::kLoss;
+  uint32_t start = 1;
+  uint32_t end = 1;  // inclusive
+
+  double loss_prob = 0.0;       // kLoss
+  double churn_fraction = 0.0;  // kChurn (start == end: a burst)
+
+  // kCollusion only.
+  bool adaptive = false;
+  double suspend_below = 0.0;
+  double resume_above = 0.0;
+};
+
+uint32_t SampleInRange(Rng& rng, uint32_t lo, uint32_t hi) {
+  return lo + static_cast<uint32_t>(rng.NextBelow(hi - lo + 1));
+}
+
+// Splits freely overlapping windows at every interval boundary into the
+// sorted, non-overlapping phases ValidateScenarioSpec demands, OR-ing the
+// features active in each segment. Segments where nothing is active are
+// left to the runner's default-phase filler.
+std::vector<ScenarioPhase> SplitIntoPhases(
+    const std::vector<EventWindow>& windows, uint32_t num_rounds) {
+  std::vector<uint32_t> boundaries;
+  for (const EventWindow& w : windows) {
+    boundaries.push_back(w.start);
+    if (w.end + 1 <= num_rounds) boundaries.push_back(w.end + 1);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+
+  std::vector<ScenarioPhase> phases;
+  for (size_t b = 0; b < boundaries.size(); ++b) {
+    ScenarioPhase phase;
+    phase.start_round = boundaries[b];
+    phase.end_round =
+        b + 1 < boundaries.size() ? boundaries[b + 1] - 1 : num_rounds;
+
+    bool any = false;
+    for (const EventWindow& w : windows) {
+      if (w.start > phase.end_round || w.end < phase.start_round) continue;
+      any = true;
+      switch (w.kind) {
+        case EventWindow::Kind::kCollusion:
+          phase.collusion_active = true;
+          if (w.adaptive && !phase.adaptive_collusion) {
+            phase.adaptive_collusion = true;
+            phase.adaptive_suspend_below = w.suspend_below;
+            phase.adaptive_resume_above = w.resume_above;
+          }
+          break;
+        case EventWindow::Kind::kLoss:
+          phase.packet_loss_prob =
+              std::max(phase.packet_loss_prob, w.loss_prob);
+          break;
+        case EventWindow::Kind::kChurn:
+          // Bursts fire at phase entry; a burst window [r, r] always
+          // creates a boundary at r, so the segment starting there is
+          // exactly the one that applies it.
+          if (w.start == phase.start_round) {
+            phase.churn_fraction =
+                std::max(phase.churn_fraction, w.churn_fraction);
+          }
+          break;
+        case EventWindow::Kind::kWhitewash:
+          phase.whitewashing_active = true;
+          break;
+      }
+    }
+    if (!any) continue;
+
+    std::string name = "p" + std::to_string(phases.size()) + "_";
+    bool first = true;
+    auto token = [&](const char* t) {
+      if (!first) name += '+';
+      name += t;
+      first = false;
+    };
+    if (phase.collusion_active) {
+      token(phase.adaptive_collusion ? "adaptive-collusion" : "collusion");
+    }
+    if (phase.packet_loss_prob > 0.0) token("loss");
+    if (phase.churn_fraction > 0.0) token("churn");
+    if (phase.whitewashing_active) token("whitewash");
+    phase.name = std::move(name);
+    phases.push_back(std::move(phase));
+  }
+  return phases;
+}
+
+}  // namespace
+
+GeneratedScenario SpecGenerator::Generate(uint64_t index) const {
+  // Counter-based stream: the draw sequence for sample #index is a pure
+  // function of (profile seed, index), independent of every other sample.
+  Rng rng = Rng(profile_.seed).StreamAt(0, index);
+
+  GeneratedScenario out;
+  out.index = index;
+  out.name = "fuzz-" + std::to_string(profile_.seed) + "-" +
+             std::to_string(index);
+
+  ScenarioSpec& spec = out.spec;
+  const uint32_t n =
+      SampleInRange(rng, profile_.min_nodes, profile_.max_nodes);
+  spec.num_rounds =
+      SampleInRange(rng, profile_.min_rounds, profile_.max_rounds);
+
+  // --- overlay recipe -------------------------------------------------
+  out.graph.num_nodes = n;
+  out.graph.seed = rng.NextU64();
+  const double topo = rng.NextDouble();
+  if (topo < 0.6) {
+    out.graph.topology = FuzzTopology::kPreferentialAttachment;
+    out.graph.degree = SampleInRange(rng, 2, 3);
+  } else if (topo < 0.8) {
+    out.graph.topology = FuzzTopology::kComplete;
+  } else {
+    out.graph.topology = FuzzTopology::kRing;
+  }
+
+  // --- workload / admission -------------------------------------------
+  spec.discovery = rng.NextBernoulli(profile_.p_uniform_discovery)
+                       ? DiscoveryMode::kUniformRandom
+                       : DiscoveryMode::kQueryFlood;
+  spec.query_ttl = SampleInRange(rng, 2, 4);
+  const bool direct_trust = rng.NextBernoulli(profile_.p_direct_trust);
+  spec.admission = direct_trust ? AdmissionMode::kDirectTrust
+                                : AdmissionMode::kServedReputation;
+  spec.serve_threshold = rng.NextDouble(0.15, 0.5);
+  spec.newcomer_serve_prob = rng.NextDouble(0.2, 0.8);
+  if (direct_trust) {
+    const double mode = rng.NextDouble();
+    spec.newcomer_mode = mode < 1.0 / 3.0   ? NewcomerMode::kZero
+                         : mode < 2.0 / 3.0 ? NewcomerMode::kOptimistic
+                                            : NewcomerMode::kAdaptive;
+    spec.newcomer_policy.optimistic_initial = rng.NextDouble(0.2, 0.5);
+  }
+
+  // Gossip cadence. Direct-trust admission never reads served scores, so
+  // half of those specs drop the reputation service entirely — the
+  // cheapest corner of the envelope.
+  if (direct_trust && rng.NextBernoulli(profile_.p_no_gossip)) {
+    spec.gossip_every = 0;
+  } else {
+    spec.gossip_every =
+        SampleInRange(rng, profile_.min_gossip_every,
+                      std::min(profile_.max_gossip_every, spec.num_rounds));
+  }
+  spec.reputation.base_seed = rng.NextU64();
+  spec.reputation.aggregation.gossip.xi = 1e-4;
+
+  // --- trust economy ---------------------------------------------------
+  spec.satisfaction_noise = rng.NextDouble(0.0, 0.1);
+  spec.rate_requester = rng.NextBernoulli(0.5);
+  spec.requester_records_refusals = rng.NextBernoulli(0.8);
+  spec.refused_reciprocity_weight = rng.NextDouble(0.0, 0.5);
+
+  // --- identity lifecycle ----------------------------------------------
+  spec.lifecycle_enabled = rng.NextBernoulli(profile_.p_lifecycle);
+  if (spec.lifecycle_enabled) {
+    spec.rejoin_threshold = rng.NextDouble(0.1, 0.4);
+    spec.assessment_window = SampleInRange(rng, 5, 12);
+    spec.honest_arrival_prob = rng.NextDouble(0.0, 0.05);
+  }
+
+  // --- population -------------------------------------------------------
+  spec.profiles.assign(n, PeerProfile{});
+  for (PeerProfile& profile : spec.profiles) {
+    profile.service_quality = rng.NextDouble(0.5, 1.0);
+  }
+  if (rng.NextBernoulli(profile_.p_colluders)) {
+    CollusionConfig config;
+    config.colluding_fraction =
+        rng.NextDouble(0.05, profile_.max_colluder_fraction);
+    config.group_size = SampleInRange(rng, 2, profile_.max_group_size);
+    config.seed = rng.NextU64();
+    config.report_zero_for_outsiders = rng.NextBernoulli(0.7);
+    // Valid fraction + nonzero group size: cannot fail.
+    CollusionPlan plan = MakeCollusionPlan(n, config).value();
+    if (!plan.colluders.empty()) {
+      for (NodeId c : plan.colluders) {
+        spec.profiles[c].strategy = PeerStrategy::kColluder;
+      }
+      spec.collusion = std::move(plan);
+      spec.collusion_report_zero_for_outsiders =
+          config.report_zero_for_outsiders;
+    }
+  }
+  if (rng.NextBernoulli(profile_.p_free_riders)) {
+    std::vector<NodeId> honest;
+    for (NodeId id = 0; id < n; ++id) {
+      if (spec.profiles[id].strategy == PeerStrategy::kCooperative) {
+        honest.push_back(id);
+      }
+    }
+    const double fraction =
+        rng.NextDouble(0.05, profile_.max_free_rider_fraction);
+    const uint32_t count = std::min<uint32_t>(
+        static_cast<uint32_t>(honest.size()),
+        static_cast<uint32_t>(fraction * static_cast<double>(n)));
+    if (count > 0) {
+      for (uint32_t pick : rng.SampleWithoutReplacement(
+               static_cast<uint32_t>(honest.size()), count)) {
+        spec.profiles[honest[pick]].strategy = PeerStrategy::kFreeRider;
+      }
+    }
+  }
+
+  // RMS reference aggregation only earns its 2x cost where there is a
+  // poisoning attack to measure against.
+  spec.compute_rms = spec.collusion.has_value() && spec.gossip_every > 0 &&
+                     rng.NextBernoulli(profile_.p_compute_rms);
+
+  // --- scheduled events -------------------------------------------------
+  std::vector<EventWindow::Kind> eligible = {EventWindow::Kind::kLoss,
+                                             EventWindow::Kind::kChurn};
+  if (spec.collusion) eligible.push_back(EventWindow::Kind::kCollusion);
+  if (spec.lifecycle_enabled) {
+    eligible.push_back(EventWindow::Kind::kWhitewash);
+  }
+
+  std::vector<EventWindow> windows;
+  const uint32_t num_events =
+      static_cast<uint32_t>(rng.NextBelow(profile_.max_events + 1));
+  for (uint32_t e = 0; e < num_events; ++e) {
+    EventWindow w;
+    w.kind = eligible[rng.NextBelow(eligible.size())];
+    w.start = SampleInRange(rng, 1, spec.num_rounds);
+    const uint32_t length = SampleInRange(rng, 1, spec.num_rounds / 2 + 1);
+    w.end = std::min(w.start + length - 1, spec.num_rounds);
+    switch (w.kind) {
+      case EventWindow::Kind::kCollusion:
+        if (spec.admission == AdmissionMode::kServedReputation &&
+            spec.gossip_every > 0 &&
+            rng.NextBernoulli(profile_.p_adaptive)) {
+          w.adaptive = true;
+          w.suspend_below = rng.NextDouble(0.05, 0.3);
+          w.resume_above = std::min(
+              1.0, w.suspend_below + rng.NextDouble(0.1, 0.5));
+        }
+        break;
+      case EventWindow::Kind::kLoss:
+        w.loss_prob = rng.NextDouble(0.05, profile_.max_loss_prob);
+        break;
+      case EventWindow::Kind::kChurn:
+        w.end = w.start;  // a burst fires at one phase entry
+        w.churn_fraction = rng.NextDouble(0.05, profile_.max_churn_fraction);
+        break;
+      case EventWindow::Kind::kWhitewash:
+        break;
+    }
+    windows.push_back(w);
+  }
+  spec.phases = SplitIntoPhases(windows, spec.num_rounds);
+
+  // If a colluding population never gets a collusion window, make the
+  // attack always-on (the paper's static §5.2 adversary) so colluder
+  // profiles are never dead weight.
+  if (spec.collusion) {
+    bool scheduled = false;
+    for (const ScenarioPhase& phase : spec.phases) {
+      scheduled = scheduled || phase.collusion_active;
+    }
+    if (!scheduled && spec.phases.empty()) {
+      ScenarioPhase phase;
+      phase.name = "p0_static-collusion";
+      phase.start_round = 1;
+      phase.end_round = spec.num_rounds;
+      phase.collusion_active = true;
+      spec.phases.push_back(std::move(phase));
+    }
+  }
+
+  spec.seed = rng.NextU64();
+  return out;
+}
+
+}  // namespace dgt

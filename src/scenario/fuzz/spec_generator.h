@@ -1,0 +1,113 @@
+// SpecGenerator: seeded sampling of the ScenarioSpec space. PR 5 made
+// the paper's attacks declarative data; this module exploits that by
+// *generating* the data — population mixes (cooperator / free-rider /
+// colluder ratios with group structure), workload and admission dials,
+// and phased schedules of composed attacks: collusion windows (plain or
+// adaptive), packet-loss windows, churn bursts and whitewashing regimes
+// are sampled as freely overlapping intervals and then auto-split at
+// every interval boundary into the sorted, non-overlapping phases
+// ValidateScenarioSpec demands, OR-ing the features active in each
+// segment. Every sample is a pure function of (FuzzProfile::seed, index)
+// via Rng::StreamAt, so a sweep produces the identical scenario list at
+// any thread count and any generation order — the property that makes
+// archived failure indices replayable.
+
+#ifndef DGT_SCENARIO_FUZZ_SPEC_GENERATOR_H_
+#define DGT_SCENARIO_FUZZ_SPEC_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "scenario/scenario_spec.h"
+
+namespace dgt {
+
+// Overlay topology of a generated scenario. PA is the paper's model;
+// complete and ring are the classical best/worst diffusion baselines.
+enum class FuzzTopology {
+  kPreferentialAttachment,
+  kComplete,
+  kRing,
+};
+
+// Everything needed to rebuild the overlay deterministically (the graph
+// itself is not archived — only this recipe is).
+struct GraphSpec {
+  FuzzTopology topology = FuzzTopology::kPreferentialAttachment;
+  uint32_t num_nodes = 0;
+  uint32_t degree = 2;  // PA edges_per_node; ignored by other topologies
+  uint64_t seed = 1;
+};
+
+// Rebuilds the overlay from its recipe. InvalidArgument on a recipe the
+// generators reject (e.g. PA with num_nodes < degree + 1).
+Result<Graph> BuildGraph(const GraphSpec& graph);
+
+// One sampled scenario: the overlay recipe plus the full spec. `index`
+// is the sample's position in its generator's stream; together with the
+// profile seed it identifies the scenario completely.
+struct GeneratedScenario {
+  std::string name;  // "fuzz-<seed>-<index>", no spaces (serialized)
+  uint64_t index = 0;
+  GraphSpec graph;
+  ScenarioSpec spec;
+};
+
+// The sampling envelope: which corners of spec space a sweep explores
+// and how hard. Defaults keep single-scenario cost low enough that a
+// CI smoke sweep of dozens of specs finishes in seconds.
+struct FuzzProfile {
+  uint64_t seed = 1;
+
+  // Population size and run length.
+  uint32_t min_nodes = 24;
+  uint32_t max_nodes = 56;
+  uint32_t min_rounds = 12;
+  uint32_t max_rounds = 36;
+
+  // Strategy mix. A fraction is drawn only when its feature fires
+  // (probability p_*), otherwise that class is absent.
+  double p_free_riders = 0.7;
+  double max_free_rider_fraction = 0.3;
+  double p_colluders = 0.55;
+  double max_colluder_fraction = 0.3;
+  uint32_t max_group_size = 5;
+
+  // Workload / admission dials.
+  double p_uniform_discovery = 0.3;   // else TTL query flood
+  double p_direct_trust = 0.25;       // else served-reputation admission
+  double p_no_gossip = 0.5;           // direct-trust specs only
+  uint32_t min_gossip_every = 3;
+  uint32_t max_gossip_every = 8;
+  double p_lifecycle = 0.35;
+  double p_compute_rms = 0.3;         // colluding specs only (2x cost)
+
+  // Scheduled events, sampled as overlapping windows then auto-split.
+  uint32_t max_events = 3;
+  double p_adaptive = 0.4;            // a collusion window turns adaptive
+  double max_loss_prob = 0.6;
+  double max_churn_fraction = 0.3;
+};
+
+class SpecGenerator {
+ public:
+  explicit SpecGenerator(FuzzProfile profile) : profile_(profile) {}
+
+  // Sample #index of the profile's stream. Pure and const: safe to call
+  // concurrently from sweep workers, any order, any partitioning. The
+  // result always passes ValidateScenarioSpec (asserted by
+  // tests/scenario/fuzz/spec_generator_test.cc across the whole
+  // envelope).
+  GeneratedScenario Generate(uint64_t index) const;
+
+  const FuzzProfile& profile() const { return profile_; }
+
+ private:
+  FuzzProfile profile_;
+};
+
+}  // namespace dgt
+
+#endif  // DGT_SCENARIO_FUZZ_SPEC_GENERATOR_H_

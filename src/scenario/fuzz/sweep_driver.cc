@@ -1,0 +1,270 @@
+#include "scenario/fuzz/sweep_driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "scenario/fuzz/spec_text.h"
+#include "scenario/scenario_runner.h"
+
+namespace dgt {
+
+namespace {
+
+uint64_t ClassTotal(const ScenarioReport& report,
+                    uint64_t ClassMetrics::*field) {
+  return report.cooperative.*field + report.free_rider.*field +
+         report.colluder.*field + report.newcomer.*field;
+}
+
+std::vector<InvariantViolation> Evaluate(const GeneratedScenario& scenario,
+                                         const ScenarioOutcome& outcome,
+                                         const InvariantOptions& options) {
+  return CheckInvariants(scenario.spec, outcome.report,
+                         outcome.snapshot.get(), options);
+}
+
+// True if a fresh run of `candidate` still violates `target`.
+bool Reproduces(const GeneratedScenario& candidate, Invariant target,
+                const InvariantOptions& options) {
+  if (!ValidateScenarioSpec(candidate.spec, candidate.graph.num_nodes)
+           .ok()) {
+    return false;
+  }
+  ScenarioOutcome outcome = ExecuteScenario(candidate);
+  if (!outcome.status.ok()) return false;
+  for (const InvariantViolation& violation :
+       Evaluate(candidate, outcome, options)) {
+    if (violation.invariant == target) return true;
+  }
+  return false;
+}
+
+// Smallest population each topology can rebuild (PA needs degree + 1,
+// ring needs a cycle).
+uint32_t MinNodes(const GraphSpec& graph) {
+  switch (graph.topology) {
+    case FuzzTopology::kPreferentialAttachment:
+      return graph.degree + 1;
+    case FuzzTopology::kComplete:
+      return 2;
+    case FuzzTopology::kRing:
+      return 3;
+  }
+  return 2;
+}
+
+// Candidate transforms for the greedy shrink. Each returns false when the
+// transform cannot make the scenario any smaller.
+bool DropPhase(GeneratedScenario* s, size_t which) {
+  if (which >= s->spec.phases.size()) return false;
+  s->spec.phases.erase(s->spec.phases.begin() +
+                       static_cast<long>(which));
+  return true;
+}
+
+bool HalveRounds(GeneratedScenario* s) {
+  if (s->spec.num_rounds <= 2) return false;
+  s->spec.num_rounds = s->spec.num_rounds / 2;
+  auto& phases = s->spec.phases;
+  phases.erase(std::remove_if(phases.begin(), phases.end(),
+                              [&](const ScenarioPhase& p) {
+                                return p.start_round > s->spec.num_rounds;
+                              }),
+               phases.end());
+  for (ScenarioPhase& phase : phases) {
+    if (phase.end_round > s->spec.num_rounds) phase.end_round = 0;
+  }
+  return true;
+}
+
+bool HalvePopulation(GeneratedScenario* s) {
+  const uint32_t floor = std::max(MinNodes(s->graph), 4u);
+  if (s->graph.num_nodes / 2 < floor) return false;
+  const uint32_t n = s->graph.num_nodes / 2;
+  s->graph.num_nodes = n;
+  s->spec.profiles.resize(n);
+  if (s->spec.collusion) {
+    CollusionPlan plan;
+    plan.group_of.assign(n, 0);
+    for (const std::vector<NodeId>& group : s->spec.collusion->groups) {
+      std::vector<NodeId> kept;
+      for (NodeId member : group) {
+        if (member < n) kept.push_back(member);
+      }
+      if (kept.empty()) continue;
+      plan.groups.push_back(kept);
+      const uint32_t id = static_cast<uint32_t>(plan.groups.size());
+      for (NodeId member : kept) {
+        plan.group_of[member] = id;
+        plan.colluders.push_back(member);
+      }
+    }
+    std::sort(plan.colluders.begin(), plan.colluders.end());
+    *s->spec.collusion = std::move(plan);
+  }
+  return true;
+}
+
+// Greedy shrink: keep applying the first candidate transform that still
+// reproduces `target`, until none does or the execution budget runs out.
+GeneratedScenario Shrink(GeneratedScenario scenario, Invariant target,
+                         const InvariantOptions& options, uint32_t budget,
+                         uint32_t* runs_used) {
+  *runs_used = 0;
+  bool progress = true;
+  while (progress && *runs_used < budget) {
+    progress = false;
+    for (size_t which = 0;
+         which < scenario.spec.phases.size() && *runs_used < budget;
+         ++which) {
+      GeneratedScenario candidate = scenario;
+      if (!DropPhase(&candidate, which)) break;
+      ++*runs_used;
+      if (Reproduces(candidate, target, options)) {
+        scenario = std::move(candidate);
+        progress = true;
+        break;  // phase indices shifted; restart the scan
+      }
+    }
+    if (*runs_used >= budget) break;
+    {
+      GeneratedScenario candidate = scenario;
+      if (HalveRounds(&candidate)) {
+        ++*runs_used;
+        if (Reproduces(candidate, target, options)) {
+          scenario = std::move(candidate);
+          progress = true;
+        }
+      }
+    }
+    if (*runs_used >= budget) break;
+    {
+      GeneratedScenario candidate = scenario;
+      if (HalvePopulation(&candidate)) {
+        ++*runs_used;
+        if (Reproduces(candidate, target, options)) {
+          scenario = std::move(candidate);
+          progress = true;
+        }
+      }
+    }
+  }
+  return scenario;
+}
+
+}  // namespace
+
+ScenarioOutcome ExecuteScenario(const GeneratedScenario& scenario) {
+  ScenarioOutcome outcome;
+  Result<Graph> graph = BuildGraph(scenario.graph);
+  if (!graph.ok()) {
+    outcome.status = graph.status();
+    return outcome;
+  }
+  Result<std::unique_ptr<ScenarioRunner>> runner =
+      ScenarioRunner::Create(&graph.value(), scenario.spec);
+  if (!runner.ok()) {
+    outcome.status = runner.status();
+    return outcome;
+  }
+  outcome.status = (*runner)->Run();
+  outcome.report = (*runner)->report();
+  outcome.snapshot = (*runner)->snapshot();
+  outcome.updates_rejected = (*runner)->service_updates_rejected();
+  return outcome;
+}
+
+Result<SweepSummary> RunSweep(const FuzzProfile& profile,
+                              const SweepOptions& options) {
+  SweepSummary summary;
+  summary.profile = profile;
+  summary.results.resize(options.num_specs);
+  summary.violation_counts.assign(5, 0);
+
+  const SpecGenerator generator(profile);
+  const uint32_t threads =
+      ClampThreadsToHardware(options.num_threads, "scenario_sweep");
+
+  // One scenario per range element; results land in their own slot, so
+  // the summary is identical at every thread count.
+  ThreadPool pool(threads);
+  pool.ParallelFor(options.num_specs, [&](size_t, size_t begin,
+                                          size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      GeneratedScenario scenario = generator.Generate(i);
+      SpecResult& result = summary.results[i];
+      result.index = i;
+      ScenarioOutcome outcome = ExecuteScenario(scenario);
+      result.run_status = outcome.status;
+      if (!outcome.status.ok()) continue;
+      result.violations = Evaluate(scenario, outcome, options.invariants);
+      result.requests = ClassTotal(outcome.report, &ClassMetrics::requests);
+      result.served = ClassTotal(outcome.report, &ClassMetrics::served);
+      result.refused = ClassTotal(outcome.report, &ClassMetrics::refused);
+      result.lost = ClassTotal(outcome.report, &ClassMetrics::lost);
+      result.epochs = outcome.report.gossip_rounds;
+      result.adaptive_suspends = outcome.report.adaptive_suspends;
+      result.adaptive_resumes = outcome.report.adaptive_resumes;
+    }
+  });
+
+  // Serial post-pass: aggregate, then shrink + archive failures (rare,
+  // and serial keeps the archive deterministic).
+  for (SpecResult& result : summary.results) {
+    if (result.passed()) {
+      ++summary.passed;
+    } else {
+      ++summary.failed;
+    }
+    for (const InvariantViolation& violation : result.violations) {
+      ++summary.violation_counts[static_cast<size_t>(violation.invariant)];
+    }
+    summary.total_requests += result.requests;
+    summary.total_served += result.served;
+    summary.total_refused += result.refused;
+    summary.total_lost += result.lost;
+    summary.total_epochs += result.epochs;
+    summary.total_adaptive_suspends += result.adaptive_suspends;
+    summary.total_adaptive_resumes += result.adaptive_resumes;
+
+    if (result.passed() || options.archive_dir.empty()) continue;
+    if (result.violations.empty()) continue;  // runner error: nothing to shrink
+
+    GeneratedScenario scenario = generator.Generate(result.index);
+    const Invariant target = result.violations.front().invariant;
+    if (options.shrink_failures) {
+      scenario = Shrink(std::move(scenario), target, options.invariants,
+                        options.max_shrink_steps, &result.shrink_runs);
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(options.archive_dir, ec);
+    const std::string path = options.archive_dir + "/failure_" +
+                             std::to_string(result.index) + ".spec";
+    std::ostringstream comment;
+    comment << "violated invariant: " << InvariantName(target) << "\n";
+    for (const InvariantViolation& violation : result.violations) {
+      comment << InvariantName(violation.invariant) << ": "
+              << violation.detail << "\n";
+    }
+    if (result.shrink_runs > 0) {
+      comment << "shrunk with " << result.shrink_runs << " candidate runs"
+              << "\n";
+    }
+    DGT_RETURN_IF_ERROR(SaveSpec(scenario, path, comment.str()));
+    result.archive_path = path;
+  }
+  return summary;
+}
+
+Result<std::vector<InvariantViolation>> ReplayArchivedSpec(
+    const std::string& path, const InvariantOptions& options) {
+  DGT_ASSIGN_OR_RETURN(GeneratedScenario scenario, LoadSpec(path));
+  ScenarioOutcome outcome = ExecuteScenario(scenario);
+  DGT_RETURN_IF_ERROR(outcome.status);
+  return Evaluate(scenario, outcome, options);
+}
+
+}  // namespace dgt

@@ -1,0 +1,109 @@
+// SweepDriver: runs hundreds of generated scenarios across the process
+// thread pool, evaluates the invariant oracles on each, and aggregates a
+// deterministic pass/fail summary (BENCH_scenario_sweep.json gates it in
+// CI). Every failing scenario is greedily shrunk — drop phases, halve
+// rounds, halve the population, keeping each step only if the SAME
+// invariant still fires — and archived with spec_text so the exact
+// minimal reproducer is one `--replay=<file>` away.
+//
+// Determinism: generation is counter-seeded (SpecGenerator), each runner
+// is seeded by its own spec, and results land in a preallocated slot
+// indexed by scenario index — so the whole SweepSummary is bit-identical
+// at every thread count.
+
+#ifndef DGT_SCENARIO_FUZZ_SWEEP_DRIVER_H_
+#define DGT_SCENARIO_FUZZ_SWEEP_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "scenario/fuzz/invariant_checker.h"
+#include "scenario/fuzz/spec_generator.h"
+#include "scenario/metrics.h"
+
+namespace dgt {
+
+struct SweepOptions {
+  uint64_t num_specs = 32;
+  // Sweep workers (one scenario per shard element); resolved through
+  // ClampThreadsToHardware. Scenario-internal pools are forced serial so
+  // the sweep never oversubscribes.
+  uint32_t num_threads = 0;
+  InvariantOptions invariants;
+  // Directory for failure archives; "" disables archiving.
+  std::string archive_dir;
+  // Greedy shrink before archiving (drop phases / halve rounds / halve
+  // population while the same invariant keeps firing).
+  bool shrink_failures = true;
+  // Cap on shrink candidate evaluations per failure (each is a full
+  // scenario run).
+  uint32_t max_shrink_steps = 48;
+};
+
+// Outcome of one generated scenario.
+struct SpecResult {
+  uint64_t index = 0;
+  Status run_status = Status::OK();         // runner/graph construction
+  std::vector<InvariantViolation> violations;
+
+  // Aggregate accounting for the sweep totals (all classes combined).
+  uint64_t requests = 0;
+  uint64_t served = 0;
+  uint64_t refused = 0;
+  uint64_t lost = 0;
+  uint64_t epochs = 0;
+  uint64_t adaptive_suspends = 0;
+  uint64_t adaptive_resumes = 0;
+
+  uint32_t shrink_runs = 0;      // scenario executions spent shrinking
+  std::string archive_path;      // "" unless archived
+
+  bool passed() const { return run_status.ok() && violations.empty(); }
+};
+
+struct SweepSummary {
+  FuzzProfile profile;
+  std::vector<SpecResult> results;  // results[i] is scenario index i
+
+  uint64_t passed = 0;
+  uint64_t failed = 0;
+  // violation_counts[i] = total violations of Invariant(i) across runs.
+  std::vector<uint64_t> violation_counts;
+
+  uint64_t total_requests = 0;
+  uint64_t total_served = 0;
+  uint64_t total_refused = 0;
+  uint64_t total_lost = 0;
+  uint64_t total_epochs = 0;
+  uint64_t total_adaptive_suspends = 0;
+  uint64_t total_adaptive_resumes = 0;
+};
+
+// Builds the scenario's overlay and runs it end to end; on success fills
+// `report`/`snapshot` (snapshot may stay null for gossip-free specs).
+// Exposed for tests and the --replay path.
+struct ScenarioOutcome {
+  Status status = Status::OK();
+  ScenarioReport report;
+  std::shared_ptr<const ReputationSnapshot> snapshot;
+  uint64_t updates_rejected = 0;
+};
+ScenarioOutcome ExecuteScenario(const GeneratedScenario& scenario);
+
+// Generates options.num_specs scenarios from `profile` and sweeps them.
+// Fails only on harness errors (e.g. unwritable archive_dir); scenario
+// failures are data in the summary.
+Result<SweepSummary> RunSweep(const FuzzProfile& profile,
+                              const SweepOptions& options);
+
+// Reloads an archived failure spec and re-evaluates the oracles on a
+// fresh run: the violations the archive reproduces (empty = no repro).
+Result<std::vector<InvariantViolation>> ReplayArchivedSpec(
+    const std::string& path, const InvariantOptions& options);
+
+}  // namespace dgt
+
+#endif  // DGT_SCENARIO_FUZZ_SWEEP_DRIVER_H_

@@ -39,8 +39,7 @@ ScenarioSpec FileSharingScenarioSpec(
   phase.start_round = 1;
   phase.end_round = options.num_rounds;
   // Always-on: matches the legacy sim, where a colluder colluded for the
-  // whole run (and one without a plan refused outsiders but poisoned
-  // nothing).
+  // whole run.
   phase.collusion_active = true;
   spec.phases = {std::move(phase)};
   return spec;

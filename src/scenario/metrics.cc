@@ -40,6 +40,10 @@ void AppendScenarioTimeline(
     fields.emplace_back("honest_arrivals",
                         static_cast<double>(phase.honest_arrivals));
     fields.emplace_back("gossip_epochs", static_cast<double>(phase.epochs));
+    fields.emplace_back("adaptive_suspend_count",
+                        static_cast<double>(phase.adaptive_suspends));
+    fields.emplace_back("adaptive_resume_count",
+                        static_cast<double>(phase.adaptive_resumes));
     // RMS goes through libm (sqrt/exp chains inside aggregation), so it
     // is advisory in the baseline check rather than count-gated.
     fields.emplace_back("mean_rms", phase.MeanRms());

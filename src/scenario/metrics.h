@@ -74,6 +74,12 @@ struct ScenarioPhaseReport {
   uint32_t churn_resets = 0;      // scripted churn-burst resets
   uint32_t honest_arrivals = 0;   // organic honest churn
   uint32_t epochs = 0;            // reputation epochs published in-phase
+  // Adaptive-adversary toggles observed in-phase: colluders suspended the
+  // attack after reading a collapsed admission rate back from the serving
+  // layer / resumed it once the served scores forgave (zero unless
+  // ScenarioPhase::adaptive_collusion).
+  uint32_t adaptive_suspends = 0;
+  uint32_t adaptive_resumes = 0;
   std::vector<double> rms;        // one entry per in-phase epoch
 
   double MeanRms() const {
@@ -99,6 +105,8 @@ struct ScenarioReport {
   uint32_t identity_resets = 0;
   uint32_t churn_resets = 0;
   uint32_t honest_arrivals = 0;
+  uint32_t adaptive_suspends = 0;
+  uint32_t adaptive_resumes = 0;
   uint64_t trust_updates_submitted = 0;
 
   // Stranger-policy state at the end of the run (kDirectTrust admission).

@@ -6,6 +6,7 @@
 
 #include "collusion/rms_error.h"
 #include "p2p/query_flood.h"
+#include "serve/query.h"
 
 namespace dgt {
 
@@ -99,10 +100,15 @@ ScenarioRunner::ScenarioRunner(const Graph* graph, ScenarioSpec spec)
     options.paced = true;
     options.read_shards = 1;
     // Each boundary submits at most one update per (i, j) pair (a Set or
-    // an Erase, never both); size the ingest queue so a full-matrix diff
-    // can never hit backpressure mid-boundary.
-    options.update_queue_capacity = std::max<size_t>(
-        4096, static_cast<size_t>(n) * static_cast<size_t>(n));
+    // an Erase, never both); by default size the ingest queue so a
+    // full-matrix diff can never hit backpressure mid-boundary. A spec
+    // may override the capacity downward to exercise the backpressure
+    // path deliberately.
+    options.update_queue_capacity =
+        spec_.update_queue_capacity > 0
+            ? spec_.update_queue_capacity
+            : std::max<size_t>(
+                  4096, static_cast<size_t>(n) * static_cast<size_t>(n));
     service_ = std::make_unique<ReputationService>(graph_, TrustMatrix(n),
                                                    options);
     reader_id_ = service_->RegisterReader();
@@ -163,13 +169,51 @@ double ScenarioRunner::ServedReputation(NodeId observer,
   return snapshot_->scores[observer][target];
 }
 
+bool ScenarioRunner::CollusionActiveNow(const ScenarioPhase& phase) const {
+  return phase.collusion_active &&
+         (!phase.adaptive_collusion || adaptive_attack_on_);
+}
+
+void ScenarioRunner::UpdateAdaptiveAttack(const ScenarioPhase& phase,
+                                          uint32_t phase_index) {
+  if (!phase.adaptive_collusion || !spec_.collusion.has_value() ||
+      snapshot_ == nullptr) {
+    return;
+  }
+  // The adversary's feedback signal: what the serving layer would admit
+  // of its members right now, on average. Read through the same served
+  // snapshot every honest provider consults — no private state.
+  double sum = 0.0;
+  uint32_t count = 0;
+  for (NodeId c : spec_.collusion->colluders) {
+    Result<double> rate =
+        ExpectedAdmissionRate(*snapshot_, c, spec_.serve_threshold);
+    if (!rate.ok()) continue;  // unreachable for a validated spec
+    sum += *rate;
+    ++count;
+  }
+  if (count == 0) return;
+  const double mean = sum / static_cast<double>(count);
+  ScenarioPhaseReport& phase_report = report_.phases[phase_index];
+  if (adaptive_attack_on_ && mean < phase.adaptive_suspend_below) {
+    adaptive_attack_on_ = false;
+    ++phase_report.adaptive_suspends;
+    ++report_.adaptive_suspends;
+  } else if (!adaptive_attack_on_ && mean >= phase.adaptive_resume_above) {
+    adaptive_attack_on_ = true;
+    ++phase_report.adaptive_resumes;
+    ++report_.adaptive_resumes;
+  }
+}
+
 bool ScenarioRunner::DecideToServe(NodeId provider, NodeId requester,
                                    const ScenarioPhase& phase) {
   const PeerProfile& p = spec_.profiles[provider];
   if (p.strategy == PeerStrategy::kFreeRider) return false;
-  if (p.strategy == PeerStrategy::kColluder && phase.collusion_active) {
+  if (p.strategy == PeerStrategy::kColluder && CollusionActiveNow(phase)) {
     // Colluders serve only their group mates while the attack is on;
-    // outside attack phases they behave as cooperative peers.
+    // outside attack phases (or while adaptively lying low) they behave
+    // as cooperative peers.
     return spec_.collusion.has_value() &&
            spec_.collusion->SameGroup(provider, requester);
   }
@@ -227,17 +271,33 @@ void ScenarioRunner::ResetIdentity(NodeId node, ResetReason reason,
 }
 
 Status ScenarioRunner::SubmitReportedDiff(const TrustMatrix& reported) {
+  // A rejected submission is surfaced immediately: continuing the
+  // boundary would aggregate a matrix that silently lost part of the
+  // diff, which is exactly the corruption the bounded queue's explicit
+  // backpressure exists to prevent.
+  const auto overflow = [](const Status& s) {
+    if (s.code() != StatusCode::kFailedPrecondition) return s;  // not a
+    // backpressure rejection — propagate untouched.
+    return Status(s.code(),
+                  "trust-update ingest queue overflowed mid-boundary "
+                  "(raise ScenarioSpec::update_queue_capacity): " +
+                      s.message());
+  };
   const uint32_t n = graph_->num_nodes();
   for (NodeId i = 0; i < n; ++i) {
     for (const auto& [j, value] : reported.SortedRow(i)) {
       if (mirror_.HasOpinion(i, j) && mirror_.Get(i, j) == value) continue;
-      DGT_RETURN_IF_ERROR(service_->SubmitTrustUpdate(i, j, value));
+      if (Status s = service_->SubmitTrustUpdate(i, j, value); !s.ok()) {
+        return overflow(s);
+      }
       ++report_.trust_updates_submitted;
     }
     for (const auto& [j, value] : mirror_.SortedRow(i)) {
       (void)value;
       if (reported.HasOpinion(i, j)) continue;
-      DGT_RETURN_IF_ERROR(service_->SubmitTrustErase(i, j));
+      if (Status s = service_->SubmitTrustErase(i, j); !s.ok()) {
+        return overflow(s);
+      }
       ++report_.trust_updates_submitted;
     }
   }
@@ -249,9 +309,10 @@ Status ScenarioRunner::RunBoundary(uint32_t phase_index) {
   ScenarioPhaseReport& phase_report = report_.phases[phase_index];
 
   // 1. What the population reports right now: honest experience, with
-  //    colluder rows poisoned while the attack phase is on.
+  //    colluder rows poisoned while the attack is actually on (a
+  //    scripted attack phase, minus any adaptive self-suspension).
   TrustMatrix reported(graph_->num_nodes());
-  if (spec_.collusion.has_value() && phase.collusion_active) {
+  if (spec_.collusion.has_value() && CollusionActiveNow(phase)) {
     CollusionConfig config;
     config.group_size = 1;  // unused by ApplyCollusion given a plan
     config.report_zero_for_outsiders =
@@ -282,6 +343,11 @@ Status ScenarioRunner::RunBoundary(uint32_t phase_index) {
   snapshot_ = service_->Snapshot();
   ++report_.gossip_rounds;
   ++phase_report.epochs;
+
+  // The adversary reads its admission-rate feedback from the epoch that
+  // just landed and decides whether to keep attacking or lie low until
+  // the next boundary.
+  UpdateAdaptiveAttack(phase, phase_index);
 
   // 3. RMS error of the served scores against the collusion-free
   //    reference aggregation (honest observers only, paper eq. 18).
@@ -316,6 +382,10 @@ Status ScenarioRunner::Run() {
     const uint32_t phase_index = PhaseIndexOf(round);
     const ScenarioPhase& phase = schedule_[phase_index];
     ScenarioPhaseReport& phase_report = report_.phases[phase_index];
+
+    // Phase entry: a fresh adaptive phase starts with the attack on (the
+    // adversary only backs off after reading bad feedback).
+    if (round == phase.start_round) adaptive_attack_on_ = true;
 
     // Scripted churn burst at phase entry.
     if (round == phase.start_round && phase.churn_fraction > 0.0) {

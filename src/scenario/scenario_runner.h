@@ -70,6 +70,13 @@ class ScenarioRunner {
   std::shared_ptr<const ReputationSnapshot> snapshot() const {
     return snapshot_;
   }
+  // Backpressure observability: trust updates the service's bounded MPSC
+  // ingest queue rejected (0 without a service). Any rejection also
+  // surfaces as a FailedPrecondition from Run() — the runner never
+  // silently drops an update.
+  uint64_t service_updates_rejected() const {
+    return service_ != nullptr ? service_->updates_rejected() : 0;
+  }
   // Gossip statistics of the last served epoch (default-constructed
   // before the first).
   GossipRunStats last_round_stats() const;
@@ -83,6 +90,16 @@ class ScenarioRunner {
 
   const ScenarioPhase& PhaseOf(uint32_t round) const;
   uint32_t PhaseIndexOf(uint32_t round) const;
+
+  // Whether colluders are attacking right now: the phase schedules the
+  // attack AND, for adaptive phases, the adversary has not currently
+  // suspended itself to evade detection.
+  bool CollusionActiveNow(const ScenarioPhase& phase) const;
+  // Reads the colluding set's mean admission rate back from the latest
+  // snapshot and applies the adaptive hysteresis (called at every gossip
+  // boundary inside an adaptive phase).
+  void UpdateAdaptiveAttack(const ScenarioPhase& phase,
+                            uint32_t phase_index);
 
   std::optional<NodeId> DiscoverProvider(NodeId requester);
   bool DecideToServe(NodeId provider, NodeId requester,
@@ -119,6 +136,10 @@ class ScenarioRunner {
 
   // Collusion-free reference aggregation for RMS (compute_rms only).
   std::unique_ptr<ReputationSystem> reference_;
+
+  // Adaptive-adversary state: true while the colluders are attacking
+  // inside an adaptive phase (reset to true at every phase entry).
+  bool adaptive_attack_on_ = true;
 
   // Identity-lifecycle bookkeeping (lifecycle_enabled).
   std::vector<uint32_t> window_requests_;

@@ -48,6 +48,14 @@ Status ValidateScenarioSpec(const ScenarioSpec& spec, uint32_t num_nodes) {
   if (spec.collusion && spec.collusion->group_of.size() != num_nodes) {
     return Status::InvalidArgument("collusion plan node count mismatch");
   }
+  if (!spec.collusion) {
+    for (const PeerProfile& profile : spec.profiles) {
+      if (profile.strategy == PeerStrategy::kColluder) {
+        return Status::InvalidArgument(
+            "colluder profiles require a CollusionPlan");
+      }
+    }
+  }
 
   uint32_t previous_end = 0;
   for (const ScenarioPhase& phase : spec.phases) {
@@ -72,6 +80,32 @@ Status ValidateScenarioSpec(const ScenarioSpec& spec, uint32_t num_nodes) {
     if (phase.whitewashing_active && !spec.lifecycle_enabled) {
       return Status::InvalidArgument(
           "whitewashing_active phases require lifecycle_enabled");
+    }
+    if (phase.adaptive_collusion) {
+      if (!phase.collusion_active) {
+        return Status::InvalidArgument(
+            "adaptive_collusion requires collusion_active in the same "
+            "phase");
+      }
+      if (spec.admission != AdmissionMode::kServedReputation) {
+        return Status::InvalidArgument(
+            "adaptive_collusion requires kServedReputation admission");
+      }
+      if (spec.gossip_every == 0) {
+        return Status::InvalidArgument(
+            "adaptive_collusion requires gossip_every > 0 (the feedback "
+            "signal is read at gossip boundaries)");
+      }
+      if (!IsProbability(phase.adaptive_suspend_below) ||
+          !IsProbability(phase.adaptive_resume_above)) {
+        return Status::InvalidArgument(
+            "adaptive thresholds must lie in [0, 1]");
+      }
+      if (phase.adaptive_suspend_below > phase.adaptive_resume_above) {
+        return Status::InvalidArgument(
+            "adaptive_suspend_below must not exceed adaptive_resume_above "
+            "(the hysteresis would invert)");
+      }
     }
     previous_end = end;
   }

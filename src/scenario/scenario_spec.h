@@ -83,13 +83,29 @@ struct ScenarioPhase {
   // window and whitewash (reset identity) when served/requests falls
   // below rejoin_threshold. Requires lifecycle_enabled.
   bool whitewashing_active = false;
+
+  // Adaptive adversary: while this phase schedules the attack
+  // (collusion_active must be set), colluders read back the admission
+  // rate the serving layer currently implies for them — the mean
+  // ExpectedAdmissionRate (serve/query) of the colluding set against the
+  // latest snapshot — at every gossip boundary, suspend the attack when
+  // that rate falls below adaptive_suspend_below, and resume once it
+  // recovers above adaptive_resume_above. The hysteresis makes the
+  // attack oscillate: poison, get punished, lie low until the served
+  // scores forgive, poison again — the evasion pattern the sweep
+  // harness fuzzes for. Requires kServedReputation admission (the
+  // feedback signal is a served quantity) and gossip_every > 0.
+  bool adaptive_collusion = false;
+  double adaptive_suspend_below = 0.2;  // attack off when rate < this
+  double adaptive_resume_above = 0.6;   // attack back on when rate >= this
 };
 
 struct ScenarioSpec {
   // --- population ---------------------------------------------------
-  // One profile per node. Colluder-strategy peers should be covered by
-  // `collusion` (group structure); without a plan they refuse everyone
-  // during collusion-active phases but poison nothing.
+  // One profile per node. Colluder-strategy peers must be covered by
+  // `collusion` (group structure): a colluder without a plan has no
+  // group to serve and nothing to poison, which always indicates a
+  // mis-built spec — ValidateScenarioSpec rejects it.
   std::vector<PeerProfile> profiles;
   std::optional<CollusionPlan> collusion;
   // Reporting mode at gossip boundaries while collusion is active: true =
@@ -151,6 +167,13 @@ struct ScenarioSpec {
   // against it. Doubles aggregation cost; reference gossip uses its own
   // seeds, so enabling it never perturbs the workload trajectory.
   bool compute_rms = false;
+  // Capacity override for the service's bounded trust-update ingest
+  // queue. 0 (the default) sizes it so a full-matrix diff can never hit
+  // backpressure mid-boundary (n^2, floor 4096). A small explicit value
+  // makes an erase-heavy boundary overflow the queue, which the runner
+  // surfaces as a FailedPrecondition from Run() — never a silent drop
+  // (tests/scenario/mpsc_backpressure_test.cc).
+  size_t update_queue_capacity = 0;
 
   // --- schedule ------------------------------------------------------
   std::vector<ScenarioPhase> phases;

@@ -73,4 +73,22 @@ Result<TopKQueryResult> TopKQuery(const ReputationSnapshot& snapshot,
   return result;
 }
 
+Result<double> ExpectedAdmissionRate(const ReputationSnapshot& snapshot,
+                                     NodeId target, double threshold) {
+  if (target >= snapshot.num_nodes()) {
+    return Status::OutOfRange("target id out of range");
+  }
+  if (!(threshold > 0.0)) {
+    return Status::InvalidArgument("admission threshold must be positive");
+  }
+  const uint32_t n = snapshot.num_nodes();
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    if (i == target) continue;
+    sum += std::min(1.0, snapshot.scores[i][target] / threshold);
+  }
+  return sum / static_cast<double>(n - 1);
+}
+
 }  // namespace dgt

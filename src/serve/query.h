@@ -54,6 +54,19 @@ Result<BatchQueryResult> BatchQuery(const ReputationSnapshot& snapshot,
 Result<TopKQueryResult> TopKQuery(const ReputationSnapshot& snapshot,
                                   NodeId observer, uint32_t k);
 
+// Admission-rate feedback: the probability that `target`'s next request
+// would be admitted under threshold-proportional admission, averaged
+// over every observer other than target — mean over i != target of
+// min(1, scores[i][target] / threshold). This is exactly the signal an
+// adversary can read back about itself from the serving layer (its own
+// admission prospects) without any private state; the scenario engine's
+// adaptive colluders poll it to decide when to lie low
+// (ScenarioPhase::adaptive_collusion). 0 when the snapshot has a single
+// node (no observers). OutOfRange on a bad target; InvalidArgument on
+// threshold <= 0.
+Result<double> ExpectedAdmissionRate(const ReputationSnapshot& snapshot,
+                                     NodeId target, double threshold);
+
 }  // namespace dgt
 
 #endif  // DGT_SERVE_QUERY_H_

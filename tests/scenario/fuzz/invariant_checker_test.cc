@@ -1,0 +1,278 @@
+// Each oracle gets a fabricated report that satisfies it and a minimally
+// perturbed twin that violates it — the checker must flag exactly the
+// perturbed field (an oracle that cannot fail gates nothing).
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "scenario/fuzz/invariant_checker.h"
+
+namespace dgt {
+namespace {
+
+ClassMetrics Metrics(uint64_t requests, uint64_t served, uint64_t lost = 0) {
+  ClassMetrics m;
+  m.requests = requests;
+  m.served = served;
+  m.refused = requests - served;
+  m.lost = lost;
+  return m;
+}
+
+// A two-round, one-phase, gossip-free scenario whose report is fully
+// consistent: per-round slices sum to the phase slice and to the totals.
+struct Fixture {
+  ScenarioSpec spec;
+  ScenarioReport report;
+
+  Fixture() {
+    spec.profiles.assign(4, PeerProfile{});
+    spec.num_rounds = 2;
+    spec.gossip_every = 0;
+
+    RoundSnapshot r1;
+    r1.round = 1;
+    r1.cooperative = Metrics(4, 3);
+    r1.free_rider = Metrics(2, 1);
+    RoundSnapshot r2;
+    r2.round = 2;
+    r2.cooperative = Metrics(4, 2, 1);
+    r2.free_rider = Metrics(2, 0);
+    report.rounds = {r1, r2};
+
+    ScenarioPhaseReport phase;
+    phase.name = "all";
+    phase.start_round = 1;
+    phase.end_round = 2;
+    phase.cooperative = Metrics(8, 5, 1);
+    phase.free_rider = Metrics(4, 1);
+    report.phases = {phase};
+
+    report.cooperative = Metrics(8, 5, 1);
+    report.free_rider = Metrics(4, 1);
+  }
+};
+
+std::vector<Invariant> Kinds(const std::vector<InvariantViolation>& v) {
+  std::vector<Invariant> kinds;
+  for (const InvariantViolation& violation : v) {
+    kinds.push_back(violation.invariant);
+  }
+  return kinds;
+}
+
+TEST(InvariantCheckerTest, ConsistentReportPasses) {
+  Fixture f;
+  EXPECT_TRUE(
+      CheckInvariants(f.spec, f.report, nullptr, InvariantOptions{})
+          .empty());
+}
+
+TEST(InvariantCheckerTest, CatchesPerRoundBalanceBreak) {
+  Fixture f;
+  f.report.rounds[1].cooperative.served += 1;  // served+refused > requests
+  const auto violations =
+      CheckInvariants(f.spec, f.report, nullptr, InvariantOptions{});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].invariant, Invariant::kRequestAccounting);
+  EXPECT_NE(violations[0].detail.find("round 2"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, CatchesLostExceedingRefused) {
+  Fixture f;
+  f.report.rounds[0].free_rider.lost = 5;  // refused is only 1
+  const auto violations =
+      CheckInvariants(f.spec, f.report, nullptr, InvariantOptions{});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].invariant, Invariant::kRequestAccounting);
+  EXPECT_NE(violations[0].detail.find("lost"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, CatchesSliceSumsDriftingFromTotals) {
+  Fixture f;
+  f.report.cooperative.requests += 2;  // totals no longer match slices
+  f.report.cooperative.refused += 2;
+  const auto violations =
+      CheckInvariants(f.spec, f.report, nullptr, InvariantOptions{});
+  // Both the round sum and the phase sum disagree with the totals.
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].invariant, Invariant::kRequestAccounting);
+  EXPECT_NE(violations[0].detail.find("sum over rounds"),
+            std::string::npos);
+  EXPECT_NE(violations[1].detail.find("sum over phases"),
+            std::string::npos);
+}
+
+TEST(InvariantCheckerTest, CatchesNonFiniteAndSentinelScores) {
+  Fixture f;
+  f.spec.gossip_every = 1;  // 2 epochs expected
+  f.report.gossip_rounds = 2;
+  f.report.phases[0].epochs = 2;
+  ReputationSnapshot snapshot;
+  snapshot.epoch = 2;
+  snapshot.scores.assign(4, std::vector<double>(4, 0.5));
+  EXPECT_TRUE(
+      CheckInvariants(f.spec, f.report, &snapshot, InvariantOptions{})
+          .empty());
+
+  snapshot.scores[1][2] = std::nan("");
+  auto violations =
+      CheckInvariants(f.spec, f.report, &snapshot, InvariantOptions{});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].invariant, Invariant::kFiniteScores);
+
+  snapshot.scores[1][2] = -1.0;  // negative sentinel
+  violations =
+      CheckInvariants(f.spec, f.report, &snapshot, InvariantOptions{});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].invariant, Invariant::kFiniteScores);
+
+  snapshot.scores[1][2] = 0.5;
+  f.report.phases[0].rms = {0.1, std::nan("")};
+  violations =
+      CheckInvariants(f.spec, f.report, &snapshot, InvariantOptions{});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].invariant, Invariant::kFiniteScores);
+}
+
+TEST(InvariantCheckerTest, CatchesEpochPacingBreaks) {
+  Fixture f;
+  f.spec.num_rounds = 4;
+  f.spec.gossip_every = 2;  // 2 epochs expected
+  f.report.gossip_rounds = 2;
+  f.report.phases[0].epochs = 2;
+  ReputationSnapshot snapshot;
+  snapshot.epoch = 2;
+  snapshot.scores.assign(4, std::vector<double>(4, 0.5));
+  EXPECT_TRUE(
+      CheckInvariants(f.spec, f.report, &snapshot, InvariantOptions{})
+          .empty());
+
+  // Fewer epochs than the schedule demands.
+  f.report.gossip_rounds = 1;
+  auto violations =
+      CheckInvariants(f.spec, f.report, &snapshot, InvariantOptions{});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].invariant, Invariant::kMonotoneEpochs);
+  f.report.gossip_rounds = 2;
+
+  // Snapshot epoch out of step.
+  snapshot.epoch = 3;
+  violations =
+      CheckInvariants(f.spec, f.report, &snapshot, InvariantOptions{});
+  EXPECT_EQ(Kinds(violations),
+            std::vector<Invariant>{Invariant::kMonotoneEpochs});
+  snapshot.epoch = 2;
+
+  // A snapshot served although the schedule has no boundary.
+  f.spec.gossip_every = 0;
+  f.report.gossip_rounds = 0;
+  f.report.phases[0].epochs = 0;
+  violations =
+      CheckInvariants(f.spec, f.report, &snapshot, InvariantOptions{});
+  EXPECT_EQ(Kinds(violations),
+            std::vector<Invariant>{Invariant::kMonotoneEpochs});
+
+  // No snapshot although epochs were published.
+  f.spec.gossip_every = 2;
+  f.report.gossip_rounds = 2;
+  f.report.phases[0].epochs = 2;
+  violations = CheckInvariants(f.spec, f.report, nullptr,
+                               InvariantOptions{});
+  EXPECT_EQ(Kinds(violations),
+            std::vector<Invariant>{Invariant::kMonotoneEpochs});
+}
+
+TEST(InvariantCheckerTest, CooperatorFloorFiresOnlyWithEnoughMass) {
+  Fixture f;
+  InvariantOptions options;
+  options.cooperator_floor = 0.5;
+  options.floor_min_requests = 100;
+
+  // 5/8 served is above the floor but below the mass threshold anyway.
+  EXPECT_TRUE(CheckInvariants(f.spec, f.report, nullptr, options).empty());
+
+  // Scale the fixture to heavy traffic with a collapsed service rate,
+  // keeping every accounting identity intact.
+  auto scale = [](ClassMetrics& m) {
+    m.requests *= 100;
+    m.served *= 10;
+    m.refused = m.requests - m.served;
+    m.lost = 0;
+  };
+  scale(f.report.cooperative);
+  scale(f.report.phases[0].cooperative);
+  scale(f.report.rounds[0].cooperative);
+  // Rebalance round 2 so the rounds still sum to the totals.
+  f.report.rounds[1].cooperative.requests =
+      f.report.cooperative.requests - f.report.rounds[0].cooperative.requests;
+  f.report.rounds[1].cooperative.served =
+      f.report.cooperative.served - f.report.rounds[0].cooperative.served;
+  f.report.rounds[1].cooperative.refused =
+      f.report.rounds[1].cooperative.requests -
+      f.report.rounds[1].cooperative.served;
+  f.report.rounds[1].cooperative.lost = 0;
+
+  const auto violations =
+      CheckInvariants(f.spec, f.report, nullptr, options);
+  EXPECT_EQ(Kinds(violations),
+            std::vector<Invariant>{Invariant::kCooperatorFloor});
+
+  // The zero-stranger-trust economy deadlocks by design; the floor
+  // abstains there.
+  f.spec.admission = AdmissionMode::kDirectTrust;
+  f.spec.newcomer_mode = NewcomerMode::kZero;
+  EXPECT_TRUE(CheckInvariants(f.spec, f.report, nullptr, options).empty());
+}
+
+TEST(InvariantCheckerTest, RmsRecoveryComparesTailAgainstAttackPeak) {
+  Fixture f;
+  f.spec.num_rounds = 8;
+  f.spec.gossip_every = 2;
+  f.spec.compute_rms = true;
+  f.spec.phases = {{"attack", 1, 4, true}};
+  f.report.gossip_rounds = 4;
+
+  ScenarioPhaseReport attack = f.report.phases[0];
+  attack.name = "attack";
+  attack.start_round = 1;
+  attack.end_round = 4;
+  attack.epochs = 2;
+  attack.rms = {0.3, 0.5};
+  ScenarioPhaseReport tail;
+  tail.name = "clean";
+  tail.start_round = 5;
+  tail.end_round = 8;
+  tail.epochs = 2;
+  tail.rms = {0.3, 0.2};
+  // Move all traffic into the attack phase so accounting stays exact.
+  tail.cooperative = Metrics(0, 0);
+  f.report.phases = {attack, tail};
+
+  ReputationSnapshot snapshot;
+  snapshot.epoch = 4;
+  snapshot.scores.assign(4, std::vector<double>(4, 0.5));
+
+  InvariantOptions options;
+  options.rms_recovery_factor = 0.9;
+  options.rms_recovery_slack = 0.05;
+  // 0.2 <= 0.5 * 0.9 + 0.05: recovered.
+  EXPECT_TRUE(
+      CheckInvariants(f.spec, f.report, &snapshot, options).empty());
+
+  // Tail stuck at the attack level: violation.
+  f.report.phases[1].rms = {0.5, 0.55};
+  const auto violations =
+      CheckInvariants(f.spec, f.report, &snapshot, options);
+  EXPECT_EQ(Kinds(violations),
+            std::vector<Invariant>{Invariant::kRmsRecovery});
+
+  // Without compute_rms the oracle abstains entirely.
+  f.spec.compute_rms = false;
+  EXPECT_TRUE(
+      CheckInvariants(f.spec, f.report, &snapshot, options).empty());
+}
+
+}  // namespace
+}  // namespace dgt

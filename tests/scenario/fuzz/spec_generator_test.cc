@@ -1,0 +1,132 @@
+// The generator's contract: every sample across the whole envelope is a
+// valid, buildable scenario, the stream is a pure function of
+// (seed, index), and the envelope actually reaches the corners it
+// advertises (collusion, adaptive adversaries, composed phases, all three
+// topologies) — a fuzzer that only emits bland specs finds nothing.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "scenario/fuzz/spec_generator.h"
+
+namespace dgt {
+namespace {
+
+constexpr uint64_t kEnvelopeSamples = 160;
+
+TEST(SpecGeneratorTest, EverySampleValidatesAndBuilds) {
+  const SpecGenerator generator(FuzzProfile{});
+  for (uint64_t index = 0; index < kEnvelopeSamples; ++index) {
+    const GeneratedScenario scenario = generator.Generate(index);
+    const Status status =
+        ValidateScenarioSpec(scenario.spec, scenario.graph.num_nodes);
+    ASSERT_TRUE(status.ok())
+        << scenario.name << ": " << status.ToString();
+    const Result<Graph> graph = BuildGraph(scenario.graph);
+    ASSERT_TRUE(graph.ok()) << scenario.name << ": "
+                            << graph.status().ToString();
+    EXPECT_EQ(graph->num_nodes(), scenario.graph.num_nodes);
+    EXPECT_EQ(scenario.spec.profiles.size(), scenario.graph.num_nodes);
+    EXPECT_EQ(scenario.index, index);
+    EXPECT_EQ(scenario.name.find(' '), std::string::npos)
+        << "names must be serializable tokens";
+  }
+}
+
+TEST(SpecGeneratorTest, GenerationIsAPureFunctionOfSeedAndIndex) {
+  FuzzProfile profile;
+  profile.seed = 99;
+  const SpecGenerator a(profile);
+  const SpecGenerator b(profile);
+  // a is queried forward, b backward: per-index results must not depend
+  // on the call sequence (the property sweep workers rely on).
+  std::vector<GeneratedScenario> forward;
+  for (uint64_t index = 0; index < 12; ++index) {
+    forward.push_back(a.Generate(index));
+  }
+  for (uint64_t index = 12; index-- > 0;) {
+    const GeneratedScenario& left = forward[index];
+    const GeneratedScenario right = b.Generate(index);
+    EXPECT_EQ(left.name, right.name);
+    EXPECT_EQ(left.graph.num_nodes, right.graph.num_nodes);
+    EXPECT_EQ(left.graph.seed, right.graph.seed);
+    EXPECT_EQ(left.spec.seed, right.spec.seed);
+    EXPECT_EQ(left.spec.num_rounds, right.spec.num_rounds);
+    EXPECT_EQ(left.spec.phases.size(), right.spec.phases.size());
+    EXPECT_EQ(left.spec.serve_threshold, right.spec.serve_threshold);
+  }
+  // Different seeds diverge.
+  FuzzProfile other = profile;
+  other.seed = 100;
+  EXPECT_NE(SpecGenerator(other).Generate(0).spec.seed,
+            a.Generate(0).spec.seed);
+}
+
+TEST(SpecGeneratorTest, EnvelopeReachesItsAdvertisedCorners) {
+  const SpecGenerator generator(FuzzProfile{});
+  uint64_t with_collusion = 0;
+  uint64_t with_adaptive = 0;
+  uint64_t with_free_riders = 0;
+  uint64_t with_lifecycle = 0;
+  uint64_t with_composed_phase = 0;
+  std::set<FuzzTopology> topologies;
+  for (uint64_t index = 0; index < kEnvelopeSamples; ++index) {
+    const GeneratedScenario scenario = generator.Generate(index);
+    topologies.insert(scenario.graph.topology);
+    if (scenario.spec.collusion) ++with_collusion;
+    if (scenario.spec.lifecycle_enabled) ++with_lifecycle;
+    for (const PeerProfile& profile : scenario.spec.profiles) {
+      if (profile.strategy == PeerStrategy::kFreeRider) {
+        ++with_free_riders;
+        break;
+      }
+    }
+    for (const ScenarioPhase& phase : scenario.spec.phases) {
+      if (phase.adaptive_collusion) ++with_adaptive;
+      int features = (phase.collusion_active ? 1 : 0) +
+                     (phase.packet_loss_prob > 0.0 ? 1 : 0) +
+                     (phase.churn_fraction > 0.0 ? 1 : 0) +
+                     (phase.whitewashing_active ? 1 : 0);
+      if (features >= 2) ++with_composed_phase;
+    }
+  }
+  EXPECT_EQ(topologies.size(), 3u) << "all three topologies sampled";
+  EXPECT_GT(with_collusion, kEnvelopeSamples / 4);
+  EXPECT_GT(with_free_riders, kEnvelopeSamples / 4);
+  EXPECT_GT(with_lifecycle, kEnvelopeSamples / 8);
+  EXPECT_GT(with_adaptive, 0u) << "adaptive adversaries never sampled";
+  EXPECT_GT(with_composed_phase, 0u)
+      << "overlapping windows never composed into one phase";
+}
+
+TEST(SpecGeneratorTest, ColluderProfilesAlwaysMatchThePlan) {
+  const SpecGenerator generator(FuzzProfile{});
+  for (uint64_t index = 0; index < kEnvelopeSamples; ++index) {
+    const GeneratedScenario scenario = generator.Generate(index);
+    std::set<NodeId> from_profiles;
+    for (NodeId id = 0; id < scenario.spec.profiles.size(); ++id) {
+      if (scenario.spec.profiles[id].strategy == PeerStrategy::kColluder) {
+        from_profiles.insert(id);
+      }
+    }
+    std::set<NodeId> from_plan;
+    if (scenario.spec.collusion) {
+      from_plan.insert(scenario.spec.collusion->colluders.begin(),
+                       scenario.spec.collusion->colluders.end());
+    }
+    EXPECT_EQ(from_profiles, from_plan) << scenario.name;
+  }
+}
+
+TEST(SpecGeneratorTest, BuildGraphRejectsABrokenRecipe) {
+  GraphSpec broken;
+  broken.topology = FuzzTopology::kPreferentialAttachment;
+  broken.num_nodes = 2;  // PA needs degree + 1
+  broken.degree = 3;
+  EXPECT_FALSE(BuildGraph(broken).ok());
+}
+
+}  // namespace
+}  // namespace dgt

@@ -216,6 +216,59 @@ TEST(ScenarioRunnerTest, PhasedCollusionRaisesThenRecoversRmsError) {
   EXPECT_LT(phases[2].MeanRms(), phases[1].MeanRms());
 }
 
+TEST(ScenarioRunnerTest, AdaptiveColludersOscillateToEvadeDetection) {
+  // Adaptive adversary: colluders read their own expected admission rate
+  // off the served snapshot at every gossip boundary, lie low once the
+  // economy starts starving them, and re-attack after their reputation
+  // recovers. The counters must show at least one full suspend, resumes
+  // can never outnumber suspends (the phase starts attack-on), and the
+  // phase slices must mirror the run totals.
+  const uint32_t n = 32;
+  Graph g = MakePaGraph(n, 2, 450);
+  CollusionConfig cfg;
+  cfg.colluding_fraction = 0.25;
+  cfg.group_size = 4;
+  cfg.seed = 451;
+  auto plan = MakeCollusionPlan(n, cfg);
+  ASSERT_TRUE(plan.ok());
+
+  ScenarioSpec spec;
+  spec.profiles = PlannedPopulation(n, *plan, 452);
+  spec.collusion = *plan;
+  spec.num_rounds = 40;
+  spec.gossip_every = 2;  // many boundaries -> many feedback readings
+  spec.reputation.aggregation.gossip.xi = 1e-4;
+  spec.seed = 453;
+  ScenarioPhase phase;
+  phase.name = "adaptive";
+  phase.collusion_active = true;
+  phase.adaptive_collusion = true;
+  phase.adaptive_suspend_below = 0.5;
+  phase.adaptive_resume_above = 0.6;
+  spec.phases = {phase};
+
+  auto runner = ScenarioRunner::Create(&g, spec);
+  ASSERT_TRUE(runner.ok()) << runner.status().ToString();
+  ASSERT_TRUE((*runner)->Run().ok());
+  const ScenarioReport& rep = (*runner)->report();
+  // Poisoned epochs collapse the colluders' admission below the suspend
+  // threshold at least once.
+  EXPECT_GE(rep.adaptive_suspends, 1u);
+  EXPECT_LE(rep.adaptive_resumes, rep.adaptive_suspends);
+  ASSERT_EQ(rep.phases.size(), 1u);
+  EXPECT_EQ(rep.phases[0].adaptive_suspends, rep.adaptive_suspends);
+  EXPECT_EQ(rep.phases[0].adaptive_resumes, rep.adaptive_resumes);
+
+  // Control: the same attack without the adaptive hook never toggles.
+  ScenarioSpec control = spec;
+  control.phases[0].adaptive_collusion = false;
+  auto control_runner = ScenarioRunner::Create(&g, control);
+  ASSERT_TRUE(control_runner.ok());
+  ASSERT_TRUE((*control_runner)->Run().ok());
+  EXPECT_EQ((*control_runner)->report().adaptive_suspends, 0u);
+  EXPECT_EQ((*control_runner)->report().adaptive_resumes, 0u);
+}
+
 TEST(ScenarioRunnerTest, DeterministicPerSeed) {
   Graph g = MakePaGraph(32, 2, 430);
   ScenarioSpec spec = BaseSpec(32, 431);

@@ -76,5 +76,37 @@ TEST(TopKQueryTest, RejectsZeroKAndBadObserver) {
   EXPECT_EQ(TopKQuery(snap, 9, 1).status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(ExpectedAdmissionRateTest, AveragesClampedScoreOverThreshold) {
+  const ReputationSnapshot snap = MakeSnapshot();
+  // Column 2 as seen by the other observers is {0.8, 0.9, 0.6}. At
+  // threshold 0.8 the first two clamp to 1 and the third is 0.75.
+  auto r = ExpectedAdmissionRate(snap, 2, 0.8);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(*r, (1.0 + 1.0 + 0.75) / 3.0);
+
+  // A threshold nobody clears makes the rate the plain scaled mean.
+  r = ExpectedAdmissionRate(snap, 2, 10.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, (0.08 + 0.09 + 0.06) / 3.0);
+}
+
+TEST(ExpectedAdmissionRateTest, DegenerateNetworkAdmitsNothing) {
+  ReputationSnapshot snap;
+  snap.scores = {{0.9}};
+  auto r = ExpectedAdmissionRate(snap, 0, 0.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0.0);
+}
+
+TEST(ExpectedAdmissionRateTest, RejectsBadTargetAndThreshold) {
+  const ReputationSnapshot snap = MakeSnapshot();
+  EXPECT_EQ(ExpectedAdmissionRate(snap, 4, 0.5).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ExpectedAdmissionRate(snap, 0, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ExpectedAdmissionRate(snap, 0, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace dgt
