@@ -9,7 +9,9 @@ Point identity: two points match when all their *key* fields are equal.
 Field classes:
   - metric fields  : "steps" or names ending in "_steps", "_messages",
     "_nnz", "_queries", "_rounds", "_updates", "_requests", "_served",
-    "_refused", "_resets", "_arrivals", "_epochs" or "_count" — must
+    "_refused", "_resets", "_arrivals", "_epochs", "_count" or
+    "_sim_time" (the event engines' convergence time is a deterministic
+    function of seed/configuration, like a step count) — must
     match the baseline within the relative tolerance (default 10%),
     otherwise the check FAILS. These counts are deterministic per
     seed/configuration, so drift means the algorithm (or the workload)
@@ -33,7 +35,8 @@ import sys
 
 METRIC_SUFFIXES = ("_steps", "_messages", "_nnz", "_queries", "_rounds",
                    "_updates", "_requests", "_served", "_refused",
-                   "_resets", "_arrivals", "_epochs", "_count")
+                   "_resets", "_arrivals", "_epochs", "_count",
+                   "_sim_time")
 ADVISORY_SUFFIXES = ("_ms", "_per_sec", "_mb", "_rms")
 
 

@@ -1,36 +1,47 @@
 #include "net/async_gossip.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <functional>
+#include <utility>
 
-#include "net/event_queue.h"
+#include "net/gossip_state.h"
 
 namespace dgt {
 
 namespace {
 
-// Per-node protocol state for the asynchronous run.
-struct NodeState {
-  double y = 0.0;
-  double g = 0.0;
-  double prev_ratio = 0.0;   // ratio at the previous firing
-  uint32_t streak = 0;       // evidence streak (see GossipOptions)
-  uint32_t firings = 0;      // push timer firings until stopped
-  uint32_t received = 0;     // shares received since the last firing
-  uint32_t idle_firings = 0; // consecutive firings with no evidence
-  bool converged = false;
-  bool stopped = false;
-  uint32_t neighbors_converged = 0;  // announcements heard
-};
+Status ValidateSparseInit(uint32_t n, const std::vector<SparseVectorRow>& init,
+                          bool use_count) {
+  if (init.size() != n) {
+    return Status::InvalidArgument("init must have num_nodes rows");
+  }
+  for (const SparseVectorRow& row : init) {
+    if (row.y.size() != row.cols.size() || row.g.size() != row.cols.size()) {
+      return Status::InvalidArgument("row channels must parallel cols");
+    }
+    if (use_count ? row.c.size() != row.cols.size() : !row.c.empty()) {
+      return Status::InvalidArgument(
+          "count channel must parallel cols iff use_count");
+    }
+    for (size_t j = 0; j < row.cols.size(); ++j) {
+      if (row.cols[j] >= n) {
+        return Status::InvalidArgument("row column out of range");
+      }
+      if (j > 0 && row.cols[j] <= row.cols[j - 1]) {
+        return Status::InvalidArgument("row cols must be strictly increasing");
+      }
+      if (row.g[j] < 0.0) {
+        return Status::InvalidArgument("gossip weights must be >= 0");
+      }
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
+// --- Scalar ------------------------------------------------------------
+
 AsyncPushSum::AsyncPushSum(const Graph* graph, AsyncGossipOptions options)
-    : graph_(graph), options_(options) {
-  assert(graph_ != nullptr);
-}
+    : graph_(graph), options_(options) {}
 
 Result<AsyncGossipResult> AsyncPushSum::Run(const std::vector<double>& y0,
                                             const std::vector<double>& g0) {
@@ -41,222 +52,96 @@ Result<AsyncGossipResult> AsyncPushSum::Run(const std::vector<double>& y0,
   for (double g : g0) {
     if (g < 0.0) return Status::InvalidArgument("gossip weights must be >= 0");
   }
-  if (options_.xi <= 0.0 || options_.push_period <= 0.0) {
-    return Status::InvalidArgument("xi and push_period must be positive");
-  }
-  if (options_.period_jitter < 0.0 || options_.period_jitter >= 1.0) {
-    return Status::InvalidArgument("period_jitter must lie in [0, 1)");
-  }
-  if (options_.num_threads > 1) {
-    return Status::InvalidArgument(
-        "AsyncPushSum is a serialised engine (one global event queue "
-        "processed in timestamp order); num_threads > 1 has no parallel "
-        "phase to shard — run independent engines for concurrency");
-  }
+  std::vector<ScalarGossipPolicy::Value> init(n);
+  for (uint32_t i = 0; i < n; ++i) init[i] = {y0[i], g0[i]};
 
-  DGT_ASSIGN_OR_RETURN(LinkModel links, LinkModel::Create(n, options_.link));
+  AsyncEventEngine<ScalarGossipPolicy> engine(graph_, options_);
+  DGT_ASSIGN_OR_RETURN(auto out, engine.Run(std::move(init)));
 
-  Rng rng(options_.seed);
-  EventQueue queue;
   AsyncGossipResult res;
-
-  std::vector<NodeState> node(n);
-  std::vector<uint32_t> k(n, 1);
-  for (NodeId u = 0; u < n; ++u) {
-    node[u].y = y0[u];
-    node[u].g = g0[u];
-    if (options_.strategy == PushStrategy::kDifferential) {
-      k[u] = graph_->DifferentialPushCount(u, options_.k_rounding);
-    }
-  }
-
-  auto ratio_of = [&](NodeId i) {
-    return node[i].g != 0.0 ? node[i].y / node[i].g
-                            : options_.ratio_sentinel;
-  };
-  for (NodeId i = 0; i < n; ++i) node[i].prev_ratio = ratio_of(i);
-
-  uint32_t num_stopped = 0;
-  double last_stop_time = 0.0;
-
-  // Degree announcements (only differential k_i needs neighbour degrees).
-  if (options_.strategy == PushStrategy::kDifferential) {
-    res.control_messages += graph_->DegreeSum();
-  }
-
-  for (NodeId i = 0; i < n; ++i) {
-    if (graph_->Degree(i) == 0) {
-      node[i].converged = true;
-      node[i].stopped = true;
-      ++num_stopped;
-    }
-  }
-
-  // Forward declarations via std::function for the mutually recursive
-  // event handlers.
-  std::function<void(NodeId)> fire;
-
-  auto maybe_stop = [&](NodeId i) {
-    if (node[i].stopped || !node[i].converged) return;
-    if (node[i].neighbors_converged >= graph_->Degree(i)) {
-      node[i].stopped = true;
-      ++num_stopped;
-      last_stop_time = queue.now();
-    }
-  };
-
-  auto announce_convergence = [&](NodeId i) {
-    node[i].converged = true;
-    for (NodeId v : graph_->Neighbors(i)) {
-      ++res.control_messages;
-      double latency = links.Latency(i, v, rng);
-      // Evaluate the stop rule at arrival: a node that has already
-      // converged must not keep pushing for up to a full period just
-      // because its own timer has not fired yet (that latency inflated
-      // sim_time, gossip_messages and max_node_firings).
-      queue.ScheduleAfter(latency, [&, v]() {
-        ++node[v].neighbors_converged;
-        maybe_stop(v);
-      });
-    }
-  };
-
-  auto deliver_share = [&](NodeId to, NodeId from, double sy, double sg,
-                           bool is_return) {
-    if (!is_return && node[to].stopped) {
-      // The receiver has left the gossip: bounce the share back to its
-      // sender (one more hop of latency). Returned mass is the sender's
-      // own and carries no convergence evidence.
-      double latency = links.Latency(to, from, rng);
-      NodeId sender = from;
-      queue.ScheduleAfter(latency, [&, sender, to, sy, sg]() {
-        node[sender].y += sy;
-        node[sender].g += sg;
-        (void)to;
-      });
-      return;
-    }
-    node[to].y += sy;
-    node[to].g += sg;
-    if (!is_return) ++node[to].received;
-  };
-
-  auto schedule_next_fire = [&](NodeId i) {
-    double jitter = options_.period_jitter;
-    double interval =
-        options_.push_period *
-        (jitter > 0.0 ? rng.NextDouble(1.0 - jitter, 1.0 + jitter) : 1.0);
-    queue.ScheduleAfter(interval, [&, i]() { fire(i); });
-  };
-
-  fire = [&](NodeId i) {
-    if (node[i].stopped || queue.now() > options_.max_time) return;
-    ++node[i].firings;
-
-    // Convergence evaluation at the node's own cadence.
-    double r = ratio_of(i);
-    bool evidence = node[i].received >= 1 && node[i].g != 0.0;
-    if (!node[i].converged) {
-      if (evidence) {
-        node[i].idle_firings = 0;
-        node[i].streak = std::fabs(r - node[i].prev_ratio) <= options_.xi
-                             ? node[i].streak + 1
-                             : 0;
-        if (node[i].streak >= options_.convergence_rounds) {
-          announce_convergence(i);
-        }
-      } else {
-        // Starvation escape: if every neighbour has announced convergence
-        // and nothing has arrived for a long stretch, no information can
-        // realistically reach this node any more; adopt the estimate.
-        ++node[i].idle_firings;
-        if (node[i].neighbors_converged >= graph_->Degree(i) &&
-            node[i].idle_firings >= 10) {
-          announce_convergence(i);
-        }
-      }
-    }
-    node[i].prev_ratio = r;
-    node[i].received = 0;
-
-    maybe_stop(i);
-    if (node[i].stopped) return;
-
-    // Differential push: split into k+1 shares, keep one.
-    const auto& nbrs = graph_->Neighbors(i);
-    const uint32_t deg = static_cast<uint32_t>(nbrs.size());
-    const uint32_t kk = std::min(k[i], deg);
-    const double denom = static_cast<double>(kk) + 1.0;
-    const double sy = node[i].y / denom;
-    const double sg = node[i].g / denom;
-    double keep_y = sy, keep_g = sg;
-
-    std::vector<NodeId> targets;
-    if (kk == 1) {
-      targets.push_back(nbrs[rng.NextBelow(deg)]);
-    } else {
-      for (uint32_t idx : rng.SampleWithoutReplacement(deg, kk)) {
-        targets.push_back(nbrs[idx]);
-      }
-    }
-    for (NodeId t : targets) {
-      ++res.gossip_messages;
-      if (options_.packet_loss_prob > 0.0 &&
-          rng.NextBernoulli(options_.packet_loss_prob)) {
-        keep_y += sy;
-        keep_g += sg;
-        continue;
-      }
-      double latency = links.Latency(i, t, rng);
-      NodeId sender = i;
-      queue.ScheduleAfter(latency, [&, t, sender, sy, sg]() {
-        deliver_share(t, sender, sy, sg, /*is_return=*/false);
-      });
-    }
-    node[i].y = keep_y;
-    node[i].g = keep_g;
-
-    schedule_next_fire(i);
-  };
-
-  // Desynchronised start: first firings spread over one period.
-  for (NodeId i = 0; i < n; ++i) {
-    if (node[i].stopped) continue;
-    queue.Schedule(rng.NextDouble(0.0, options_.push_period),
-                   [&, i]() { fire(i); });
-  }
-
-  // Events strictly past the cap never execute as protocol actions: the
-  // loop peeks the next timestamp instead of noticing the overrun only
-  // after RunNext() already advanced the clock (which let the first event
-  // past the cap run and reported sim_time > max_time).
-  while (num_stopped < n && queue.events_pending() > 0 &&
-         queue.NextEventTime() <= options_.max_time) {
-    queue.RunNext();
-  }
-  const bool hit_cap = num_stopped < n && queue.events_pending() > 0;
-  // Drain every remaining event so no mass is lost: past the cap (and
-  // once every node has stopped) fire() is inert, so these events only
-  // return in-flight shares to node-resident state; their post-cap
-  // timestamps never reach the reported sim_time.
-  while (queue.events_pending() > 0) {
-    queue.RunNext();
-  }
-
-  res.converged = !hit_cap && num_stopped == n;
-  res.sim_time = res.converged
-                     ? last_stop_time
-                     : std::min(queue.now(), options_.max_time);
-  res.events = queue.events_processed();
+  res.converged = out.stats.converged;
+  res.sim_time = out.stats.sim_time;
+  res.gossip_messages = out.stats.gossip_messages;
+  res.control_messages = out.stats.control_messages;
+  res.events = out.stats.events;
+  res.max_node_firings = out.stats.max_node_firings;
   res.ratios.resize(n);
   res.values.resize(n);
   res.weights.resize(n);
-  for (NodeId i = 0; i < n; ++i) {
-    res.ratios[i] = ratio_of(i);
-    res.values[i] = node[i].y;
-    res.weights[i] = node[i].g;
-    res.max_node_firings = std::max(res.max_node_firings, node[i].firings);
+  for (uint32_t i = 0; i < n; ++i) {
+    res.values[i] = out.values[i].y;
+    res.weights[i] = out.values[i].g;
+    res.ratios[i] = out.values[i].g != 0.0
+                        ? out.values[i].y / out.values[i].g
+                        : options_.ratio_sentinel;
   }
+  return res;
+}
+
+// --- Dense vector ------------------------------------------------------
+
+AsyncVectorPushSum::AsyncVectorPushSum(const Graph* graph,
+                                       AsyncGossipOptions options)
+    : graph_(graph), options_(options) {}
+
+Result<AsyncVectorGossipResult> AsyncVectorPushSum::Run(
+    const std::vector<std::vector<double>>& y0,
+    const std::vector<std::vector<double>>& g0,
+    const std::vector<std::vector<double>>& c0) {
+  const uint32_t n = graph_->num_nodes();
+  if (y0.size() != n || g0.size() != n || (!c0.empty() && c0.size() != n)) {
+    return Status::InvalidArgument("y0/g0/c0 must have num_nodes rows");
+  }
+  std::vector<DenseVectorGossipPolicy::Value> init(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (y0[i].size() != n || g0[i].size() != n ||
+        (!c0.empty() && c0[i].size() != n)) {
+      return Status::InvalidArgument("rows must have num_nodes columns");
+    }
+    for (double g : g0[i]) {
+      if (g < 0.0) {
+        return Status::InvalidArgument("gossip weights must be >= 0");
+      }
+    }
+    init[i].y = y0[i];
+    init[i].g = g0[i];
+    if (!c0.empty()) init[i].c = c0[i];
+  }
+
+  AsyncEventEngine<DenseVectorGossipPolicy> engine(graph_, options_);
+  DGT_ASSIGN_OR_RETURN(auto out, engine.Run(std::move(init)));
+
+  AsyncVectorGossipResult res;
+  res.stats = out.stats;
+  res.y.resize(n);
+  res.g.resize(n);
+  if (!c0.empty()) res.c.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    res.y[i] = std::move(out.values[i].y);
+    res.g[i] = std::move(out.values[i].g);
+    if (!c0.empty()) res.c[i] = std::move(out.values[i].c);
+  }
+  return res;
+}
+
+// --- CSR sparse --------------------------------------------------------
+
+AsyncSparsePushSum::AsyncSparsePushSum(const Graph* graph,
+                                       AsyncGossipOptions options)
+    : graph_(graph), options_(options) {}
+
+Result<AsyncSparseGossipResult> AsyncSparsePushSum::Run(
+    std::vector<SparseVectorRow> init, bool use_count) {
+  const uint32_t n = graph_->num_nodes();
+  Status st = ValidateSparseInit(n, init, use_count);
+  if (!st.ok()) return st;
+
+  AsyncEventEngine<SparseVectorGossipPolicy> engine(graph_, options_);
+  DGT_ASSIGN_OR_RETURN(auto out, engine.Run(std::move(init)));
+
+  AsyncSparseGossipResult res;
+  res.stats = out.stats;
+  res.rows = std::move(out.values);
   return res;
 }
 

@@ -1,16 +1,24 @@
-// AsyncPushSum: the differential push-sum gossip re-implemented as an
-// event-driven process over the discrete-event network substrate —
-// relaxing the paper's "time is discrete" assumption (its assumption ii)
-// to message-level asynchrony with the section-3 link latency model.
+// Event-driven push-sum gossip over the paper's section-3 link model —
+// relaxing the "time is discrete" assumption (its assumption ii) to
+// message-level asynchrony. Three front-ends over the same executor
+// (net/async_engine.h), one per value policy (net/gossip_state.h):
+//
+//   AsyncPushSum        — scalar state (paper variants 1/2).
+//   AsyncVectorPushSum  — dense vector state (variants 3/4 at small N,
+//                         kept for cross-validation).
+//   AsyncSparsePushSum  — CSR sparse rows (variant 4 / GCLR at scale),
+//                         the production path for event-driven
+//                         reputation aggregation.
 //
 // Each node runs a local timer that fires every push_period (with
-// per-firing jitter); on firing it splits its gossip pair into k_i + 1
+// per-firing jitter); on firing it splits its gossip state into k_i + 1
 // shares, keeps one, and sends one to each of k_i random neighbours.
 // Shares arrive after link latency, so mass is conserved only as
 // node mass + in-flight mass (a property the tests verify). Convergence
 // uses the same evidence-streak protocol as the synchronous engines,
 // evaluated at each node's own firings; convergence announcements travel
-// as messages too.
+// as messages too. All engines accept any AsyncGossipOptions::num_threads
+// and return bit-for-bit identical results at every thread count.
 
 #ifndef DGT_NET_ASYNC_GOSSIP_H_
 #define DGT_NET_ASYNC_GOSSIP_H_
@@ -18,42 +26,11 @@
 #include <vector>
 
 #include "common/result.h"
-#include "common/rng.h"
-#include "gossip/options.h"
+#include "gossip/sparse_vector_engine.h"
 #include "graph/graph.h"
-#include "net/link_model.h"
+#include "net/async_engine.h"
 
 namespace dgt {
-
-struct AsyncGossipOptions {
-  // Mean interval between a node's consecutive push firings.
-  double push_period = 1.0;
-  // Each interval is push_period * U[1 - jitter, 1 + jitter].
-  double period_jitter = 0.2;
-  // Hard cap on simulated time; the run reports converged=false at cap.
-  double max_time = 10000.0;
-
-  PushStrategy strategy = PushStrategy::kDifferential;
-  KRounding k_rounding = KRounding::kRound;
-  double xi = 1e-4;
-  uint32_t convergence_rounds = 5;
-  double ratio_sentinel = 10.0;
-  // Per-message loss probability; lost shares bounce to the sender
-  // exactly as in the synchronous engines.
-  double packet_loss_prob = 0.0;
-  uint64_t seed = 1;
-
-  // Kept for API uniformity with GossipOptions, but this engine is
-  // serialised: it processes one global event queue in timestamp order on
-  // the calling thread, so there is no parallel phase to shard. Run()
-  // accepts 0 ("auto", resolves to 1) and 1, and returns InvalidArgument
-  // for larger values rather than silently ignoring them (asserted by
-  // tests/gossip/parallel_equivalence_test.cc). For concurrency, run
-  // independent AsyncPushSum instances.
-  uint32_t num_threads = 1;
-
-  LinkModelOptions link;
-};
 
 struct AsyncGossipResult {
   std::vector<double> ratios;   // final per-node estimate
@@ -78,6 +55,52 @@ class AsyncPushSum {
   // entries, g0 non-negative.
   Result<AsyncGossipResult> Run(const std::vector<double>& y0,
                                 const std::vector<double>& g0);
+
+ private:
+  const Graph* graph_;
+  AsyncGossipOptions options_;
+};
+
+struct AsyncVectorGossipResult {
+  // Final per-node dense state (one row per node; c empty when the count
+  // channel is unused).
+  std::vector<std::vector<double>> y;
+  std::vector<std::vector<double>> g;
+  std::vector<std::vector<double>> c;
+  AsyncEngineStats stats;
+};
+
+class AsyncVectorPushSum {
+ public:
+  AsyncVectorPushSum(const Graph* graph, AsyncGossipOptions options);
+
+  // y0/g0 are num_nodes x num_nodes; c0 must either be empty (count
+  // channel off) or have the same shape.
+  Result<AsyncVectorGossipResult> Run(
+      const std::vector<std::vector<double>>& y0,
+      const std::vector<std::vector<double>>& g0,
+      const std::vector<std::vector<double>>& c0);
+
+ private:
+  const Graph* graph_;
+  AsyncGossipOptions options_;
+};
+
+struct AsyncSparseGossipResult {
+  // Final node-resident rows (cols sorted; y/g, and c when use_count).
+  std::vector<SparseVectorRow> rows;
+  AsyncEngineStats stats;
+};
+
+class AsyncSparsePushSum {
+ public:
+  AsyncSparsePushSum(const Graph* graph, AsyncGossipOptions options);
+
+  // `init` as in SparseVectorPushSum::Run: one row per node, cols
+  // strictly increasing and in [0, num_nodes), y/g parallel to cols, and
+  // c parallel exactly when use_count.
+  Result<AsyncSparseGossipResult> Run(std::vector<SparseVectorRow> init,
+                                      bool use_count);
 
  private:
   const Graph* graph_;

@@ -1,0 +1,175 @@
+#include "net/gossip_state.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dgt {
+
+double ScalarGossipPolicy::Distance(const Snapshot& a, const Snapshot& b) {
+  return std::fabs(a - b);
+}
+
+// --- Dense vector ------------------------------------------------------
+
+DenseVectorGossipPolicy::Share DenseVectorGossipPolicy::Split(Value& v,
+                                                              uint32_t k) {
+  const double inv = 1.0 / (static_cast<double>(k) + 1.0);
+  auto snap = std::make_shared<DenseGossipData>(std::move(v));
+  v.y.resize(snap->y.size());
+  v.g.resize(snap->g.size());
+  v.c.resize(snap->c.size());
+  for (size_t j = 0; j < snap->y.size(); ++j) v.y[j] = snap->y[j] * inv;
+  for (size_t j = 0; j < snap->g.size(); ++j) v.g[j] = snap->g[j] * inv;
+  for (size_t j = 0; j < snap->c.size(); ++j) v.c[j] = snap->c[j] * inv;
+  return Share{std::move(snap), inv};
+}
+
+void DenseVectorGossipPolicy::Absorb(Value& v, const Share& s) {
+  const DenseGossipData& d = *s.data;
+  for (size_t j = 0; j < d.y.size(); ++j) v.y[j] += d.y[j] * s.scale;
+  for (size_t j = 0; j < d.g.size(); ++j) v.g[j] += d.g[j] * s.scale;
+  for (size_t j = 0; j < d.c.size(); ++j) v.c[j] += d.c[j] * s.scale;
+}
+
+bool DenseVectorGossipPolicy::HasWeight(const Value& v) {
+  for (double g : v.g) {
+    if (g != 0.0) return true;
+  }
+  return false;
+}
+
+DenseVectorGossipPolicy::Snapshot DenseVectorGossipPolicy::TakeSnapshot(
+    const Value& v, double sentinel) {
+  Snapshot snap;
+  snap.r.resize(v.y.size());
+  for (size_t j = 0; j < v.y.size(); ++j) {
+    snap.r[j] = v.g[j] != 0.0 ? v.y[j] / v.g[j] : sentinel;
+  }
+  if (!v.c.empty()) {
+    snap.rc.resize(v.c.size());
+    for (size_t j = 0; j < v.c.size(); ++j) {
+      snap.rc[j] = v.g[j] != 0.0 ? v.c[j] / v.g[j] : sentinel;
+    }
+  }
+  return snap;
+}
+
+double DenseVectorGossipPolicy::Distance(const Snapshot& a,
+                                         const Snapshot& b) {
+  assert(a.r.size() == b.r.size());
+  double l1 = 0.0;
+  for (size_t j = 0; j < a.r.size(); ++j) l1 += std::fabs(b.r[j] - a.r[j]);
+  for (size_t j = 0; j < a.rc.size() && j < b.rc.size(); ++j) {
+    l1 += std::fabs(b.rc[j] - a.rc[j]);
+  }
+  return l1;
+}
+
+// --- CSR sparse row ----------------------------------------------------
+
+SparseVectorRow SparseVectorGossipPolicy::MergeScaled(
+    const SparseVectorRow& v, const SparseVectorRow& row, double scale) {
+  const bool use_count = !v.c.empty() || !row.c.empty();
+  SparseVectorRow out;
+  out.cols.reserve(v.cols.size() + row.cols.size());
+  out.y.reserve(v.cols.size() + row.cols.size());
+  out.g.reserve(v.cols.size() + row.cols.size());
+  if (use_count) out.c.reserve(v.cols.size() + row.cols.size());
+  size_t ia = 0, ib = 0;
+  while (ia < v.cols.size() || ib < row.cols.size()) {
+    uint32_t ca = ia < v.cols.size() ? v.cols[ia] : UINT32_MAX;
+    uint32_t cb = ib < row.cols.size() ? row.cols[ib] : UINT32_MAX;
+    uint32_t j = ca < cb ? ca : cb;
+    double ay = 0.0, ag = 0.0, ac = 0.0;
+    if (ca == j) {
+      ay += v.y[ia];
+      ag += v.g[ia];
+      if (!v.c.empty()) ac += v.c[ia];
+      ++ia;
+    }
+    if (cb == j) {
+      ay += row.y[ib] * scale;
+      ag += row.g[ib] * scale;
+      if (!row.c.empty()) ac += row.c[ib] * scale;
+      ++ib;
+    }
+    if (ay != 0.0 || ag != 0.0 || ac != 0.0) {
+      out.cols.push_back(j);
+      out.y.push_back(ay);
+      out.g.push_back(ag);
+      if (use_count) out.c.push_back(ac);
+    }
+  }
+  return out;
+}
+
+SparseVectorGossipPolicy::Share SparseVectorGossipPolicy::Split(Value& v,
+                                                                uint32_t k) {
+  const double inv = 1.0 / (static_cast<double>(k) + 1.0);
+  auto snap = std::make_shared<const SparseVectorRow>(std::move(v));
+  // The kept share: the same immutable snapshot scaled down, materialised
+  // as the node's new resident row.
+  v = MergeScaled(SparseVectorRow(), *snap, inv);
+  return Share{std::move(snap), inv};
+}
+
+void SparseVectorGossipPolicy::Absorb(Value& v, const Share& s) {
+  v = MergeScaled(v, *s.row, s.scale);
+}
+
+bool SparseVectorGossipPolicy::HasWeight(const Value& v) {
+  for (double g : v.g) {
+    if (g != 0.0) return true;
+  }
+  return false;
+}
+
+SparseVectorGossipPolicy::Snapshot SparseVectorGossipPolicy::TakeSnapshot(
+    const Value& v, double sentinel) {
+  Snapshot snap;
+  snap.sentinel = sentinel;
+  snap.cols = v.cols;
+  snap.r.resize(v.cols.size());
+  for (size_t j = 0; j < v.cols.size(); ++j) {
+    snap.r[j] = v.g[j] != 0.0 ? v.y[j] / v.g[j] : sentinel;
+  }
+  if (!v.c.empty()) {
+    snap.rc.resize(v.cols.size());
+    for (size_t j = 0; j < v.cols.size(); ++j) {
+      snap.rc[j] = v.g[j] != 0.0 ? v.c[j] / v.g[j] : sentinel;
+    }
+  }
+  return snap;
+}
+
+double SparseVectorGossipPolicy::Distance(const Snapshot& a,
+                                          const Snapshot& b) {
+  // Two-pointer union walk; a column present on one side only means the
+  // other side sat at the sentinel when its snapshot was taken (both
+  // snapshots come from the same run, so the sentinels agree).
+  const double sentinel = b.sentinel;
+  const bool use_count = !a.rc.empty() || !b.rc.empty();
+  double l1 = 0.0;
+  size_t ia = 0, ib = 0;
+  while (ia < a.cols.size() || ib < b.cols.size()) {
+    uint32_t ca = ia < a.cols.size() ? a.cols[ia] : UINT32_MAX;
+    uint32_t cb = ib < b.cols.size() ? b.cols[ib] : UINT32_MAX;
+    double ra = sentinel, rb = sentinel;
+    double rca = sentinel, rcb = sentinel;
+    if (ca <= cb) {
+      ra = a.r[ia];
+      if (!a.rc.empty()) rca = a.rc[ia];
+    }
+    if (cb <= ca) {
+      rb = b.r[ib];
+      if (!b.rc.empty()) rcb = b.rc[ib];
+    }
+    l1 += std::fabs(rb - ra);
+    if (use_count) l1 += std::fabs(rcb - rca);
+    if (ca <= cb) ++ia;
+    if (cb <= ca) ++ib;
+  }
+  return l1;
+}
+
+}  // namespace dgt

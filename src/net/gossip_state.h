@@ -1,0 +1,140 @@
+// Value policies for the event-driven gossip engine: the per-node state,
+// the in-flight share representation, and the convergence metric, behind
+// one small static interface so AsyncEventEngine (net/async_engine.h) is
+// written once and instantiated for scalar push-sum (paper variants 1/2),
+// dense vector push-sum, and the CSR sparse rows that let GCLR variant 4
+// run event-driven with the synchronous sparse engine's memory profile.
+//
+// Policy interface (all static, stateless):
+//   Value     — node-resident mass; moved/mutated only by its owner node.
+//   Share     — an in-flight message. Vector/sparse shares hold a
+//               shared_ptr to one immutable snapshot of the sender's row,
+//               so a firing's k shares alias a single allocation that is
+//               freed when the last receiver merges it — the event-driven
+//               analogue of sparse_vector_engine's ref-counted row
+//               release.
+//   Snapshot  — what the convergence test compares across firings.
+//   Split(v, k)            — split v into k+1 equal shares; v becomes the
+//                            kept share, the returned Share is sent.
+//   Absorb(v, s)           — merge an arriving share into v.
+//   HasWeight(v)           — any gossip weight present (evidence gate).
+//   TakeSnapshot(v, sentinel) — current estimate for the streak test.
+//   Distance(a, b)         — L1 distance between snapshots; columns with
+//                            zero weight evaluate at the ratio sentinel,
+//                            mirroring the synchronous engines' eq. (7).
+//   ConvergenceThreshold(n, xi) — xi for scalar, n * xi for vectors.
+
+#ifndef DGT_NET_GOSSIP_STATE_H_
+#define DGT_NET_GOSSIP_STATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gossip/sparse_vector_engine.h"
+
+namespace dgt {
+
+// --- Scalar (paper variants 1/2: one value per node) -------------------
+
+struct ScalarGossipPolicy {
+  struct Value {
+    double y = 0.0;
+    double g = 0.0;
+  };
+  struct Share {
+    double y = 0.0;
+    double g = 0.0;
+  };
+  using Snapshot = double;
+
+  static Share Split(Value& v, uint32_t k) {
+    const double inv = 1.0 / (static_cast<double>(k) + 1.0);
+    Share s{v.y * inv, v.g * inv};
+    v.y = s.y;
+    v.g = s.g;
+    return s;
+  }
+  static void Absorb(Value& v, const Share& s) {
+    v.y += s.y;
+    v.g += s.g;
+  }
+  static bool HasWeight(const Value& v) { return v.g != 0.0; }
+  static Snapshot TakeSnapshot(const Value& v, double sentinel) {
+    return v.g != 0.0 ? v.y / v.g : sentinel;
+  }
+  static double Distance(const Snapshot& a, const Snapshot& b);
+  static double ConvergenceThreshold(uint32_t /*n*/, double xi) { return xi; }
+};
+
+// --- Dense vector (variants 3/4 at small N, for cross-validation) ------
+
+// Parallel dense channels; c is empty when the count channel is unused.
+struct DenseGossipData {
+  std::vector<double> y;
+  std::vector<double> g;
+  std::vector<double> c;
+};
+
+struct DenseVectorGossipPolicy {
+  using Value = DenseGossipData;
+  struct Share {
+    std::shared_ptr<const DenseGossipData> data;
+    double scale = 0.0;
+  };
+  struct Snapshot {
+    std::vector<double> r;   // per-column ratio (sentinel where g == 0)
+    std::vector<double> rc;  // count ratio; empty when unused
+  };
+
+  static Share Split(Value& v, uint32_t k);
+  static void Absorb(Value& v, const Share& s);
+  static bool HasWeight(const Value& v);
+  static Snapshot TakeSnapshot(const Value& v, double sentinel);
+  static double Distance(const Snapshot& a, const Snapshot& b);
+  static double ConvergenceThreshold(uint32_t n, double xi) {
+    return static_cast<double>(n) * xi;
+  }
+};
+
+// --- CSR sparse row (variant 4 / GCLR at scale) ------------------------
+
+struct SparseVectorGossipPolicy {
+  using Value = SparseVectorRow;
+  struct Share {
+    std::shared_ptr<const SparseVectorRow> row;
+    double scale = 0.0;
+  };
+  // Sorted sparse estimate: ratio per present column; absent columns are
+  // implicitly at the sentinel (recorded so Distance can evaluate
+  // one-sided columns).
+  struct Snapshot {
+    std::vector<uint32_t> cols;
+    std::vector<double> r;
+    std::vector<double> rc;  // parallel to cols when the count channel runs
+    double sentinel = 0.0;
+  };
+
+  static Share Split(Value& v, uint32_t k);
+  static void Absorb(Value& v, const Share& s);
+  static bool HasWeight(const Value& v);
+  static Snapshot TakeSnapshot(const Value& v, double sentinel);
+  // Two-pointer union walk; a column present in only one snapshot
+  // contributes |ratio - sentinel| exactly like the synchronous sparse
+  // engine's L1 test.
+  static double Distance(const Snapshot& a, const Snapshot& b);
+  static double ConvergenceThreshold(uint32_t n, double xi) {
+    return static_cast<double>(n) * xi;
+  }
+
+  // Exposed for tests and the GCLR aggregation layer: v + scale * row as
+  // a 2-way sorted-column merge (entries that cancel to exact zero on
+  // every channel are dropped, keeping rows minimal).
+  static SparseVectorRow MergeScaled(const SparseVectorRow& v,
+                                     const SparseVectorRow& row,
+                                     double scale);
+};
+
+}  // namespace dgt
+
+#endif  // DGT_NET_GOSSIP_STATE_H_

@@ -1,5 +1,8 @@
 #include "net/link_model.h"
 
+#include <limits>
+#include <string>
+
 namespace dgt {
 
 Result<LinkModel> LinkModel::Create(uint32_t num_nodes,
@@ -17,7 +20,39 @@ Result<LinkModel> LinkModel::Create(uint32_t num_nodes,
     a = rng.NextDouble(options.access_latency_min,
                        options.access_latency_max);
   }
-  return LinkModel(std::move(access), options);
+
+  // The cheapest possible link: backbone plus the two smallest access
+  // latencies (distinct endpoints). Jitter never subtracts, so this is a
+  // true lower bound on every message's latency.
+  double min_latency = std::numeric_limits<double>::infinity();
+  NodeId cheapest_u = 0, cheapest_v = 0;
+  if (num_nodes >= 2) {
+    NodeId first = access[0] <= access[1] ? 0 : 1;
+    NodeId second = access[0] <= access[1] ? 1 : 0;
+    for (NodeId u = 2; u < num_nodes; ++u) {
+      if (access[u] < access[first]) {
+        second = first;
+        first = u;
+      } else if (access[u] < access[second]) {
+        second = u;
+      }
+    }
+    cheapest_u = first;
+    cheapest_v = second;
+    min_latency = access[first] + options.backbone_latency + access[second];
+    if (!(min_latency > 0.0)) {
+      return Status::InvalidArgument(
+          "link model admits a zero-latency link " +
+          std::to_string(cheapest_u) + " -> " + std::to_string(cheapest_v) +
+          " (access " + std::to_string(access[cheapest_u]) + " + backbone " +
+          std::to_string(options.backbone_latency) + " + access " +
+          std::to_string(access[cheapest_v]) +
+          "): the event-driven engines' conservative lookahead needs a "
+          "positive latency lower bound — raise access_latency_min or "
+          "backbone_latency");
+    }
+  }
+  return LinkModel(std::move(access), options, min_latency);
 }
 
 double LinkModel::Latency(NodeId u, NodeId v, Rng& rng) const {

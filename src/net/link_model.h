@@ -28,7 +28,12 @@ struct LinkModelOptions {
 
 class LinkModel {
  public:
-  // Fails with InvalidArgument on negative latencies or min > max.
+  // Fails with InvalidArgument on negative latencies or min > max, and —
+  // once the per-node access latencies are drawn — on any zero-latency
+  // link: the asynchronous engines' conservative lookahead window is
+  // bounded below by MinLatency(), and a zero lower bound degenerates it
+  // to an empty window (no event could ever be batched). The error names
+  // the offending edge (the two cheapest endpoints).
   static Result<LinkModel> Create(uint32_t num_nodes,
                                   const LinkModelOptions& options);
 
@@ -44,12 +49,23 @@ class LinkModel {
     return access_[u] + options_.backbone_latency + access_[v];
   }
 
+  // Lower bound over every ordered pair u != v of the jitter-free latency
+  // (jitter only adds delay), i.e. backbone + the two smallest access
+  // latencies. Guaranteed > 0 for any successfully created model; this is
+  // the conservative time-window width the parallel async engine uses.
+  // +infinity when fewer than two nodes exist (no link to bound).
+  double MinLatency() const { return min_latency_; }
+
  private:
-  LinkModel(std::vector<double> access, LinkModelOptions options)
-      : access_(std::move(access)), options_(options) {}
+  LinkModel(std::vector<double> access, LinkModelOptions options,
+            double min_latency)
+      : access_(std::move(access)),
+        options_(options),
+        min_latency_(min_latency) {}
 
   std::vector<double> access_;
   LinkModelOptions options_;
+  double min_latency_;
 };
 
 }  // namespace dgt

@@ -287,6 +287,55 @@ std::vector<SparseVectorRow> BuildGclrSparseInit(const TrustMatrix& trust) {
   return init;
 }
 
+Result<AsyncVectorAggregationResult> AggregateGclrVectorAsync(
+    const Graph& graph, const TrustMatrix& trust,
+    const AsyncAggregationOptions& options) {
+  DGT_RETURN_IF_ERROR(ValidateInputs(graph, trust));
+  const uint32_t n = graph.num_nodes();
+
+  DGT_ASSIGN_OR_RETURN(std::vector<WeightTable> tables,
+                       BuildAllWeightTables(trust, options.weights));
+  const auto sorted_rows = AllSortedRows(trust);
+
+  std::vector<SparseVectorRow> init = BuildGclrSparseInit(trust);
+  AsyncSparsePushSum engine(&graph, options.gossip);
+  DGT_ASSIGN_OR_RETURN(AsyncSparseGossipResult run,
+                       engine.Run(std::move(init), /*use_count=*/true));
+
+  AsyncVectorAggregationResult out;
+  out.estimates.assign(n, std::vector<double>(n, 0.0));
+  // Observer post-processing mirrors the synchronous sparse path: yhat
+  // accumulation plus output assembly per observer, sharded across a
+  // pool constructed only after the engine's own pool is gone. The
+  // engine returns raw rows (y/g/c), so the estimate and count ratio are
+  // formed here; columns without gossip weight stay at 0.
+  ThreadPool pool(options.gossip.num_threads);
+  pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+    std::vector<double> yhat_row(n);
+    for (size_t idx = begin; idx < end; ++idx) {
+      const NodeId i = static_cast<NodeId>(idx);
+      FillYhatRow(sorted_rows, tables[i], &yhat_row);
+      const double excess_den = tables[i].TotalExcessWeight();
+      const SparseVectorRow& row = run.rows[i];
+      for (size_t k = 0; k < row.cols.size(); ++k) {
+        if (row.g[k] == 0.0) continue;  // no gossip weight reached i
+        const NodeId j = row.cols[k];
+        double est = row.y[k] / row.g[k];
+        double count_est = options.denominator == DenominatorMode::kAllNodes
+                               ? static_cast<double>(n)
+                               : row.c[k] / row.g[k];
+        double denominator = excess_den + count_est;
+        if (denominator <= 0.0) continue;
+        out.estimates[i][j] = (yhat_row[j] + est) / denominator;
+      }
+    }
+  });
+  out.stats = run.stats;
+  // Pre-round feedback vectors: one per edge direction.
+  out.stats.control_messages += graph.DegreeSum();
+  return out;
+}
+
 Result<VectorAggregationResult> AggregateGclrVector(
     const Graph& graph, const TrustMatrix& trust,
     const AggregationOptions& options) {

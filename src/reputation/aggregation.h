@@ -22,6 +22,7 @@
 #include "gossip/options.h"
 #include "gossip/sparse_vector_engine.h"
 #include "graph/graph.h"
+#include "net/async_gossip.h"
 #include "reputation/reference.h"
 #include "trust/trust_matrix.h"
 #include "trust/weights.h"
@@ -124,6 +125,37 @@ Result<VectorAggregationResult> AggregateGclrVector(
 // in at the diagonal. Used by AggregateGclrVector's sparse path; exposed
 // so benchmarks and tests seed the engine exactly like production.
 std::vector<SparseVectorRow> BuildGclrSparseInit(const TrustMatrix& trust);
+
+// --- Event-driven aggregation (paper §3 network model) -----------------
+
+struct AsyncAggregationOptions {
+  // Event-driven engine knobs; gossip.num_threads also governs the
+  // aggregation layer's per-observer post-processing, and — as with the
+  // synchronous path — results are bit-for-bit identical at every thread
+  // count.
+  AsyncGossipOptions gossip;
+
+  // Denominator population for GCLR (see reference.h).
+  DenominatorMode denominator = DenominatorMode::kOpinators;
+
+  // Weight parameters used to build every node's weight table.
+  WeightParams weights;
+};
+
+struct AsyncVectorAggregationResult {
+  // estimates[i][j] = node i's estimate of node j's reputation.
+  std::vector<std::vector<double>> estimates;
+  AsyncEngineStats stats;
+};
+
+// Variant 4 (GCLR of all nodes at all observers) over the event-driven
+// engine: the same BuildGclrSparseInit seeding and yhat/denominator
+// post-processing as AggregateGclrVector, but the gossip itself runs as
+// timer-driven message exchange over the link model instead of
+// synchronous rounds — the production path for asynchronous serving.
+Result<AsyncVectorAggregationResult> AggregateGclrVectorAsync(
+    const Graph& graph, const TrustMatrix& trust,
+    const AsyncAggregationOptions& options);
 
 }  // namespace dgt
 

@@ -156,6 +156,15 @@ std::string SpecToText(const GeneratedScenario& scenario,
       << scenario.graph.num_nodes << ' ' << scenario.graph.degree << ' '
       << scenario.graph.seed << '\n';
   out << "num_rounds " << spec.num_rounds << '\n';
+  out << "execution "
+      << (spec.execution == ExecutionMode::kAsyncEventDriven ? "async"
+                                                             : "sync")
+      << '\n';
+  out << "async_workload " << Fmt(spec.async.request_rate) << ' '
+      << Fmt(spec.async.link.access_latency_min) << ' '
+      << Fmt(spec.async.link.access_latency_max) << ' '
+      << Fmt(spec.async.link.backbone_latency) << ' '
+      << Fmt(spec.async.link.jitter) << ' ' << spec.async.link.seed << '\n';
   out << "discovery "
       << (spec.discovery == DiscoveryMode::kQueryFlood ? "flood" : "uniform")
       << '\n';
@@ -289,6 +298,24 @@ Result<GeneratedScenario> SpecFromText(const std::string& text) {
       DGT_ASSIGN_OR_RETURN(scenario.graph.seed, line.U64());
     } else if (key == "num_rounds") {
       DGT_ASSIGN_OR_RETURN(spec.num_rounds, line.U32());
+    } else if (key == "execution") {
+      DGT_ASSIGN_OR_RETURN(std::string v, line.Token());
+      if (v == "sync") {
+        spec.execution = ExecutionMode::kSynchronousRounds;
+      } else if (v == "async") {
+        spec.execution = ExecutionMode::kAsyncEventDriven;
+      } else {
+        return line.Error("unknown execution mode '" + v + "'");
+      }
+    } else if (key == "async_workload") {
+      DGT_ASSIGN_OR_RETURN(spec.async.request_rate, line.Double());
+      DGT_ASSIGN_OR_RETURN(spec.async.link.access_latency_min,
+                           line.Double());
+      DGT_ASSIGN_OR_RETURN(spec.async.link.access_latency_max,
+                           line.Double());
+      DGT_ASSIGN_OR_RETURN(spec.async.link.backbone_latency, line.Double());
+      DGT_ASSIGN_OR_RETURN(spec.async.link.jitter, line.Double());
+      DGT_ASSIGN_OR_RETURN(spec.async.link.seed, line.U64());
     } else if (key == "discovery") {
       DGT_ASSIGN_OR_RETURN(std::string v, line.Token());
       if (v == "flood") {

@@ -82,6 +82,18 @@ struct ScenarioPhaseReport {
   uint32_t adaptive_resumes = 0;
   std::vector<double> rms;        // one entry per in-phase epoch
 
+  // Async event-driven runs only: request/response round trips completed
+  // in-phase, accounted against the link model (a transfer lost in
+  // flight never completes a round trip, so it is excluded).
+  uint64_t async_rtt_count = 0;
+  double async_rtt_sum = 0.0;
+
+  double MeanRequestRtt() const {
+    return async_rtt_count == 0
+               ? 0.0
+               : async_rtt_sum / static_cast<double>(async_rtt_count);
+  }
+
   double MeanRms() const {
     if (rms.empty()) return 0.0;
     double sum = 0.0;
@@ -108,6 +120,19 @@ struct ScenarioReport {
   uint32_t adaptive_suspends = 0;
   uint32_t adaptive_resumes = 0;
   uint64_t trust_updates_submitted = 0;
+
+  // Async event-driven runs only (zero in synchronous mode): completed
+  // request/response round trips over the link model, and the simulated
+  // time of the last processed event.
+  uint64_t async_rtt_count = 0;
+  double async_rtt_sum = 0.0;
+  double async_sim_time = 0.0;
+
+  double MeanRequestRtt() const {
+    return async_rtt_count == 0
+               ? 0.0
+               : async_rtt_sum / static_cast<double>(async_rtt_count);
+  }
 
   // Stranger-policy state at the end of the run (kDirectTrust admission).
   double final_initial_trust = 0.0;

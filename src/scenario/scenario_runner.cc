@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "collusion/rms_error.h"
+#include "net/event_queue.h"
+#include "net/link_model.h"
 #include "p2p/query_flood.h"
 #include "serve/query.h"
 
@@ -373,123 +375,139 @@ GossipRunStats ScenarioRunner::last_round_stats() const {
   return snapshot_ != nullptr ? snapshot_->round_stats : GossipRunStats{};
 }
 
-Status ScenarioRunner::Run() {
-  if (ran_) return Status::FailedPrecondition("Run() may be called once");
-  ran_ = true;
+void ScenarioRunner::EnterPhase(uint32_t phase_index) {
+  const ScenarioPhase& phase = schedule_[phase_index];
+  // A fresh adaptive phase starts with the attack on (the adversary only
+  // backs off after reading bad feedback).
+  adaptive_attack_on_ = true;
 
+  // Scripted churn burst at phase entry.
+  if (phase.churn_fraction > 0.0) {
+    const uint32_t n = graph_->num_nodes();
+    const uint32_t count = static_cast<uint32_t>(
+        std::lround(phase.churn_fraction * static_cast<double>(n)));
+    for (uint32_t idx :
+         rng_.SampleWithoutReplacement(n, std::min(count, n))) {
+      ResetIdentity(static_cast<NodeId>(idx), ResetReason::kChurn,
+                    phase_index);
+    }
+  }
+}
+
+Result<ScenarioRunner::TransactionOutcome> ScenarioRunner::Transact(
+    NodeId requester, uint32_t phase_index, RoundSnapshot& snap) {
+  const ScenarioPhase& phase = schedule_[phase_index];
+  ScenarioPhaseReport& phase_report = report_.phases[phase_index];
+  TransactionOutcome out;
+
+  const auto class_of = [&](NodeId i) -> MetricClass {
+    switch (spec_.profiles[i].strategy) {
+      case PeerStrategy::kFreeRider:
+        return MetricClass::kFreeRider;
+      case PeerStrategy::kColluder:
+        return MetricClass::kColluder;
+      case PeerStrategy::kCooperative:
+        break;
+    }
+    if (spec_.lifecycle_enabled &&
+        rounds_since_join_[i] < spec_.assessment_window) {
+      return MetricClass::kNewcomer;
+    }
+    return MetricClass::kCooperative;
+  };
+  // Applies one mutation to all three accounting scopes. The cumulative
+  // scope is updated per transaction (not per round) so satisfaction
+  // sums accumulate in exactly the order the legacy sims used.
+  const auto for_class = [&](MetricClass c, auto&& mutate) {
+    mutate(PickClass(report_, c));
+    mutate(PickClass(phase_report, c));
+    mutate(PickClass(snap, c));
+  };
+
+  std::optional<NodeId> provider = DiscoverProvider(requester);
+  if (!provider) return out;
+  out.contacted = true;
+  out.provider = *provider;
+  const MetricClass requester_class = class_of(requester);
+  for_class(requester_class, [](ClassMetrics& m) { ++m.requests; });
+  if (spec_.lifecycle_enabled) ++window_requests_[requester];
+
+  bool lost = false;
+  bool serves;
+  if (phase.packet_loss_prob > 0.0 &&
+      rng_.NextBernoulli(phase.packet_loss_prob)) {
+    // The transfer (or the request itself) drops in flight: the
+    // requester goes unserved, but neither side experienced a
+    // transaction, so no rating is recorded on either end.
+    serves = false;
+    lost = true;
+  } else {
+    serves = DecideToServe(*provider, requester, phase);
+  }
+
+  if (serves) {
+    const double quality = spec_.profiles[*provider].service_quality;
+    const double noise = rng_.NextDouble(-spec_.satisfaction_noise,
+                                         spec_.satisfaction_noise);
+    const double satisfaction = std::clamp(quality + noise, 0.0, 1.0);
+    DGT_RETURN_IF_ERROR(
+        estimator_.RecordTransaction(requester, *provider, satisfaction));
+    for_class(requester_class, [&](ClassMetrics& m) {
+      ++m.served;
+      m.satisfaction_sum += satisfaction;
+    });
+    if (spec_.lifecycle_enabled) ++window_served_[requester];
+    for_class(class_of(*provider), [](ClassMetrics& m) { ++m.uploads; });
+  } else {
+    for_class(requester_class, [&](ClassMetrics& m) {
+      ++m.refused;
+      if (lost) ++m.lost;
+    });
+    if (!lost && spec_.requester_records_refusals) {
+      DGT_RETURN_IF_ERROR(estimator_.RecordRefusal(requester, *provider));
+    }
+  }
+
+  // The provider also rates the requester by its cooperativeness —
+  // this is how free riders' trust burns down: they never reciprocate
+  // uploads, which the provider learns over repeated contact. A
+  // refusal is still an encounter but carries far less information
+  // than a completed transaction, so its rating is down-weighted
+  // (refused_reciprocity_weight; 0 skips it entirely).
+  if (spec_.rate_requester && !lost &&
+      (serves || spec_.refused_reciprocity_weight > 0.0)) {
+    const double reciprocity =
+        spec_.profiles[requester].strategy == PeerStrategy::kFreeRider
+            ? 0.0
+            : spec_.profiles[requester].service_quality;
+    double rated = std::clamp(
+        reciprocity + rng_.NextDouble(-spec_.satisfaction_noise,
+                                      spec_.satisfaction_noise),
+        0.0, 1.0);
+    if (!serves) rated *= spec_.refused_reciprocity_weight;
+    DGT_RETURN_IF_ERROR(
+        estimator_.RecordTransaction(*provider, requester, rated));
+  }
+  out.served = serves;
+  out.lost = lost;
+  return out;
+}
+
+Status ScenarioRunner::RunSyncRounds() {
   const uint32_t n = graph_->num_nodes();
   for (uint32_t round = 1; round <= spec_.num_rounds; ++round) {
     const uint32_t phase_index = PhaseIndexOf(round);
     const ScenarioPhase& phase = schedule_[phase_index];
-    ScenarioPhaseReport& phase_report = report_.phases[phase_index];
 
-    // Phase entry: a fresh adaptive phase starts with the attack on (the
-    // adversary only backs off after reading bad feedback).
-    if (round == phase.start_round) adaptive_attack_on_ = true;
-
-    // Scripted churn burst at phase entry.
-    if (round == phase.start_round && phase.churn_fraction > 0.0) {
-      const uint32_t count = static_cast<uint32_t>(
-          std::lround(phase.churn_fraction * static_cast<double>(n)));
-      for (uint32_t idx : rng_.SampleWithoutReplacement(
-               n, std::min(count, n))) {
-        ResetIdentity(static_cast<NodeId>(idx), ResetReason::kChurn,
-                      phase_index);
-      }
-    }
+    if (round == phase.start_round) EnterPhase(phase_index);
 
     RoundSnapshot snap;
     snap.round = round;
-    const auto class_of = [&](NodeId i) -> MetricClass {
-      switch (spec_.profiles[i].strategy) {
-        case PeerStrategy::kFreeRider:
-          return MetricClass::kFreeRider;
-        case PeerStrategy::kColluder:
-          return MetricClass::kColluder;
-        case PeerStrategy::kCooperative:
-          break;
-      }
-      if (spec_.lifecycle_enabled &&
-          rounds_since_join_[i] < spec_.assessment_window) {
-        return MetricClass::kNewcomer;
-      }
-      return MetricClass::kCooperative;
-    };
-    // Applies one mutation to all three accounting scopes. The cumulative
-    // scope is updated per transaction (not per round) so satisfaction
-    // sums accumulate in exactly the order the legacy sims used.
-    const auto for_class = [&](MetricClass c, auto&& mutate) {
-      mutate(PickClass(report_, c));
-      mutate(PickClass(phase_report, c));
-      mutate(PickClass(snap, c));
-    };
-
     // Heavily loaded network: every peer has a pending request each round.
     for (NodeId requester = 0; requester < n; ++requester) {
-      std::optional<NodeId> provider = DiscoverProvider(requester);
-      if (!provider) continue;
-      const MetricClass requester_class = class_of(requester);
-      for_class(requester_class, [](ClassMetrics& m) { ++m.requests; });
-      if (spec_.lifecycle_enabled) ++window_requests_[requester];
-
-      bool lost = false;
-      bool serves;
-      if (phase.packet_loss_prob > 0.0 &&
-          rng_.NextBernoulli(phase.packet_loss_prob)) {
-        // The transfer (or the request itself) drops in flight: the
-        // requester goes unserved, but neither side experienced a
-        // transaction, so no rating is recorded on either end.
-        serves = false;
-        lost = true;
-      } else {
-        serves = DecideToServe(*provider, requester, phase);
-      }
-
-      if (serves) {
-        const double quality = spec_.profiles[*provider].service_quality;
-        const double noise = rng_.NextDouble(-spec_.satisfaction_noise,
-                                             spec_.satisfaction_noise);
-        const double satisfaction = std::clamp(quality + noise, 0.0, 1.0);
-        DGT_RETURN_IF_ERROR(
-            estimator_.RecordTransaction(requester, *provider, satisfaction));
-        for_class(requester_class, [&](ClassMetrics& m) {
-          ++m.served;
-          m.satisfaction_sum += satisfaction;
-        });
-        if (spec_.lifecycle_enabled) ++window_served_[requester];
-        for_class(class_of(*provider),
-                  [](ClassMetrics& m) { ++m.uploads; });
-      } else {
-        for_class(requester_class, [&](ClassMetrics& m) {
-          ++m.refused;
-          if (lost) ++m.lost;
-        });
-        if (!lost && spec_.requester_records_refusals) {
-          DGT_RETURN_IF_ERROR(
-              estimator_.RecordRefusal(requester, *provider));
-        }
-      }
-
-      // The provider also rates the requester by its cooperativeness —
-      // this is how free riders' trust burns down: they never reciprocate
-      // uploads, which the provider learns over repeated contact. A
-      // refusal is still an encounter but carries far less information
-      // than a completed transaction, so its rating is down-weighted
-      // (refused_reciprocity_weight; 0 skips it entirely).
-      if (spec_.rate_requester && !lost &&
-          (serves || spec_.refused_reciprocity_weight > 0.0)) {
-        const double reciprocity =
-            spec_.profiles[requester].strategy == PeerStrategy::kFreeRider
-                ? 0.0
-                : spec_.profiles[requester].service_quality;
-        double rated = std::clamp(
-            reciprocity + rng_.NextDouble(-spec_.satisfaction_noise,
-                                          spec_.satisfaction_noise),
-            0.0, 1.0);
-        if (!serves) rated *= spec_.refused_reciprocity_weight;
-        DGT_RETURN_IF_ERROR(
-            estimator_.RecordTransaction(*provider, requester, rated));
-      }
+      DGT_ASSIGN_OR_RETURN(TransactionOutcome outcome,
+                           Transact(requester, phase_index, snap));
+      (void)outcome;
     }
     report_.rounds.push_back(snap);
 
@@ -521,6 +539,112 @@ Status ScenarioRunner::Run() {
       DGT_RETURN_IF_ERROR(RunBoundary(phase_index));
     }
   }
+  return Status::OK();
+}
+
+Status ScenarioRunner::RunAsyncEvents() {
+  // The same workload as timed events: round r of the synchronous loop
+  // becomes the time window [r-1, r). Per-peer Poisson timers replace
+  // "every peer requests once per round", gossip boundaries fire at the
+  // end of their window, and phase entry (adaptive re-arm + churn burst)
+  // is an event at the window where the phase begins. The heap's seq
+  // tie-break makes the whole interleaving deterministic: boundaries are
+  // scheduled before phase entries before request timers, so a boundary
+  // at time t commits before the phase that starts at t, which commits
+  // before any request in the new phase — exactly the synchronous order.
+  struct AsyncEvent {
+    enum class Kind { kBoundary, kPhaseEntry, kRequest };
+    Kind kind;
+    NodeId node = 0;          // kRequest: whose timer fired
+    uint32_t phase_index = 0; // kBoundary / kPhaseEntry
+  };
+  using Kind = AsyncEvent::Kind;
+
+  const uint32_t n = graph_->num_nodes();
+  const double horizon = static_cast<double>(spec_.num_rounds);
+  DGT_ASSIGN_OR_RETURN(const LinkModel links,
+                       LinkModel::Create(n, spec_.async.link));
+  // Latency accounting draws from a stream derived from the link seed,
+  // never from rng_: observing RTTs must not change what happens.
+  Rng link_rng(Mix64(spec_.async.link.seed));
+
+  TimedEventHeap<AsyncEvent> heap;
+  if (spec_.gossip_every > 0) {
+    for (uint32_t r = spec_.gossip_every; r <= spec_.num_rounds;
+         r += spec_.gossip_every) {
+      heap.Push(static_cast<double>(r),
+                {Kind::kBoundary, 0, PhaseIndexOf(r)});
+    }
+  }
+  for (uint32_t pi = 0; pi < schedule_.size(); ++pi) {
+    heap.Push(static_cast<double>(schedule_[pi].start_round - 1),
+              {Kind::kPhaseEntry, 0, pi});
+  }
+  const auto inter_arrival = [&]() {
+    return -std::log(1.0 - rng_.NextDouble()) / spec_.async.request_rate;
+  };
+  for (NodeId i = 0; i < n; ++i) {
+    heap.Push(inter_arrival(), {Kind::kRequest, i, 0});
+  }
+
+  // The per-round metric series keeps its synchronous shape: one
+  // snapshot per time window, indexed by the window a request lands in.
+  report_.rounds.assign(spec_.num_rounds, RoundSnapshot{});
+  for (uint32_t r = 0; r < spec_.num_rounds; ++r) {
+    report_.rounds[r].round = r + 1;
+  }
+
+  double sim_time = 0.0;
+  while (!heap.empty()) {
+    const auto item = heap.Pop();
+    const double t = item.time;
+    const AsyncEvent& event = item.payload;
+    switch (event.kind) {
+      case Kind::kPhaseEntry:
+        sim_time = t;
+        EnterPhase(event.phase_index);
+        break;
+      case Kind::kBoundary:
+        sim_time = t;
+        DGT_RETURN_IF_ERROR(RunBoundary(event.phase_index));
+        break;
+      case Kind::kRequest: {
+        if (t >= horizon) break;  // past the last window: timer retires
+        sim_time = t;
+        const uint32_t round = static_cast<uint32_t>(t) + 1;
+        const uint32_t phase_index = PhaseIndexOf(round);
+        DGT_ASSIGN_OR_RETURN(
+            const TransactionOutcome outcome,
+            Transact(event.node, phase_index, report_.rounds[round - 1]));
+        if (outcome.contacted && !outcome.lost) {
+          // Completed request/response round trip (a served transfer or
+          // an explicit refusal); a lost transfer never answers.
+          const double rtt =
+              links.Latency(event.node, outcome.provider, link_rng) +
+              links.Latency(outcome.provider, event.node, link_rng);
+          ++report_.async_rtt_count;
+          report_.async_rtt_sum += rtt;
+          ScenarioPhaseReport& phase_report = report_.phases[phase_index];
+          ++phase_report.async_rtt_count;
+          phase_report.async_rtt_sum += rtt;
+        }
+        const double next = t + inter_arrival();
+        if (next < horizon) heap.Push(next, event);
+        break;
+      }
+    }
+  }
+  report_.async_sim_time = sim_time;
+  return Status::OK();
+}
+
+Status ScenarioRunner::Run() {
+  if (ran_) return Status::FailedPrecondition("Run() may be called once");
+  ran_ = true;
+
+  DGT_RETURN_IF_ERROR(spec_.execution == ExecutionMode::kAsyncEventDriven
+                          ? RunAsyncEvents()
+                          : RunSyncRounds());
 
   // Release the paced driver so it can retire its round budget.
   if (service_started_) {

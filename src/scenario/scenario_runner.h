@@ -5,7 +5,10 @@
 //   - each transaction round, every peer discovers a provider and asks;
 //     the provider admits by the spec's policy (served reputation or
 //     direct trust) and both sides update direct trust through
-//     trust/trust_estimator;
+//     trust/trust_estimator — or, in ExecutionMode::kAsyncEventDriven,
+//     the same transactions arrive on per-peer Poisson timers over the
+//     paper's §3 link model, with gossip boundaries and churn bursts as
+//     timed events and per-request round-trip latencies accounted;
 //   - at every gossip boundary the runner builds the *reported* matrix
 //     (collusion-poisoned while a collusion phase is active), diffs it
 //     against what the service last saw, streams the difference through
@@ -88,6 +91,15 @@ class ScenarioRunner {
 
   enum class ResetReason { kWhitewash, kHonestArrival, kChurn };
 
+  // What one transaction attempt did — the async loop uses it to account
+  // request/response latency against the link model.
+  struct TransactionOutcome {
+    bool contacted = false;  // a provider was discovered and asked
+    NodeId provider = 0;
+    bool served = false;
+    bool lost = false;
+  };
+
   const ScenarioPhase& PhaseOf(uint32_t round) const;
   uint32_t PhaseIndexOf(uint32_t round) const;
 
@@ -110,6 +122,18 @@ class ScenarioRunner {
   void ResetIdentity(NodeId node, ResetReason reason, uint32_t phase_index);
   Status RunBoundary(uint32_t phase_index);
   Status SubmitReportedDiff(const TrustMatrix& reported);
+
+  // Phase-entry effects shared by both execution modes: the adaptive
+  // adversary re-arms and any scripted churn burst fires.
+  void EnterPhase(uint32_t phase_index);
+  // One transaction attempt by `requester` under `phase_index`'s rules,
+  // mutating trust and all three metric scopes (cumulative, phase,
+  // `snap`). Both execution modes share this body, so the synchronous
+  // path's RNG draw order is exactly the legacy one.
+  Result<TransactionOutcome> Transact(NodeId requester, uint32_t phase_index,
+                                      RoundSnapshot& snap);
+  Status RunSyncRounds();
+  Status RunAsyncEvents();
 
   const Graph* graph_;
   ScenarioSpec spec_;

@@ -1,5 +1,7 @@
 #include "scenario/scenario_spec.h"
 
+#include <cmath>
+
 namespace dgt {
 
 namespace {
@@ -43,6 +45,18 @@ Status ValidateScenarioSpec(const ScenarioSpec& spec, uint32_t num_nodes) {
     }
     if (!IsProbability(spec.honest_arrival_prob)) {
       return Status::InvalidArgument("honest_arrival_prob must lie in [0, 1]");
+    }
+  }
+  if (spec.execution == ExecutionMode::kAsyncEventDriven) {
+    if (spec.lifecycle_enabled) {
+      return Status::InvalidArgument(
+          "identity lifecycle (whitewashing / honest arrivals) is not "
+          "supported in async event-driven mode yet");
+    }
+    if (!(spec.async.request_rate > 0.0) ||
+        !std::isfinite(spec.async.request_rate)) {
+      return Status::InvalidArgument(
+          "async.request_rate must be positive and finite");
     }
   }
   if (spec.collusion && spec.collusion->group_of.size() != num_nodes) {

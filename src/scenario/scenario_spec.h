@@ -19,12 +19,44 @@
 
 #include "collusion/collusion_model.h"
 #include "common/status.h"
+#include "net/link_model.h"
 #include "p2p/peer.h"
 #include "reputation/newcomer_policy.h"
 #include "reputation/reputation_system.h"
 #include "trust/trust_estimator.h"
 
 namespace dgt {
+
+// How the runner advances simulated time.
+enum class ExecutionMode {
+  // The legacy lock-step loop: every peer has a pending request each
+  // round, rounds tick synchronously.
+  kSynchronousRounds,
+  // OverSim-style timer-driven workload over the paper's §3 link model:
+  // transaction requests arrive on independent Poisson timers, gossip
+  // boundaries fire at event time, churn bursts land on phase-entry
+  // events, and request/response round trips are accounted against
+  // per-link latencies. One unit of simulated time is the async analogue
+  // of one synchronous round (round r covers time [r-1, r)), so phases
+  // and gossip boundaries keep their round arithmetic. Identity
+  // lifecycle (whitewashing / honest arrival) is not supported in this
+  // mode yet — ValidateScenarioSpec rejects the combination.
+  kAsyncEventDriven,
+};
+
+// Knobs for ExecutionMode::kAsyncEventDriven; ignored in synchronous
+// mode.
+struct AsyncWorkloadOptions {
+  // Mean transaction requests per peer per unit of simulated time
+  // (independent Poisson timers). 1.0 matches the synchronous loop's
+  // one-request-per-peer-per-round in expectation.
+  double request_rate = 1.0;
+  // Per-link latency model (access + backbone + access) used to account
+  // request/response round-trip times. Latency draws use the model's own
+  // seed-derived stream, never the workload RNG, so latency accounting
+  // cannot perturb the workload trajectory.
+  LinkModelOptions link;
+};
 
 // How a requester finds a provider each round.
 enum class DiscoveryMode {
@@ -114,6 +146,8 @@ struct ScenarioSpec {
   bool collusion_report_zero_for_outsiders = true;
 
   // --- workload ------------------------------------------------------
+  ExecutionMode execution = ExecutionMode::kSynchronousRounds;
+  AsyncWorkloadOptions async;
   uint32_t num_rounds = 100;
   DiscoveryMode discovery = DiscoveryMode::kQueryFlood;
   uint32_t query_ttl = 3;  // kQueryFlood only

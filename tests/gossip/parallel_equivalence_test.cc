@@ -201,12 +201,13 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0.0, 0.2)),
     SweepName);
 
-// The event-driven engine serialises on its event queue. Its num_threads
-// knob used to be silently inert; it now rejects values > 1 with an
-// explicit "serialised engine" note, while 0 ("auto") and 1 behave
-// identically. This pins that contract.
-TEST(AsyncEquivalence, NumThreadsAboveOneIsRejected) {
-  const uint32_t n = 32;
+// The event-driven engine's windowed lookahead executor: a run at any
+// thread count (0 = auto included) is EXPECT_EQ-on-doubles identical to
+// the 1-thread run, for all three value policies — the async analogue of
+// the synchronous sweep above, and the retirement of the old "serialised
+// engine" InvalidArgument on num_threads.
+TEST(AsyncEquivalence, ScalarPolicyThreadCountInvariant) {
+  const uint32_t n = 48;
   Graph g = MakePaGraph(n, 2, 34);
   auto y0 = RandomValues(n, 23);
   std::vector<double> g0(n, 1.0);
@@ -214,29 +215,104 @@ TEST(AsyncEquivalence, NumThreadsAboveOneIsRejected) {
   AsyncGossipOptions o;
   o.xi = 1e-5;
   o.seed = 11;
+  o.packet_loss_prob = 0.1;  // exercise the loss/bounce path too
   o.num_threads = 1;
   AsyncPushSum serial(&g, o);
   auto base = serial.Run(y0, g0);
   ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_TRUE(base->converged);
 
-  // 0 means "auto" and resolves to the same serialised run.
-  o.num_threads = 0;
-  AsyncPushSum auto_engine(&g, o);
-  auto auto_run = auto_engine.Run(y0, g0);
-  ASSERT_TRUE(auto_run.ok()) << auto_run.status().ToString();
-  EXPECT_EQ(auto_run->ratios, base->ratios);
-  EXPECT_EQ(auto_run->sim_time, base->sim_time);
-  EXPECT_EQ(auto_run->gossip_messages, base->gossip_messages);
-  EXPECT_EQ(auto_run->events, base->events);
-
-  for (uint32_t t : kThreadCounts) {
+  for (uint32_t t : {uint32_t{0}, uint32_t{2}, uint32_t{4}, uint32_t{8}}) {
     o.num_threads = t;
     AsyncPushSum engine(&g, o);
     auto r = engine.Run(y0, g0);
-    ASSERT_FALSE(r.ok()) << "T=" << t;
-    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << "T=" << t;
-    EXPECT_NE(r.status().message().find("serialised"), std::string::npos)
-        << "T=" << t << ": " << r.status().message();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ratios, base->ratios) << "T=" << t;
+    EXPECT_EQ(r->values, base->values) << "T=" << t;
+    EXPECT_EQ(r->weights, base->weights) << "T=" << t;
+    EXPECT_EQ(r->converged, base->converged) << "T=" << t;
+    EXPECT_EQ(r->sim_time, base->sim_time) << "T=" << t;
+    EXPECT_EQ(r->gossip_messages, base->gossip_messages) << "T=" << t;
+    EXPECT_EQ(r->control_messages, base->control_messages) << "T=" << t;
+    EXPECT_EQ(r->events, base->events) << "T=" << t;
+    EXPECT_EQ(r->max_node_firings, base->max_node_firings) << "T=" << t;
+  }
+}
+
+TEST(AsyncEquivalence, VectorAndSparsePoliciesThreadCountInvariant) {
+  const uint32_t n = 20;
+  Graph g = MakePaGraph(n, 2, 36);
+
+  // GCLR-shaped state (sparse opinions, one-hot diagonal weight, count
+  // channel), mirroring the synchronous sweep's hardest case.
+  std::vector<std::vector<double>> y0(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> g0(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> c0(n, std::vector<double>(n, 0.0));
+  Rng rng(56);
+  for (uint32_t i = 0; i < n; ++i) {
+    g0[i][i] = 1.0;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (i != j && rng.NextBernoulli(0.25)) {
+        y0[i][j] = rng.NextDouble();
+        c0[i][j] = 1.0;
+      }
+    }
+  }
+  std::vector<SparseVectorRow> sparse_init(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (y0[i][j] == 0.0 && g0[i][j] == 0.0 && c0[i][j] == 0.0) continue;
+      sparse_init[i].cols.push_back(j);
+      sparse_init[i].y.push_back(y0[i][j]);
+      sparse_init[i].g.push_back(g0[i][j]);
+      sparse_init[i].c.push_back(c0[i][j]);
+    }
+  }
+
+  AsyncGossipOptions o;
+  o.xi = 1e-4;
+  o.seed = 12;
+  o.num_threads = 1;
+  AsyncVectorPushSum dense_serial(&g, o);
+  auto dense_base = dense_serial.Run(y0, g0, c0);
+  ASSERT_TRUE(dense_base.ok()) << dense_base.status().ToString();
+  AsyncSparsePushSum sparse_serial(&g, o);
+  auto sparse_base = sparse_serial.Run(sparse_init, /*use_count=*/true);
+  ASSERT_TRUE(sparse_base.ok()) << sparse_base.status().ToString();
+  ASSERT_TRUE(sparse_base->stats.converged);
+
+  for (uint32_t t : kThreadCounts) {
+    o.num_threads = t;
+    AsyncVectorPushSum dense(&g, o);
+    auto dr = dense.Run(y0, g0, c0);
+    ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+    EXPECT_EQ(dr->y, dense_base->y) << "T=" << t;
+    EXPECT_EQ(dr->g, dense_base->g) << "T=" << t;
+    EXPECT_EQ(dr->c, dense_base->c) << "T=" << t;
+    EXPECT_EQ(dr->stats.sim_time, dense_base->stats.sim_time) << "T=" << t;
+    EXPECT_EQ(dr->stats.gossip_messages, dense_base->stats.gossip_messages)
+        << "T=" << t;
+    EXPECT_EQ(dr->stats.events, dense_base->stats.events) << "T=" << t;
+
+    AsyncSparsePushSum sparse(&g, o);
+    auto sr = sparse.Run(sparse_init, /*use_count=*/true);
+    ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+    ASSERT_EQ(sr->rows.size(), sparse_base->rows.size());
+    for (uint32_t i = 0; i < n; ++i) {
+      EXPECT_EQ(sr->rows[i].cols, sparse_base->rows[i].cols) << "T=" << t;
+      EXPECT_EQ(sr->rows[i].y, sparse_base->rows[i].y) << "T=" << t;
+      EXPECT_EQ(sr->rows[i].g, sparse_base->rows[i].g) << "T=" << t;
+      EXPECT_EQ(sr->rows[i].c, sparse_base->rows[i].c) << "T=" << t;
+    }
+    EXPECT_EQ(sr->stats.converged, sparse_base->stats.converged) << "T=" << t;
+    EXPECT_EQ(sr->stats.sim_time, sparse_base->stats.sim_time) << "T=" << t;
+    EXPECT_EQ(sr->stats.gossip_messages, sparse_base->stats.gossip_messages)
+        << "T=" << t;
+    EXPECT_EQ(sr->stats.control_messages, sparse_base->stats.control_messages)
+        << "T=" << t;
+    EXPECT_EQ(sr->stats.events, sparse_base->stats.events) << "T=" << t;
+    EXPECT_EQ(sr->stats.max_node_firings, sparse_base->stats.max_node_firings)
+        << "T=" << t;
   }
 }
 

@@ -147,10 +147,11 @@ TEST(AsyncGossipTest, StopsOnAnnouncementArrivalNotNextFiring) {
   auto r = run(0.10, seed);
   ASSERT_TRUE(r.ok());
   ASSERT_TRUE(r->converged);
-  // The start offsets are the first two draws of the engine's RNG.
+  // The start offset of node i is the first draw of its counter-based
+  // per-event stream (seed, node i, counter 0).
   Rng probe(seed);
-  const double t0 = probe.NextDouble(0.0, 1.0);
-  const double t1 = probe.NextDouble(0.0, 1.0);
+  const double t0 = probe.StreamAt(0, 0).NextDouble(0.0, 1.0);
+  const double t1 = probe.StreamAt(1, 0).NextDouble(0.0, 1.0);
   auto on_grid_of = [&](double time, double offset) {
     const double frac = std::fmod(time - offset, 1.0);
     return std::min(frac, 1.0 - frac) < 1e-9;

@@ -1,5 +1,10 @@
 #include "net/link_model.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include "gtest/gtest.h"
 
 namespace dgt {
@@ -86,6 +91,77 @@ TEST(LinkModelTest, AsymmetricEndpointsSymmetricSum) {
   auto m = LinkModel::Create(6, {});
   ASSERT_TRUE(m.ok());
   EXPECT_DOUBLE_EQ(m->MeanLatency(2, 4), m->MeanLatency(4, 2));
+}
+
+TEST(LinkModelTest, RejectsZeroLatencyLinkNamingTheEdge) {
+  // All-zero latencies would give the async engines' lookahead a zero
+  // lower bound; construction must fail and name the offending edge.
+  LinkModelOptions o;
+  o.access_latency_min = 0.0;
+  o.access_latency_max = 0.0;
+  o.backbone_latency = 0.0;
+  o.jitter = 0.0;
+  auto m = LinkModel::Create(5, o);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("zero-latency"), std::string::npos);
+  // With identical (zero) access latencies the cheapest pair is 0 -> 1.
+  EXPECT_NE(m.status().message().find("0 -> 1"), std::string::npos);
+}
+
+TEST(LinkModelTest, ZeroAccessAllowedWhenBackbonePositive) {
+  LinkModelOptions o;
+  o.access_latency_min = 0.0;
+  o.access_latency_max = 0.0;
+  o.backbone_latency = 0.02;
+  auto m = LinkModel::Create(5, o);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->MinLatency(), 0.02);
+}
+
+TEST(LinkModelTest, MinLatencyIsTightLowerBound) {
+  auto m = LinkModel::Create(30, {});
+  ASSERT_TRUE(m.ok());
+  double brute = std::numeric_limits<double>::infinity();
+  for (NodeId u = 0; u < 30; ++u) {
+    for (NodeId v = 0; v < 30; ++v) {
+      if (u != v) brute = std::min(brute, m->MeanLatency(u, v));
+    }
+  }
+  EXPECT_DOUBLE_EQ(m->MinLatency(), brute);
+  EXPECT_GT(m->MinLatency(), 0.0);
+  // Sampled latencies (jitter included) never undercut the bound.
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.NextBelow(30));
+    NodeId v = static_cast<NodeId>(rng.NextBelow(30));
+    if (u == v) continue;
+    EXPECT_GE(m->Latency(u, v, rng), m->MinLatency());
+  }
+}
+
+TEST(LinkModelTest, MinLatencyInfiniteBelowTwoNodes) {
+  auto zero = LinkModel::Create(0, {});
+  auto one = LinkModel::Create(1, {});
+  ASSERT_TRUE(zero.ok() && one.ok());
+  EXPECT_TRUE(std::isinf(zero->MinLatency()));
+  EXPECT_TRUE(std::isinf(one->MinLatency()));
+}
+
+TEST(LinkModelTest, SamplingDeterministicUnderStreamAt) {
+  // Counter-based streams make latency draws a pure function of
+  // (seed, stream, counter) — the property the parallel async engine
+  // leans on for thread-count-invariant jitter.
+  auto m = LinkModel::Create(12, {});
+  ASSERT_TRUE(m.ok());
+  Rng base(41);
+  for (NodeId u = 0; u < 12; ++u) {
+    for (NodeId v = 0; v < 12; ++v) {
+      if (u == v) continue;
+      Rng a = base.StreamAt(u, v);
+      Rng b = base.StreamAt(u, v);
+      EXPECT_EQ(m->Latency(u, v, a), m->Latency(u, v, b));
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,113 @@
+// GCLR variant 4 over the event-driven engine: the async aggregation
+// path must agree with the synchronous sparse path on converged values
+// (same seeding, same yhat/denominator post-processing, different gossip
+// trajectories) and must stay bit-for-bit thread-count invariant end to
+// end, post-processing included.
+
+#include <cmath>
+
+#include "reputation/aggregation.h"
+
+#include "graph/generators.h"
+#include "reputation/reference.h"
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using testing_util::FillTrust;
+using testing_util::MakePaGraph;
+
+AsyncAggregationOptions AsyncOpts(double xi = 1e-8, uint64_t seed = 3) {
+  AsyncAggregationOptions o;
+  o.gossip.xi = xi;
+  o.gossip.seed = seed;
+  o.weights.a = 4.0;
+  o.weights.b = 1.0;
+  return o;
+}
+
+TEST(AggregateGclrVectorAsyncTest, RejectsBadInput) {
+  Graph g = MakePaGraph(20);
+  TrustMatrix t(19);  // mismatch
+  EXPECT_FALSE(AggregateGclrVectorAsync(g, t, AsyncOpts()).ok());
+}
+
+TEST(AggregateGclrVectorAsyncTest, AgreesWithSynchronousGclrVector) {
+  const uint32_t n = 40;
+  Graph g = MakePaGraph(n, 2, 70);
+  TrustMatrix t(n);
+  FillTrust(g, &t, 71);
+
+  AggregationOptions sync_o;
+  sync_o.gossip.xi = 1e-9;
+  sync_o.gossip.seed = 3;
+  sync_o.weights.a = 4.0;
+  sync_o.weights.b = 1.0;
+  auto sync = AggregateGclrVector(g, t, sync_o);
+  ASSERT_TRUE(sync.ok()) << sync.status().ToString();
+  ASSERT_TRUE(sync->stats.converged);
+
+  auto async = AggregateGclrVectorAsync(g, t, AsyncOpts(1e-8));
+  ASSERT_TRUE(async.ok()) << async.status().ToString();
+  EXPECT_TRUE(async->stats.converged);
+  EXPECT_GT(async->stats.gossip_messages, 0u);
+
+  double worst = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      worst = std::max(worst, std::fabs(async->estimates[i][j] -
+                                        sync->estimates[i][j]));
+    }
+  }
+  EXPECT_LT(worst, 0.02);
+}
+
+TEST(AggregateGclrVectorAsyncTest, MatchesExactGclrPerObserver) {
+  const uint32_t n = 40;
+  Graph g = MakePaGraph(n, 2, 72);
+  TrustMatrix t(n);
+  FillTrust(g, &t, 73);
+
+  AsyncAggregationOptions o = AsyncOpts(1e-9);
+  auto r = AggregateGclrVectorAsync(g, t, o);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->stats.converged);
+  for (NodeId i = 0; i < n; ++i) {
+    auto w = WeightTable::Build(t, i, o.weights).value();
+    for (NodeId j : {NodeId{2}, NodeId{17}, NodeId{33}}) {
+      double truth = ExactGclr(t, g, w, j, DenominatorMode::kOpinators);
+      EXPECT_NEAR(r->estimates[i][j], truth, 0.02)
+          << "observer " << i << " target " << j;
+    }
+  }
+}
+
+TEST(AggregateGclrVectorAsyncTest, ThreadCountInvariantEndToEnd) {
+  const uint32_t n = 28;
+  Graph g = MakePaGraph(n, 2, 74);
+  TrustMatrix t(n);
+  FillTrust(g, &t, 75);
+
+  AsyncAggregationOptions o = AsyncOpts(1e-6);
+  o.gossip.num_threads = 1;
+  auto base = AggregateGclrVectorAsync(g, t, o);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    o.gossip.num_threads = threads;
+    auto r = AggregateGclrVectorAsync(g, t, o);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->estimates, base->estimates) << "T=" << threads;
+    EXPECT_EQ(r->stats.sim_time, base->stats.sim_time) << "T=" << threads;
+    EXPECT_EQ(r->stats.gossip_messages, base->stats.gossip_messages)
+        << "T=" << threads;
+    EXPECT_EQ(r->stats.control_messages, base->stats.control_messages)
+        << "T=" << threads;
+    EXPECT_EQ(r->stats.events, base->stats.events) << "T=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace dgt

@@ -1,0 +1,192 @@
+// ScenarioSpec's async event-driven execution mode: the same workload as
+// Poisson timer events over the link model, driving the live
+// ReputationService at event-time gossip boundaries. The suite pins the
+// v1 validation surface, run-to-run determinism, the Poisson request
+// volume, per-phase latency accounting, and the collusion
+// onset -> recovery arc end to end.
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "scenario/scenario_runner.h"
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace {
+
+using testing_util::MakePaGraph;
+
+// Collusion onset -> recovery over three equal phases, small enough for
+// a unit test but with every layer live (service, MPSC ingest, RMS
+// reference).
+ScenarioSpec OnsetRecoverySpec(const Graph& g, uint32_t phase_rounds) {
+  const uint32_t n = g.num_nodes();
+  CollusionConfig cfg;
+  cfg.colluding_fraction = 0.25;
+  cfg.group_size = 3;
+  cfg.seed = 82;
+  CollusionPlan plan = MakeCollusionPlan(n, cfg).value();
+
+  ScenarioSpec spec;
+  spec.execution = ExecutionMode::kAsyncEventDriven;
+  spec.profiles.resize(n);
+  Rng qrng(83);
+  for (NodeId i = 0; i < n; ++i) {
+    spec.profiles[i].strategy = plan.IsColluder(i)
+                                    ? PeerStrategy::kColluder
+                                    : PeerStrategy::kCooperative;
+    spec.profiles[i].service_quality = qrng.NextDouble(0.6, 1.0);
+  }
+  spec.collusion = plan;
+  spec.num_rounds = 3 * phase_rounds;
+  spec.gossip_every = 3;
+  spec.reputation.aggregation.gossip.xi = 1e-4;
+  spec.compute_rms = true;
+  spec.seed = 84;
+
+  ScenarioPhase pre, attack, recovery;
+  pre.name = "pre-attack";
+  pre.start_round = 1;
+  pre.end_round = phase_rounds;
+  attack.name = "collusion";
+  attack.start_round = phase_rounds + 1;
+  attack.end_round = 2 * phase_rounds;
+  attack.collusion_active = true;
+  recovery.name = "recovery";
+  recovery.start_round = 2 * phase_rounds + 1;
+  recovery.end_round = spec.num_rounds;
+  spec.phases = {pre, attack, recovery};
+  return spec;
+}
+
+TEST(AsyncScenarioValidation, RejectsIdentityLifecycle) {
+  Graph g = MakePaGraph(12);
+  ScenarioSpec spec;
+  spec.profiles.resize(12);
+  spec.execution = ExecutionMode::kAsyncEventDriven;
+  spec.lifecycle_enabled = true;
+  Status s = ValidateScenarioSpec(spec, 12);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("lifecycle"), std::string::npos);
+}
+
+TEST(AsyncScenarioValidation, RejectsNonPositiveRequestRate) {
+  ScenarioSpec spec;
+  spec.profiles.resize(12);
+  spec.execution = ExecutionMode::kAsyncEventDriven;
+  spec.async.request_rate = 0.0;
+  EXPECT_FALSE(ValidateScenarioSpec(spec, 12).ok());
+  spec.async.request_rate = -1.0;
+  EXPECT_FALSE(ValidateScenarioSpec(spec, 12).ok());
+  spec.async.request_rate = 1.0;
+  EXPECT_TRUE(ValidateScenarioSpec(spec, 12).ok());
+}
+
+TEST(AsyncScenarioValidation, SurfacesDegenerateLinkModelAtRun) {
+  // A zero-latency link model is rejected with the offending edge named
+  // — at Run(), where the link model is built.
+  Graph g = MakePaGraph(12);
+  ScenarioSpec spec = OnsetRecoverySpec(g, 3);
+  spec.async.link.access_latency_min = 0.0;
+  spec.async.link.access_latency_max = 0.0;
+  spec.async.link.backbone_latency = 0.0;
+  auto runner = ScenarioRunner::Create(&g, spec);
+  ASSERT_TRUE(runner.ok());
+  Status s = (*runner)->Run();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("zero-latency"), std::string::npos);
+}
+
+TEST(AsyncScenario, CollusionOnsetRecoveryRunsEndToEnd) {
+  const uint32_t phase_rounds = 6;
+  Graph g = MakePaGraph(24, 2, 81);
+  ScenarioSpec spec = OnsetRecoverySpec(g, phase_rounds);
+  auto runner = ScenarioRunner::Create(&g, spec);
+  ASSERT_TRUE(runner.ok()) << runner.status().ToString();
+  ASSERT_TRUE((*runner)->Run().ok());
+
+  const ScenarioReport& report = (*runner)->report();
+  // Every scheduled epoch landed, driven from event time.
+  EXPECT_EQ(report.gossip_rounds, spec.num_rounds / spec.gossip_every);
+  ASSERT_EQ(report.phases.size(), 3u);
+  for (const ScenarioPhaseReport& phase : report.phases) {
+    EXPECT_EQ(phase.epochs, phase_rounds / spec.gossip_every) << phase.name;
+    EXPECT_GT(phase.cooperative.requests, 0u) << phase.name;
+    EXPECT_GT(phase.async_rtt_count, 0u) << phase.name;
+    EXPECT_GT(phase.MeanRequestRtt(), 0.0) << phase.name;
+    // RTT = access + backbone + access + jitter, both ways.
+    EXPECT_GE(phase.MeanRequestRtt(),
+              2.0 * (2.0 * spec.async.link.access_latency_min +
+                     spec.async.link.backbone_latency))
+        << phase.name;
+  }
+  // The served snapshot is live and trust flowed through the queue.
+  EXPECT_NE((*runner)->snapshot(), nullptr);
+  EXPECT_GT(report.trust_updates_submitted, 0u);
+  EXPECT_EQ((*runner)->service_updates_rejected(), 0u);
+  // The per-round series keeps its synchronous shape.
+  ASSERT_EQ(report.rounds.size(), spec.num_rounds);
+  EXPECT_EQ(report.rounds.front().round, 1u);
+  EXPECT_EQ(report.rounds.back().round, spec.num_rounds);
+  EXPECT_GT(report.async_sim_time, 0.0);
+  EXPECT_LE(report.async_sim_time, static_cast<double>(spec.num_rounds));
+
+  // The §5.2 arc: collusion onset raises the served-vs-reference RMS
+  // error, recovery brings it back down.
+  EXPECT_LT(report.phases[0].MeanRms(), 1e-9);
+  EXPECT_GT(report.phases[1].MeanRms(), report.phases[0].MeanRms() + 0.05);
+  EXPECT_LT(report.phases[2].LastRms(), report.phases[1].LastRms());
+}
+
+TEST(AsyncScenario, DeterministicAcrossRuns) {
+  Graph g = MakePaGraph(20, 2, 85);
+  ScenarioSpec spec = OnsetRecoverySpec(g, 4);
+  ScenarioReport reports[2];
+  for (int k = 0; k < 2; ++k) {
+    auto runner = ScenarioRunner::Create(&g, spec);
+    ASSERT_TRUE(runner.ok());
+    ASSERT_TRUE((*runner)->Run().ok());
+    reports[k] = (*runner)->report();
+  }
+  EXPECT_EQ(reports[0].cooperative.requests, reports[1].cooperative.requests);
+  EXPECT_EQ(reports[0].cooperative.served, reports[1].cooperative.served);
+  EXPECT_EQ(reports[0].colluder.requests, reports[1].colluder.requests);
+  EXPECT_EQ(reports[0].trust_updates_submitted,
+            reports[1].trust_updates_submitted);
+  EXPECT_EQ(reports[0].async_rtt_count, reports[1].async_rtt_count);
+  EXPECT_EQ(reports[0].async_rtt_sum, reports[1].async_rtt_sum);
+  EXPECT_EQ(reports[0].async_sim_time, reports[1].async_sim_time);
+  for (size_t r = 0; r < reports[0].rounds.size(); ++r) {
+    EXPECT_EQ(reports[0].rounds[r].cooperative.requests,
+              reports[1].rounds[r].cooperative.requests)
+        << "round " << r + 1;
+  }
+}
+
+TEST(AsyncScenario, RequestVolumeTracksPoissonRate) {
+  // Total requests ~ Poisson(n * num_rounds * rate); at these sizes the
+  // realised count stays well within 25% of the mean, and doubling the
+  // rate roughly doubles the volume.
+  Graph g = MakePaGraph(32, 2, 86);
+  uint64_t totals[2] = {0, 0};
+  const double rates[2] = {1.0, 2.0};
+  for (int k = 0; k < 2; ++k) {
+    ScenarioSpec spec = OnsetRecoverySpec(g, 6);
+    spec.async.request_rate = rates[k];
+    auto runner = ScenarioRunner::Create(&g, spec);
+    ASSERT_TRUE(runner.ok());
+    ASSERT_TRUE((*runner)->Run().ok());
+    const ScenarioReport& report = (*runner)->report();
+    totals[k] = report.cooperative.requests + report.free_rider.requests +
+                report.colluder.requests + report.newcomer.requests;
+    const double expected =
+        32.0 * 18.0 * rates[k];  // n * num_rounds * rate
+    EXPECT_GT(static_cast<double>(totals[k]), 0.75 * expected);
+    EXPECT_LT(static_cast<double>(totals[k]), 1.25 * expected);
+  }
+  EXPECT_GT(totals[1], totals[0]);
+}
+
+}  // namespace
+}  // namespace dgt

@@ -26,6 +26,13 @@ void ExpectFieldExact(const GeneratedScenario& a,
   const ScenarioSpec& x = a.spec;
   const ScenarioSpec& y = b.spec;
   EXPECT_EQ(x.num_rounds, y.num_rounds);
+  EXPECT_EQ(x.execution, y.execution);
+  EXPECT_EQ(x.async.request_rate, y.async.request_rate);
+  EXPECT_EQ(x.async.link.access_latency_min, y.async.link.access_latency_min);
+  EXPECT_EQ(x.async.link.access_latency_max, y.async.link.access_latency_max);
+  EXPECT_EQ(x.async.link.backbone_latency, y.async.link.backbone_latency);
+  EXPECT_EQ(x.async.link.jitter, y.async.link.jitter);
+  EXPECT_EQ(x.async.link.seed, y.async.link.seed);
   EXPECT_EQ(x.discovery, y.discovery);
   EXPECT_EQ(x.query_ttl, y.query_ttl);
   EXPECT_EQ(x.admission, y.admission);
@@ -109,6 +116,33 @@ TEST(SpecTextTest, RoundTripsEveryGeneratorReachableShape) {
     // And the round trip is a fixed point of the encoding.
     EXPECT_EQ(SpecToText(*decoded), text) << original.name;
   }
+}
+
+TEST(SpecTextTest, RoundTripsAsyncExecutionMode) {
+  GeneratedScenario original = SpecGenerator(FuzzProfile{}).Generate(7);
+  original.spec.lifecycle_enabled = false;  // unsupported in async v1
+  for (ScenarioPhase& phase : original.spec.phases) {
+    phase.whitewashing_active = false;
+  }
+  original.spec.execution = ExecutionMode::kAsyncEventDriven;
+  original.spec.async.request_rate = 1.75;
+  original.spec.async.link.access_latency_min = 0.003;
+  original.spec.async.link.access_latency_max = 0.041;
+  original.spec.async.link.backbone_latency = 0.017;
+  original.spec.async.link.jitter = 0.009;
+  original.spec.async.link.seed = 99;
+  const std::string text = SpecToText(original);
+  Result<GeneratedScenario> decoded = SpecFromText(text);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectFieldExact(original, *decoded);
+  EXPECT_EQ(SpecToText(*decoded), text);
+
+  // Unknown execution tokens are rejected, not defaulted.
+  std::string bad = text;
+  const size_t pos = bad.find("execution async");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 15, "execution sometimes");
+  EXPECT_FALSE(SpecFromText(bad).ok());
 }
 
 TEST(SpecTextTest, CommentsAreEmbeddedAndIgnoredOnLoad) {
