@@ -97,6 +97,56 @@ class BenchJsonWriter : public dgt::BenchJsonWriter {
       : dgt::BenchJsonWriter(std::move(bench_name), OutDir()) {}
 };
 
+// Latency sample accumulator with the percentile fields the baseline
+// checker treats as advisory. Benches that measure per-request latency
+// record microseconds here and splice PercentileFields("point") into
+// their BenchJsonWriter point instead of hand-rolling percentile math —
+// the emitted suffixes (_p50_us/_p99_us/_p999_us/_mean_us) are advisory
+// in scripts/check_bench_baseline.py, so latency is recorded without
+// ever gating CI.
+class LatencyRecorder {
+ public:
+  void Record(double us) { samples_.push_back(us); }
+  // Folds another recorder's samples in (per-thread recorders merged
+  // after join — Record is not thread-safe).
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+  size_t count() const { return samples_.size(); }
+
+  // Nearest-rank percentile (p in [0, 100]) over the sample; 0 when
+  // empty. ceil(p/100 * n)-th smallest, the standard nearest-rank
+  // definition — p999 means p = 99.9.
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    const double want = p / 100.0 * static_cast<double>(sorted.size());
+    size_t rank = static_cast<size_t>(want);
+    if (static_cast<double>(rank) < want) ++rank;  // ceil
+    if (rank == 0) rank = 1;
+    if (rank > sorted.size()) rank = sorted.size();
+    return sorted[rank - 1];
+  }
+
+  // "<prefix>_p50_us", "<prefix>_p99_us", "<prefix>_p999_us" and
+  // "<prefix>_mean_us", ready to splice into a BenchJsonWriter point.
+  std::vector<std::pair<std::string, double>> PercentileFields(
+      const std::string& prefix) const {
+    double mean = 0.0;
+    for (double s : samples_) mean += s;
+    if (!samples_.empty()) mean /= static_cast<double>(samples_.size());
+    return {{prefix + "_p50_us", Percentile(50.0)},
+            {prefix + "_p99_us", Percentile(99.0)},
+            {prefix + "_p999_us", Percentile(99.9)},
+            {prefix + "_mean_us", mean}};
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
 // Sparse direct-trust state for the large-N sweeps: every node holds
 // `opinions_per_node` random opinions (the paper's "very small number of
 // neighbours being directly transacted with").

@@ -17,9 +17,11 @@ Field classes:
     seed/configuration, so drift means the algorithm (or the workload)
     changed behaviour.
   - advisory fields: names ending in "_ms" (wall-clock), "_per_sec"
-    (rates), "_mb" (memory) or "_rms" (error metrics that go through
-    libm) — reported with a ratio but never failing (CI machines are too
-    noisy / libm too version-dependent to gate on).
+    (rates), "_mb" (memory), "_rms" (error metrics that go through
+    libm) or the latency-percentile suffixes "_p50_us" / "_p99_us" /
+    "_p999_us" / "_mean_us" (bench_util.h LatencyRecorder) — reported
+    with a ratio but never failing (CI machines are too noisy / libm too
+    version-dependent to gate on).
   - key fields     : everything else (n, xi, gclr_threads, readers, ...).
 
 A baseline point with no matching current point fails: silently dropping
@@ -37,7 +39,8 @@ METRIC_SUFFIXES = ("_steps", "_messages", "_nnz", "_queries", "_rounds",
                    "_updates", "_requests", "_served", "_refused",
                    "_resets", "_arrivals", "_epochs", "_count",
                    "_sim_time")
-ADVISORY_SUFFIXES = ("_ms", "_per_sec", "_mb", "_rms")
+ADVISORY_SUFFIXES = ("_ms", "_per_sec", "_mb", "_rms",
+                     "_p50_us", "_p99_us", "_p999_us", "_mean_us")
 
 
 def classify(name):

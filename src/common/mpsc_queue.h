@@ -13,6 +13,7 @@
 #ifndef DGT_COMMON_MPSC_QUEUE_H_
 #define DGT_COMMON_MPSC_QUEUE_H_
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -75,6 +76,102 @@ class BoundedMpscQueue {
   const size_t capacity_;
   mutable std::mutex mu_;
   std::deque<T> items_;
+  uint64_t rejected_ = 0;
+};
+
+// BoundedWorkQueue: the same bounded-TryPush / explicit-backpressure
+// discipline as BoundedMpscQueue, but with a condition-variable hand-off
+// to multiple blocking consumers — the request queue of the RPC serving
+// front-end (src/rpc/server.h). Producers (connection reader threads)
+// TryPush and see rejection when the queue is full (admission control:
+// the peer gets a Backpressure reply instead of unbounded buffering);
+// worker-pool consumers park in PopBlocking between requests and drain
+// opportunistic extras with TryPopUpTo to batch work against one epoch
+// snapshot. Close() wakes every parked consumer for shutdown; items
+// still queued at Close remain poppable so accepted requests are never
+// silently dropped.
+template <typename T>
+class BoundedWorkQueue {
+ public:
+  // capacity 0 is bumped to 1, as in BoundedMpscQueue.
+  explicit BoundedWorkQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedWorkQueue(const BoundedWorkQueue&) = delete;
+  BoundedWorkQueue& operator=(const BoundedWorkQueue&) = delete;
+
+  // Producer side. False (counted) when full or closed — the caller owns
+  // the backpressure reply.
+  bool TryPush(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) {
+        ++rejected_;
+        return false;
+      }
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Consumer side: blocks until an item is available or the queue is
+  // closed. Returns false only when closed and drained.
+  bool PopBlocking(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  // Non-blocking batch drain of up to max_items more (FIFO order,
+  // appended to *out). Returns the number taken.
+  size_t TryPopUpTo(size_t max_items, std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t taken = 0;
+    while (taken < max_items && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    return taken;
+  }
+
+  // Rejects future pushes and wakes every parked consumer. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // TryPush calls that returned false since construction.
+  uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
   uint64_t rejected_ = 0;
 };
 

@@ -1,0 +1,111 @@
+#include "rpc/client.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace dgt {
+namespace rpc {
+namespace {
+
+Status WireErrorToStatus(WireError error, const std::string& message) {
+  const std::string text =
+      "wire error " + std::string(WireErrorName(error)) + ": " + message;
+  switch (error) {
+    case WireError::kInvalidArgument:
+      return Status::InvalidArgument(text);
+    case WireError::kOutOfRange:
+      return Status::OutOfRange(text);
+    case WireError::kBackpressure:
+    case WireError::kNotReady:
+    case WireError::kUpdateRejected:
+    case WireError::kShuttingDown:
+      return Status::FailedPrecondition(text);
+    default:
+      return Status::Internal(text);
+  }
+}
+
+}  // namespace
+
+Result<RpcClient> RpcClient::Connect(uint16_t port, int retry_budget_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(retry_budget_ms);
+  for (;;) {
+    Result<UniqueFd> fd = ConnectLoopback(port);
+    if (fd.ok()) return RpcClient(std::move(fd).value());
+    if (Clock::now() >= deadline) return fd.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+template <typename Reply, typename Request>
+Result<Reply> RpcClient::Call(const Request& m) {
+  last_wire_error_ = WireError::kInternal;
+  if (!fd_.valid()) return Status::IoError("client is closed");
+  const uint64_t id = next_request_id_++;
+  DGT_RETURN_IF_ERROR(WriteFrame(fd_.get(), Encode(id, m)));
+  DGT_ASSIGN_OR_RETURN(const std::vector<uint8_t> frame,
+                       ReadFrame(fd_.get()));
+  DecodedMessage msg;
+  std::string reason;
+  const WireError decode_error =
+      DecodeFrame(frame.data(), frame.size(), &msg, &reason);
+  if (decode_error != WireError::kOk) {
+    return Status::Internal("undecodable reply (" +
+                            std::string(WireErrorName(decode_error)) + ": " +
+                            reason + ")");
+  }
+  if (msg.header.request_id != id) {
+    return Status::Internal("reply for request " +
+                            std::to_string(msg.header.request_id) +
+                            ", expected " + std::to_string(id));
+  }
+  if (const auto* err = std::get_if<ErrorReply>(&msg.body)) {
+    last_wire_error_ = msg.header.error;
+    return WireErrorToStatus(msg.header.error, err->message);
+  }
+  if (auto* reply = std::get_if<Reply>(&msg.body)) {
+    last_wire_error_ = WireError::kOk;
+    return std::move(*reply);
+  }
+  return Status::Internal(
+      "unexpected reply type " +
+      std::string(MessageTypeName(msg.header.type)));
+}
+
+Result<PointQueryReply> RpcClient::QueryPoint(NodeId observer, NodeId target) {
+  return Call<PointQueryReply>(PointQueryRequest{observer, target});
+}
+
+Result<BatchQueryReply> RpcClient::QueryBatch(
+    NodeId observer, const std::vector<NodeId>& targets) {
+  return Call<BatchQueryReply>(BatchQueryRequest{observer, targets});
+}
+
+Result<TopKQueryReply> RpcClient::QueryTopK(NodeId observer, uint32_t k) {
+  return Call<TopKQueryReply>(TopKQueryRequest{observer, k});
+}
+
+Status RpcClient::SubmitTrustUpdate(NodeId observer, NodeId target,
+                                    double value) {
+  Result<TrustUpdateReply> r =
+      Call<TrustUpdateReply>(TrustUpdateRequest{observer, target, value,
+                                                /*erase=*/false});
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status RpcClient::SubmitTrustErase(NodeId observer, NodeId target) {
+  Result<TrustUpdateReply> r = Call<TrustUpdateReply>(
+      TrustUpdateRequest{observer, target, 0.0, /*erase=*/true});
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<uint64_t> RpcClient::Ping() {
+  DGT_ASSIGN_OR_RETURN(const PingReply reply, Call<PingReply>(PingRequest{}));
+  return reply.epoch;
+}
+
+}  // namespace rpc
+}  // namespace dgt

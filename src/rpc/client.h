@@ -1,0 +1,70 @@
+// RpcClient: a blocking request/response client for the wire protocol —
+// the building block of the dgt_loadgen driver threads and the rpc test
+// suites. One client owns one TCP connection and keeps one request in
+// flight (request ids are still generated and checked, so a desynced or
+// misbehaving server is detected rather than silently reordered).
+// Thread contract: a client instance belongs to one thread; use one
+// client per driver thread for concurrency.
+
+#ifndef DGT_RPC_CLIENT_H_
+#define DGT_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "rpc/frame_io.h"
+#include "rpc/wire.h"
+
+namespace dgt {
+namespace rpc {
+
+class RpcClient {
+ public:
+  // Connects to 127.0.0.1:port. retry_budget_ms > 0 retries a refused
+  // connection with a short sleep until the budget is spent — the
+  // readiness protocol for a server process that is still aggregating
+  // its initial rounds and has not bound the port yet.
+  static Result<RpcClient> Connect(uint16_t port, int retry_budget_ms = 0);
+
+  RpcClient(RpcClient&&) noexcept = default;
+  RpcClient& operator=(RpcClient&&) noexcept = default;
+
+  // Each call sends one request and blocks for its reply. Wire-level
+  // error replies come back as a non-OK Status whose message names the
+  // wire error code; the code itself is retained in last_wire_error()
+  // so callers (the loadgen's rejection accounting) can branch on
+  // kBackpressure / kUpdateRejected without string matching. Transport
+  // failures surface as IoError with last_wire_error() == kInternal.
+  Result<PointQueryReply> QueryPoint(NodeId observer, NodeId target);
+  Result<BatchQueryReply> QueryBatch(NodeId observer,
+                                     const std::vector<NodeId>& targets);
+  Result<TopKQueryReply> QueryTopK(NodeId observer, uint32_t k);
+  Status SubmitTrustUpdate(NodeId observer, NodeId target, double value);
+  Status SubmitTrustErase(NodeId observer, NodeId target);
+  // Liveness probe; returns the server's current epoch (0 before the
+  // first round lands).
+  Result<uint64_t> Ping();
+
+  // kOk after a successful call; the server-reported code after an error
+  // reply; kInternal after a transport-level failure.
+  WireError last_wire_error() const { return last_wire_error_; }
+
+  void Close() { fd_.Reset(); }
+
+ private:
+  explicit RpcClient(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  // Sends `m`, awaits the reply, and returns it when it holds a Reply.
+  template <typename Reply, typename Request>
+  Result<Reply> Call(const Request& m);
+
+  UniqueFd fd_;
+  uint64_t next_request_id_ = 1;
+  WireError last_wire_error_ = WireError::kOk;
+};
+
+}  // namespace rpc
+}  // namespace dgt
+
+#endif  // DGT_RPC_CLIENT_H_

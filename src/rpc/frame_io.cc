@@ -1,0 +1,164 @@
+#include "rpc/frame_io.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dgt {
+namespace rpc {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void UniqueFd::ShutdownBothEnds() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<UniqueFd> ListenLoopback(uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IoError(Errno("socket"));
+  int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::IoError(Errno("bind 127.0.0.1"));
+  }
+  if (::listen(fd.get(), 128) != 0) return Status::IoError(Errno("listen"));
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::IoError(Errno("getsockname"));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<UniqueFd> AcceptConnection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      // Request/response frames are small; never batch them in the
+      // kernel waiting for more bytes.
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return UniqueFd(fd);
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(Errno("accept"));
+  }
+}
+
+Result<UniqueFd> ConnectLoopback(uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IoError(Errno("socket"));
+  sockaddr_in addr = LoopbackAddr(port);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      int one = 1;
+      (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(Errno("connect 127.0.0.1"));
+  }
+}
+
+namespace {
+
+Status WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-reply must surface as
+    // an error return, not kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError(Errno("send"));
+  }
+  return Status::OK();
+}
+
+// Returns bytes read; 0 only on immediate EOF. Errors via status.
+Result<size_t> ReadAll(int fd, uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::recv(fd, data + done, size - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (done == 0) return static_cast<size_t>(0);
+      return Status::IoError("connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(Errno("recv"));
+  }
+  return done;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {
+  if (payload.empty() || payload.size() > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("frame payload size out of range");
+  }
+  uint8_t prefix[4];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) prefix[i] = static_cast<uint8_t>(len >> (8 * i));
+  DGT_RETURN_IF_ERROR(WriteAll(fd, prefix, sizeof(prefix)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<std::vector<uint8_t>> ReadFrame(int fd, uint32_t max_payload) {
+  uint8_t prefix[4];
+  DGT_ASSIGN_OR_RETURN(const size_t got, ReadAll(fd, prefix, sizeof(prefix)));
+  if (got == 0) return Status::NotFound("connection closed");
+  uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) len = (len << 8) | prefix[i];
+  if (len == 0 || len > max_payload) {
+    return Status::IoError("frame length " + std::to_string(len) +
+                           " outside (0, " + std::to_string(max_payload) +
+                           "]");
+  }
+  std::vector<uint8_t> payload(len);
+  DGT_ASSIGN_OR_RETURN(const size_t body,
+                       ReadAll(fd, payload.data(), payload.size()));
+  if (body != payload.size()) {
+    return Status::IoError("connection closed mid-frame");
+  }
+  return payload;
+}
+
+}  // namespace rpc
+}  // namespace dgt

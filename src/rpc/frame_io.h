@@ -1,0 +1,83 @@
+// Socket plumbing for the RPC layer: an RAII file descriptor, loopback
+// TCP listen/accept/connect helpers, and blocking frame read/write
+// (4-byte little-endian length prefix + payload, the framing wire.h
+// documents). Kept separate from wire.h — the codec is pure and
+// unit-testable without a socket; this file owns every syscall.
+//
+// The server deliberately binds 127.0.0.1 only: the protocol carries no
+// authentication, so the trust boundary is the host (docs/SERVING.md,
+// "Scope").
+
+#ifndef DGT_RPC_FRAME_IO_H_
+#define DGT_RPC_FRAME_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "rpc/wire.h"
+
+namespace dgt {
+namespace rpc {
+
+// Owns a file descriptor; closes on destruction. Movable, not copyable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  // Closes the held descriptor (if any) and forgets it.
+  void Reset();
+  // Half-closes both directions without releasing the descriptor number —
+  // safe while other threads still hold the fd (their reads/writes fail
+  // instead of hitting a recycled descriptor).
+  void ShutdownBothEnds();
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening TCP socket bound to 127.0.0.1:port (port 0 = ephemeral;
+// recover the actual port with LocalPort). SO_REUSEADDR is set so tests
+// and CI restarts do not trip over TIME_WAIT.
+Result<UniqueFd> ListenLoopback(uint16_t port);
+
+// The locally bound port of a socket (after ListenLoopback with port 0).
+Result<uint16_t> LocalPort(int fd);
+
+// Blocking accept. IoError when the listen socket was shut down/closed.
+Result<UniqueFd> AcceptConnection(int listen_fd);
+
+// Blocking connect to 127.0.0.1:port.
+Result<UniqueFd> ConnectLoopback(uint16_t port);
+
+// Writes one length-prefixed frame (handles short writes; EPIPE is an
+// IoError, never a signal). Empty payloads are rejected — every valid
+// payload carries at least the wire header.
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload);
+
+// Blocking read of one frame payload. Clean EOF before any byte of a
+// frame is NotFound("connection closed"); a length prefix above
+// max_payload, a zero length, or EOF mid-frame is IoError.
+Result<std::vector<uint8_t>> ReadFrame(
+    int fd, uint32_t max_payload = kMaxFramePayloadBytes);
+
+}  // namespace rpc
+}  // namespace dgt
+
+#endif  // DGT_RPC_FRAME_IO_H_

@@ -1,0 +1,288 @@
+#include "rpc/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "serve/query.h"
+
+namespace dgt {
+namespace rpc {
+namespace {
+
+WireError WireErrorFromStatus(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kInvalidArgument:
+      return WireError::kInvalidArgument;
+    case StatusCode::kOutOfRange:
+      return WireError::kOutOfRange;
+    case StatusCode::kFailedPrecondition:
+      return WireError::kNotReady;
+    default:
+      return WireError::kInternal;
+  }
+}
+
+}  // namespace
+
+RpcServer::RpcServer(ReputationService* service, RpcServerOptions options)
+    : service_(service),
+      options_(options),
+      queue_(options.request_queue_capacity) {
+  options_.worker_threads =
+      ClampThreadsToHardware(options_.worker_threads, "rpc worker pool");
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  workers_held_ = options_.hold_workers;
+}
+
+RpcServer::~RpcServer() { Stop(); }
+
+Status RpcServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("RpcServer already started");
+  }
+  DGT_ASSIGN_OR_RETURN(listen_fd_, ListenLoopback(options_.port));
+  DGT_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(options_.worker_threads);
+  for (uint32_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void RpcServer::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  // Unblock accept() and every reader's recv(); descriptors are only
+  // closed by their owners' destructors after the threads joined.
+  listen_fd_.ShutdownBothEnds();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : connections_) {
+      conn->open.store(false, std::memory_order_relaxed);
+      conn->fd.ShutdownBothEnds();
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& t : reader_threads_) {
+      if (t.joinable()) t.join();
+    }
+    reader_threads_.clear();
+  }
+  // Already-accepted requests drain before the workers exit (their
+  // replies fail harmlessly on the shut-down sockets).
+  queue_.Close();
+  ReleaseWorkers();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    connections_.clear();
+  }
+  listen_fd_.Reset();
+}
+
+void RpcServer::ReleaseWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(hold_mu_);
+    workers_held_ = false;
+  }
+  hold_cv_.notify_all();
+}
+
+void RpcServer::AcceptLoop() {
+  for (;;) {
+    Result<UniqueFd> accepted = AcceptConnection(listen_fd_.get());
+    if (!accepted.ok()) return;  // listener shut down
+    if (stopping_.load()) return;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = std::move(accepted).value();
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_.load()) return;  // raced Stop(); drop the connection
+    connections_.push_back(conn);
+    reader_threads_.emplace_back([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void RpcServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    Result<std::vector<uint8_t>> frame = ReadFrame(conn->fd.get());
+    if (!frame.ok()) {
+      // Clean EOF, peer reset, or an unrecoverable framing error (bad
+      // length prefix). For the latter, answer with request id 0 before
+      // closing — the stream offers no id to echo.
+      if (frame.status().code() == StatusCode::kIoError && !stopping_.load()) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendReply(conn,
+                  EncodeError(0, WireError::kMalformedFrame,
+                              frame.status().message()),
+                  /*is_error=*/true);
+      }
+      break;
+    }
+    DecodedMessage msg;
+    std::string reason;
+    const WireError decode_error =
+        DecodeFrame(frame->data(), frame->size(), &msg, &reason);
+    if (decode_error != WireError::kOk) {
+      SendReply(conn,
+                EncodeError(msg.header.request_id, decode_error, reason),
+                /*is_error=*/true);
+      if (decode_error == WireError::kMalformedFrame ||
+          decode_error == WireError::kVersionMismatch) {
+        // The byte stream can no longer be trusted; drop the connection.
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      continue;  // UnknownType: framing is intact, keep serving
+    }
+    const bool is_request =
+        static_cast<uint8_t>(msg.header.type) <
+        static_cast<uint8_t>(MessageType::kPointQueryReply);
+    if (!is_request) {
+      SendReply(conn,
+                EncodeError(msg.header.request_id, WireError::kUnknownType,
+                            std::string(MessageTypeName(msg.header.type)) +
+                                " is a reply type, not a request"),
+                /*is_error=*/true);
+      continue;
+    }
+    if (stopping_.load()) {
+      SendReply(conn,
+                EncodeError(msg.header.request_id, WireError::kShuttingDown,
+                            "server is shutting down"),
+                /*is_error=*/true);
+      break;
+    }
+    Request req;
+    req.conn = conn;
+    req.request_id = msg.header.request_id;
+    req.body = std::move(msg.body);
+    if (queue_.TryPush(std::move(req))) {
+      requests_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Admission control: the bounded queue is full (or closing) —
+      // explicit backpressure instead of unbounded buffering.
+      SendReply(conn,
+                EncodeError(msg.header.request_id, WireError::kBackpressure,
+                            "request queue full (capacity " +
+                                std::to_string(queue_.capacity()) +
+                                "); retry after backoff"),
+                /*is_error=*/true);
+    }
+  }
+  conn->open.store(false, std::memory_order_relaxed);
+  conn->fd.ShutdownBothEnds();
+}
+
+void RpcServer::WorkerLoop() {
+  std::vector<Request> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(hold_mu_);
+      hold_cv_.wait(lock, [&] { return !workers_held_; });
+    }
+    batch.clear();
+    Request first;
+    if (!queue_.PopBlocking(&first)) return;  // closed and drained
+    batch.push_back(std::move(first));
+    queue_.TryPopUpTo(options_.max_batch - 1, &batch);
+    // One snapshot pin per batch: every query in it is answered from the
+    // same immutable epoch (the RCU read-side critical section).
+    const std::shared_ptr<const ReputationSnapshot> snap = service_->Snapshot();
+    batches_drained_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t seen = max_batch_observed_.load(std::memory_order_relaxed);
+    while (batch.size() > seen &&
+           !max_batch_observed_.compare_exchange_weak(
+               seen, batch.size(), std::memory_order_relaxed)) {
+    }
+    for (const Request& req : batch) ProcessRequest(req, snap);
+  }
+}
+
+void RpcServer::ProcessRequest(
+    const Request& req, const std::shared_ptr<const ReputationSnapshot>& snap) {
+  const uint64_t id = req.request_id;
+  auto reply_error = [&](WireError error, const std::string& message) {
+    SendReply(req.conn, EncodeError(id, error, message), /*is_error=*/true);
+  };
+  auto require_snapshot = [&]() -> bool {
+    if (snap != nullptr) return true;
+    reply_error(WireError::kNotReady,
+                "no epoch snapshot published yet; retry later");
+    return false;
+  };
+
+  if (const auto* m = std::get_if<PointQueryRequest>(&req.body)) {
+    if (!require_snapshot()) return;
+    Result<PointQueryResult> r = PointQuery(*snap, m->observer, m->target);
+    if (!r.ok()) {
+      reply_error(WireErrorFromStatus(r.status()), r.status().message());
+      return;
+    }
+    SendReply(req.conn, Encode(id, PointQueryReply{r->epoch, r->score}),
+              /*is_error=*/false);
+  } else if (const auto* m = std::get_if<BatchQueryRequest>(&req.body)) {
+    if (!require_snapshot()) return;
+    Result<BatchQueryResult> r = BatchQuery(*snap, m->observer, m->targets);
+    if (!r.ok()) {
+      reply_error(WireErrorFromStatus(r.status()), r.status().message());
+      return;
+    }
+    SendReply(req.conn,
+              Encode(id, BatchQueryReply{r->epoch, std::move(r->scores)}),
+              /*is_error=*/false);
+  } else if (const auto* m = std::get_if<TopKQueryRequest>(&req.body)) {
+    if (!require_snapshot()) return;
+    Result<TopKQueryResult> r = TopKQuery(*snap, m->observer, m->k);
+    if (!r.ok()) {
+      reply_error(WireErrorFromStatus(r.status()), r.status().message());
+      return;
+    }
+    SendReply(req.conn,
+              Encode(id, TopKQueryReply{r->epoch, std::move(r->ids),
+                                        std::move(r->scores)}),
+              /*is_error=*/false);
+  } else if (const auto* m = std::get_if<TrustUpdateRequest>(&req.body)) {
+    const Status s =
+        m->erase ? service_->SubmitTrustErase(m->observer, m->target)
+                 : service_->SubmitTrustUpdate(m->observer, m->target,
+                                               m->value);
+    if (!s.ok()) {
+      // The service reports a full ingest queue as FailedPrecondition;
+      // on the wire that is serve-layer backpressure, distinct from the
+      // RPC queue's kBackpressure.
+      const WireError e = s.code() == StatusCode::kFailedPrecondition
+                              ? WireError::kUpdateRejected
+                              : WireErrorFromStatus(s);
+      reply_error(e, s.message());
+      return;
+    }
+    SendReply(req.conn, Encode(id, TrustUpdateReply{}), /*is_error=*/false);
+  } else if (std::get_if<PingRequest>(&req.body) != nullptr) {
+    SendReply(req.conn, Encode(id, PingReply{snap ? snap->epoch : 0}),
+              /*is_error=*/false);
+  } else {
+    reply_error(WireError::kInternal, "request body/type mismatch");
+  }
+}
+
+void RpcServer::SendReply(const std::shared_ptr<Connection>& conn,
+                          const std::vector<uint8_t>& payload, bool is_error) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!conn->open.load(std::memory_order_relaxed)) return;
+  if (WriteFrame(conn->fd.get(), payload).ok()) {
+    replies_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (is_error) error_replies_sent_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    conn->open.store(false, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace rpc
+}  // namespace dgt

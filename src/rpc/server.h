@@ -1,0 +1,198 @@
+// RpcServer: the networked front-end of the serving layer. It puts a
+// real transport in front of a ReputationService so the ~600k q/s
+// in-process number becomes an honest serving benchmark, and it is the
+// prerequisite for multi-process scaling (sharding, replication,
+// restartable service — ROADMAP items 1 and 5).
+//
+// Pipeline (one box per thread role):
+//
+//   accept thread ──► per-connection reader threads
+//                         │  ReadFrame + DecodeFrame (wire.h)
+//                         │  decode error  → ErrorReply from the reader
+//                         │  queue full    → Backpressure ErrorReply
+//                         ▼
+//                bounded BoundedWorkQueue<Request>     (admission control)
+//                         │  condition-variable hand-off
+//                         ▼
+//                worker pool: PopBlocking + TryPopUpTo(max_batch - 1)
+//                         │  pin ONE snapshot per drained batch
+//                         │  answer queries via serve/query.h free fns
+//                         │  forward updates to SubmitTrustUpdate/Erase
+//                         ▼
+//                per-connection write mutex → WriteFrame replies
+//
+// Consistency guarantee seen by a network client: every query reply is
+// computed against exactly one immutable epoch snapshot (RCU pin), and
+// all queries drained into the same worker batch share that snapshot —
+// so replies within a batch can never mix epochs, and a client's epochs
+// are monotone per connection ordering only to the extent the store's
+// are (see docs/SERVING.md, "Epoch consistency over the wire").
+//
+// Error discipline: kMalformedFrame / kVersionMismatch are answered and
+// then the connection is closed (framing can no longer be trusted);
+// every other error leaves the connection usable. Requests already in
+// the queue at Stop() are drained before the workers exit, so accepted
+// work is answered or the connection is gone — never silently dropped.
+//
+// The listener binds 127.0.0.1 only; the protocol carries no
+// authentication, the trust boundary is the host.
+
+#ifndef DGT_RPC_SERVER_H_
+#define DGT_RPC_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_queue.h"
+#include "common/status.h"
+#include "rpc/frame_io.h"
+#include "rpc/wire.h"
+#include "serve/service.h"
+
+namespace dgt {
+namespace rpc {
+
+struct RpcServerOptions {
+  // TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back with
+  // port() after Start — the tests' and self-hosted loadgen's mode).
+  uint16_t port = 0;
+
+  // Worker threads draining the request queue; 0 = one per hardware
+  // core. Clamped to hardware concurrency with a logged note
+  // (ClampThreadsToHardware), like the service's gossip workers.
+  uint32_t worker_threads = 0;
+
+  // Bounded request-queue capacity. A full queue rejects the request
+  // with a Backpressure error reply — admission control instead of
+  // unbounded buffering; see requests_rejected().
+  size_t request_queue_capacity = 1024;
+
+  // Max requests a worker drains (and answers against one pinned epoch
+  // snapshot) per hand-off. Batching amortises the snapshot pin and
+  // keeps a batch's replies epoch-consistent.
+  uint32_t max_batch = 32;
+
+  // Test hook: workers start parked until ReleaseWorkers(), so the
+  // bounded queue's admission control can be exercised deterministically
+  // (tests/rpc/server_test.cc).
+  bool hold_workers = false;
+};
+
+class RpcServer {
+ public:
+  // `service` is borrowed and must outlive the server. The service does
+  // not need to be started: queries before its first epoch are answered
+  // with NotReady, which is also the honest answer while round 1 runs.
+  RpcServer(ReputationService* service, RpcServerOptions options);
+  ~RpcServer();  // Stop()
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  // Binds, listens, spawns the accept thread and the worker pool.
+  // IoError if the port is taken; FailedPrecondition if already started.
+  Status Start();
+
+  // Closes the listener and every connection, drains the queue, joins
+  // all threads. Idempotent.
+  void Stop();
+
+  // The bound port (after Start).
+  uint16_t port() const { return port_; }
+
+  // Unparks workers started with options.hold_workers.
+  void ReleaseWorkers();
+
+  // --- observability ---
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  // Requests admitted into the queue / rejected with Backpressure.
+  uint64_t requests_enqueued() const {
+    return requests_enqueued_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_rejected() const { return queue_.rejected(); }
+  uint64_t replies_sent() const {
+    return replies_sent_.load(std::memory_order_relaxed);
+  }
+  // Error replies among replies_sent (any WireError, Backpressure incl.).
+  uint64_t error_replies_sent() const {
+    return error_replies_sent_.load(std::memory_order_relaxed);
+  }
+  // Frames answered with MalformedFrame or VersionMismatch (connection
+  // closed after).
+  uint64_t frames_rejected() const {
+    return frames_rejected_.load(std::memory_order_relaxed);
+  }
+  // Worker batch drains, and the largest batch observed — batches/size
+  // quantify how much snapshot-pin amortisation the load achieved.
+  uint64_t batches_drained() const {
+    return batches_drained_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_batch_observed() const {
+    return max_batch_observed_.load(std::memory_order_relaxed);
+  }
+  uint32_t worker_threads() const { return options_.worker_threads; }
+
+ private:
+  // A live client connection, shared between its reader thread and any
+  // worker holding one of its requests. The write mutex serialises reply
+  // frames; the fd is shutdown (not closed) on teardown so late replies
+  // fail harmlessly instead of racing a recycled descriptor.
+  struct Connection {
+    UniqueFd fd;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+  };
+
+  struct Request {
+    std::shared_ptr<Connection> conn;
+    uint64_t request_id = 0;
+    MessageBody body;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  void ProcessRequest(const Request& req,
+                      const std::shared_ptr<const ReputationSnapshot>& snap);
+  void SendReply(const std::shared_ptr<Connection>& conn,
+                 const std::vector<uint8_t>& payload, bool is_error);
+
+  ReputationService* service_;
+  RpcServerOptions options_;
+  uint16_t port_ = 0;
+
+  UniqueFd listen_fd_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  BoundedWorkQueue<Request> queue_;
+
+  std::mutex conns_mu_;  // guards connections_ and reader_threads_
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> reader_threads_;
+
+  std::mutex hold_mu_;
+  std::condition_variable hold_cv_;
+  bool workers_held_ = false;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_enqueued_{0};
+  std::atomic<uint64_t> replies_sent_{0};
+  std::atomic<uint64_t> error_replies_sent_{0};
+  std::atomic<uint64_t> frames_rejected_{0};
+  std::atomic<uint64_t> batches_drained_{0};
+  std::atomic<uint64_t> max_batch_observed_{0};
+};
+
+}  // namespace rpc
+}  // namespace dgt
+
+#endif  // DGT_RPC_SERVER_H_

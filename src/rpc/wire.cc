@@ -1,0 +1,370 @@
+#include "rpc/wire.h"
+
+#include <cstring>
+
+namespace dgt {
+namespace rpc {
+namespace {
+
+// Little-endian primitive writers/readers. Explicit shifts rather than
+// memcpy of host integers, so the wire layout is host-endianness
+// independent.
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutF64(std::vector<uint8_t>& out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE 754 binary64 expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double GetF64(const uint8_t* p) {
+  uint64_t bits = GetU64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::vector<uint8_t> MakeHeader(MessageType type, WireError error,
+                                uint64_t request_id) {
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderBytes);
+  PutU16(out, kWireVersion);
+  out.push_back(static_cast<uint8_t>(type));
+  out.push_back(static_cast<uint8_t>(error));
+  PutU64(out, request_id);
+  return out;
+}
+
+bool KnownType(uint8_t raw) {
+  for (MessageType t : kAllMessageTypes) {
+    if (static_cast<uint8_t>(t) == raw) return true;
+  }
+  return false;
+}
+
+// A sequential reader over the body bytes with exact-size accounting.
+class BodyReader {
+ public:
+  BodyReader(const uint8_t* data, size_t size) : data_(data), left_(size) {}
+
+  bool TakeU8(uint8_t* v) { return Take(1, [&](const uint8_t* p) { *v = *p; }); }
+  bool TakeU32(uint32_t* v) {
+    return Take(4, [&](const uint8_t* p) { *v = GetU32(p); });
+  }
+  bool TakeU64(uint64_t* v) {
+    return Take(8, [&](const uint8_t* p) { *v = GetU64(p); });
+  }
+  bool TakeF64(double* v) {
+    return Take(8, [&](const uint8_t* p) { *v = GetF64(p); });
+  }
+  bool TakeBytes(size_t n, const uint8_t** p) {
+    if (left_ < n) return false;
+    *p = data_;
+    data_ += n;
+    left_ -= n;
+    return true;
+  }
+  size_t left() const { return left_; }
+
+ private:
+  template <typename F>
+  bool Take(size_t n, F fill) {
+    if (left_ < n) return false;
+    fill(data_);
+    data_ += n;
+    left_ -= n;
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t left_;
+};
+
+}  // namespace
+
+std::string_view MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPointQueryRequest: return "PointQueryRequest";
+    case MessageType::kBatchQueryRequest: return "BatchQueryRequest";
+    case MessageType::kTopKQueryRequest: return "TopKQueryRequest";
+    case MessageType::kTrustUpdateRequest: return "TrustUpdateRequest";
+    case MessageType::kPingRequest: return "PingRequest";
+    case MessageType::kPointQueryReply: return "PointQueryReply";
+    case MessageType::kBatchQueryReply: return "BatchQueryReply";
+    case MessageType::kTopKQueryReply: return "TopKQueryReply";
+    case MessageType::kTrustUpdateReply: return "TrustUpdateReply";
+    case MessageType::kPingReply: return "PingReply";
+    case MessageType::kErrorReply: return "ErrorReply";
+  }
+  return "?";
+}
+
+std::string_view WireErrorName(WireError error) {
+  switch (error) {
+    case WireError::kOk: return "Ok";
+    case WireError::kBackpressure: return "Backpressure";
+    case WireError::kInvalidArgument: return "InvalidArgument";
+    case WireError::kOutOfRange: return "OutOfRange";
+    case WireError::kNotReady: return "NotReady";
+    case WireError::kUpdateRejected: return "UpdateRejected";
+    case WireError::kMalformedFrame: return "MalformedFrame";
+    case WireError::kVersionMismatch: return "VersionMismatch";
+    case WireError::kUnknownType: return "UnknownType";
+    case WireError::kShuttingDown: return "ShuttingDown";
+    case WireError::kInternal: return "Internal";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> Encode(uint64_t request_id, const PointQueryRequest& m) {
+  auto out = MakeHeader(MessageType::kPointQueryRequest, WireError::kOk,
+                        request_id);
+  PutU32(out, m.observer);
+  PutU32(out, m.target);
+  return out;
+}
+
+std::vector<uint8_t> Encode(uint64_t request_id, const BatchQueryRequest& m) {
+  auto out = MakeHeader(MessageType::kBatchQueryRequest, WireError::kOk,
+                        request_id);
+  PutU32(out, m.observer);
+  PutU32(out, static_cast<uint32_t>(m.targets.size()));
+  for (NodeId t : m.targets) PutU32(out, t);
+  return out;
+}
+
+std::vector<uint8_t> Encode(uint64_t request_id, const TopKQueryRequest& m) {
+  auto out =
+      MakeHeader(MessageType::kTopKQueryRequest, WireError::kOk, request_id);
+  PutU32(out, m.observer);
+  PutU32(out, m.k);
+  return out;
+}
+
+std::vector<uint8_t> Encode(uint64_t request_id, const TrustUpdateRequest& m) {
+  auto out = MakeHeader(MessageType::kTrustUpdateRequest, WireError::kOk,
+                        request_id);
+  PutU32(out, m.observer);
+  PutU32(out, m.target);
+  PutF64(out, m.value);
+  out.push_back(m.erase ? 1 : 0);
+  return out;
+}
+
+std::vector<uint8_t> Encode(uint64_t request_id, const PingRequest&) {
+  return MakeHeader(MessageType::kPingRequest, WireError::kOk, request_id);
+}
+
+std::vector<uint8_t> Encode(uint64_t request_id, const PointQueryReply& m) {
+  auto out =
+      MakeHeader(MessageType::kPointQueryReply, WireError::kOk, request_id);
+  PutU64(out, m.epoch);
+  PutF64(out, m.score);
+  return out;
+}
+
+std::vector<uint8_t> Encode(uint64_t request_id, const BatchQueryReply& m) {
+  auto out =
+      MakeHeader(MessageType::kBatchQueryReply, WireError::kOk, request_id);
+  PutU64(out, m.epoch);
+  PutU32(out, static_cast<uint32_t>(m.scores.size()));
+  for (double s : m.scores) PutF64(out, s);
+  return out;
+}
+
+std::vector<uint8_t> Encode(uint64_t request_id, const TopKQueryReply& m) {
+  auto out =
+      MakeHeader(MessageType::kTopKQueryReply, WireError::kOk, request_id);
+  PutU64(out, m.epoch);
+  PutU32(out, static_cast<uint32_t>(m.ids.size()));
+  for (NodeId id : m.ids) PutU32(out, id);
+  for (double s : m.scores) PutF64(out, s);
+  return out;
+}
+
+std::vector<uint8_t> Encode(uint64_t request_id, const TrustUpdateReply&) {
+  return MakeHeader(MessageType::kTrustUpdateReply, WireError::kOk,
+                    request_id);
+}
+
+std::vector<uint8_t> Encode(uint64_t request_id, const PingReply& m) {
+  auto out = MakeHeader(MessageType::kPingReply, WireError::kOk, request_id);
+  PutU64(out, m.epoch);
+  return out;
+}
+
+std::vector<uint8_t> EncodeError(uint64_t request_id, WireError error,
+                                 std::string_view message) {
+  auto out = MakeHeader(MessageType::kErrorReply, error, request_id);
+  PutU32(out, static_cast<uint32_t>(message.size()));
+  out.insert(out.end(), message.begin(), message.end());
+  return out;
+}
+
+WireError DecodeFrame(const uint8_t* data, size_t size, DecodedMessage* out,
+                      std::string* error_message) {
+  *out = DecodedMessage{};
+  error_message->clear();
+  if (size > kMaxFramePayloadBytes) {
+    *error_message = "frame payload exceeds " +
+                     std::to_string(kMaxFramePayloadBytes) + " bytes";
+    return WireError::kMalformedFrame;
+  }
+  if (size < kHeaderBytes) {
+    *error_message = "frame shorter than the " +
+                     std::to_string(kHeaderBytes) + "-byte header";
+    return WireError::kMalformedFrame;
+  }
+  out->header.version = GetU16(data);
+  const uint8_t raw_type = data[2];
+  out->header.error = static_cast<WireError>(data[3]);
+  out->header.request_id = GetU64(data + 4);
+  if (out->header.version != kWireVersion) {
+    *error_message = "protocol version " +
+                     std::to_string(out->header.version) +
+                     " (this server speaks version " +
+                     std::to_string(kWireVersion) + ")";
+    return WireError::kVersionMismatch;
+  }
+  if (!KnownType(raw_type)) {
+    *error_message = "unknown message type " + std::to_string(raw_type);
+    return WireError::kUnknownType;
+  }
+  out->header.type = static_cast<MessageType>(raw_type);
+
+  BodyReader r(data + kHeaderBytes, size - kHeaderBytes);
+  bool ok = false;
+  switch (out->header.type) {
+    case MessageType::kPointQueryRequest: {
+      PointQueryRequest m;
+      ok = r.TakeU32(&m.observer) && r.TakeU32(&m.target);
+      out->body = std::move(m);
+      break;
+    }
+    case MessageType::kBatchQueryRequest: {
+      BatchQueryRequest m;
+      uint32_t count = 0;
+      ok = r.TakeU32(&m.observer) && r.TakeU32(&count) &&
+           r.left() == static_cast<size_t>(count) * 4;
+      if (ok) {
+        m.targets.resize(count);
+        for (uint32_t i = 0; i < count; ++i) ok = ok && r.TakeU32(&m.targets[i]);
+      }
+      out->body = std::move(m);
+      break;
+    }
+    case MessageType::kTopKQueryRequest: {
+      TopKQueryRequest m;
+      ok = r.TakeU32(&m.observer) && r.TakeU32(&m.k);
+      out->body = std::move(m);
+      break;
+    }
+    case MessageType::kTrustUpdateRequest: {
+      TrustUpdateRequest m;
+      uint8_t erase = 0;
+      ok = r.TakeU32(&m.observer) && r.TakeU32(&m.target) &&
+           r.TakeF64(&m.value) && r.TakeU8(&erase) && erase <= 1;
+      m.erase = erase != 0;
+      out->body = std::move(m);
+      break;
+    }
+    case MessageType::kPingRequest: {
+      out->body = PingRequest{};
+      ok = true;
+      break;
+    }
+    case MessageType::kPointQueryReply: {
+      PointQueryReply m;
+      ok = r.TakeU64(&m.epoch) && r.TakeF64(&m.score);
+      out->body = std::move(m);
+      break;
+    }
+    case MessageType::kBatchQueryReply: {
+      BatchQueryReply m;
+      uint32_t count = 0;
+      ok = r.TakeU64(&m.epoch) && r.TakeU32(&count) &&
+           r.left() == static_cast<size_t>(count) * 8;
+      if (ok) {
+        m.scores.resize(count);
+        for (uint32_t i = 0; i < count; ++i) ok = ok && r.TakeF64(&m.scores[i]);
+      }
+      out->body = std::move(m);
+      break;
+    }
+    case MessageType::kTopKQueryReply: {
+      TopKQueryReply m;
+      uint32_t count = 0;
+      ok = r.TakeU64(&m.epoch) && r.TakeU32(&count) &&
+           r.left() == static_cast<size_t>(count) * 12;
+      if (ok) {
+        m.ids.resize(count);
+        m.scores.resize(count);
+        for (uint32_t i = 0; i < count; ++i) ok = ok && r.TakeU32(&m.ids[i]);
+        for (uint32_t i = 0; i < count; ++i) ok = ok && r.TakeF64(&m.scores[i]);
+      }
+      out->body = std::move(m);
+      break;
+    }
+    case MessageType::kTrustUpdateReply: {
+      out->body = TrustUpdateReply{};
+      ok = true;
+      break;
+    }
+    case MessageType::kPingReply: {
+      PingReply m;
+      ok = r.TakeU64(&m.epoch);
+      out->body = std::move(m);
+      break;
+    }
+    case MessageType::kErrorReply: {
+      ErrorReply m;
+      uint32_t len = 0;
+      ok = r.TakeU32(&len) && r.left() == len;
+      if (ok) {
+        const uint8_t* p = nullptr;
+        ok = r.TakeBytes(len, &p);
+        if (ok) m.message.assign(reinterpret_cast<const char*>(p), len);
+      }
+      out->body = std::move(m);
+      break;
+    }
+  }
+  if (!ok || r.left() != 0) {
+    *error_message = std::string(MessageTypeName(out->header.type)) +
+                     " body has wrong size (" +
+                     std::to_string(size - kHeaderBytes) + " bytes)";
+    return WireError::kMalformedFrame;
+  }
+  return WireError::kOk;
+}
+
+}  // namespace rpc
+}  // namespace dgt

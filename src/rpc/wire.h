@@ -1,0 +1,242 @@
+// Wire protocol for the networked serving front-end (version 1).
+//
+// The transport is length-prefixed binary frames over TCP on localhost:
+// each frame is a 4-byte little-endian payload length (the length field
+// itself excluded, capped at kMaxFramePayloadBytes) followed by the
+// payload. Every payload starts with a fixed 12-byte header —
+//
+//   offset  size  field
+//        0     2  protocol version (u16 LE, kWireVersion)
+//        2     1  message type     (MessageType)
+//        3     1  wire error code  (WireError; kOk in requests and
+//                                   successful replies)
+//        4     8  request id       (u64 LE, chosen by the client and
+//                                   echoed verbatim in the reply)
+//
+// — then a type-specific body (layouts documented per struct below).
+// Integers are little-endian fixed width; doubles travel as their IEEE
+// 754 bit pattern in a u64, so scores round-trip bit-exactly and the
+// served-over-RPC == served-in-process equality contract can be EXPECT_EQ
+// (tests/rpc/end_to_end_test.cc).
+//
+// Every request gets exactly one reply carrying the same request id:
+// the matching *Reply type on success, or kErrorReply (header.error set,
+// human-readable reason in the body) on failure. kMalformedFrame and
+// kVersionMismatch error replies are followed by the server closing the
+// connection — after a framing error the byte stream cannot be trusted —
+// while all other errors leave the connection usable. Frames the server
+// could not parse far enough to recover a request id are answered with
+// request id 0.
+//
+// docs/SERVING.md is the authoritative prose spec; it documents every
+// MessageType and WireError by name, and tests/rpc/wire_protocol_test.cc
+// enumerates kAllMessageTypes / kAllWireErrors against that document so
+// the two cannot drift apart.
+
+#ifndef DGT_RPC_WIRE_H_
+#define DGT_RPC_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dgt {
+namespace rpc {
+
+inline constexpr uint16_t kWireVersion = 1;
+// Frames larger than this are rejected as malformed before allocation;
+// generous next to the largest real message (a batch reply caps out near
+// 8 bytes per score).
+inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 20;
+inline constexpr size_t kHeaderBytes = 12;
+
+// Request types occupy [1, 32), reply types [33, 63]; the split makes a
+// reply sent in the request direction (or vice versa) detectable rather
+// than silently misparsed.
+enum class MessageType : uint8_t {
+  kPointQueryRequest = 1,
+  kBatchQueryRequest = 2,
+  kTopKQueryRequest = 3,
+  kTrustUpdateRequest = 4,
+  kPingRequest = 5,
+  kPointQueryReply = 33,
+  kBatchQueryReply = 34,
+  kTopKQueryReply = 35,
+  kTrustUpdateReply = 36,
+  kPingReply = 37,
+  kErrorReply = 63,
+};
+
+enum class WireError : uint8_t {
+  kOk = 0,
+  // The server's bounded request queue is full; retry after backoff.
+  // Admission control, not a failure of the request itself.
+  kBackpressure = 1,
+  kInvalidArgument = 2,
+  kOutOfRange = 3,
+  // No epoch snapshot has been published yet (service not started or
+  // round 1 still running); retry later.
+  kNotReady = 4,
+  // The service's trust-update ingest queue rejected the update
+  // (serve-layer backpressure, distinct from kBackpressure which is the
+  // RPC request queue).
+  kUpdateRejected = 5,
+  kMalformedFrame = 6,
+  kVersionMismatch = 7,
+  kUnknownType = 8,
+  kShuttingDown = 9,
+  kInternal = 10,
+};
+
+// Exhaustive lists, kept in declaration order. wire_protocol_test.cc
+// iterates these to prove (a) every type round-trips through
+// Encode/DecodeFrame and (b) docs/SERVING.md names every entry.
+inline constexpr MessageType kAllMessageTypes[] = {
+    MessageType::kPointQueryRequest, MessageType::kBatchQueryRequest,
+    MessageType::kTopKQueryRequest,  MessageType::kTrustUpdateRequest,
+    MessageType::kPingRequest,       MessageType::kPointQueryReply,
+    MessageType::kBatchQueryReply,   MessageType::kTopKQueryReply,
+    MessageType::kTrustUpdateReply,  MessageType::kPingReply,
+    MessageType::kErrorReply,
+};
+
+inline constexpr WireError kAllWireErrors[] = {
+    WireError::kOk,           WireError::kBackpressure,
+    WireError::kInvalidArgument, WireError::kOutOfRange,
+    WireError::kNotReady,     WireError::kUpdateRejected,
+    WireError::kMalformedFrame,  WireError::kVersionMismatch,
+    WireError::kUnknownType,  WireError::kShuttingDown,
+    WireError::kInternal,
+};
+
+// Stable names ("PointQueryRequest", "Backpressure"); "?" for values
+// outside the enums.
+std::string_view MessageTypeName(MessageType type);
+std::string_view WireErrorName(WireError error);
+
+struct FrameHeader {
+  uint16_t version = kWireVersion;
+  MessageType type = MessageType::kErrorReply;
+  WireError error = WireError::kOk;
+  uint64_t request_id = 0;
+};
+
+// --- request bodies (client -> server) ---
+
+// Body: u32 observer, u32 target.
+struct PointQueryRequest {
+  NodeId observer = 0;
+  NodeId target = 0;
+};
+
+// Body: u32 observer, u32 count, count x u32 target.
+struct BatchQueryRequest {
+  NodeId observer = 0;
+  std::vector<NodeId> targets;
+};
+
+// Body: u32 observer, u32 k.
+struct TopKQueryRequest {
+  NodeId observer = 0;
+  uint32_t k = 0;
+};
+
+// Body: u32 observer, u32 target, u64 value (IEEE 754 bits), u8 erase.
+struct TrustUpdateRequest {
+  NodeId observer = 0;
+  NodeId target = 0;
+  double value = 0.0;
+  bool erase = false;
+};
+
+// Body: empty. Liveness probe; the reply reports the current epoch.
+struct PingRequest {};
+
+// --- reply bodies (server -> client) ---
+
+// Body: u64 epoch, u64 score bits.
+struct PointQueryReply {
+  uint64_t epoch = 0;
+  double score = 0.0;
+};
+
+// Body: u64 epoch, u32 count, count x u64 score bits (request order).
+struct BatchQueryReply {
+  uint64_t epoch = 0;
+  std::vector<double> scores;
+};
+
+// Body: u64 epoch, u32 count, count x u32 id, count x u64 score bits
+// (descending score, ties to the lower id — serve/query.h semantics).
+struct TopKQueryReply {
+  uint64_t epoch = 0;
+  std::vector<NodeId> ids;
+  std::vector<double> scores;
+};
+
+// Body: empty. The update is validated and enqueued; it takes effect at
+// the service's next round boundary.
+struct TrustUpdateReply {};
+
+// Body: u64 epoch (0 when no snapshot has been published yet).
+struct PingReply {
+  uint64_t epoch = 0;
+};
+
+// Body: u32 length, length x u8 UTF-8 reason. The error code itself
+// travels in the frame header.
+struct ErrorReply {
+  std::string message;
+};
+
+using MessageBody =
+    std::variant<PointQueryRequest, BatchQueryRequest, TopKQueryRequest,
+                 TrustUpdateRequest, PingRequest, PointQueryReply,
+                 BatchQueryReply, TopKQueryReply, TrustUpdateReply, PingReply,
+                 ErrorReply>;
+
+struct DecodedMessage {
+  FrameHeader header;
+  MessageBody body;
+};
+
+// --- encoding ---
+// Each encoder produces one complete frame payload (header + body),
+// ready for WriteFrame (frame_io.h). The overload set covers every
+// MessageType exactly once.
+
+std::vector<uint8_t> Encode(uint64_t request_id, const PointQueryRequest& m);
+std::vector<uint8_t> Encode(uint64_t request_id, const BatchQueryRequest& m);
+std::vector<uint8_t> Encode(uint64_t request_id, const TopKQueryRequest& m);
+std::vector<uint8_t> Encode(uint64_t request_id, const TrustUpdateRequest& m);
+std::vector<uint8_t> Encode(uint64_t request_id, const PingRequest& m);
+std::vector<uint8_t> Encode(uint64_t request_id, const PointQueryReply& m);
+std::vector<uint8_t> Encode(uint64_t request_id, const BatchQueryReply& m);
+std::vector<uint8_t> Encode(uint64_t request_id, const TopKQueryReply& m);
+std::vector<uint8_t> Encode(uint64_t request_id, const TrustUpdateReply& m);
+std::vector<uint8_t> Encode(uint64_t request_id, const PingReply& m);
+// The error code lands in the header; the body carries the reason text.
+std::vector<uint8_t> EncodeError(uint64_t request_id, WireError error,
+                                 std::string_view message);
+
+// --- decoding ---
+// Parses one frame payload. Returns kOk and fills *out on success;
+// otherwise returns the wire error the peer should be answered with
+// (kMalformedFrame / kVersionMismatch / kUnknownType) and a
+// human-readable reason in *error_message. On failure out->header holds
+// a best-effort parse (request id echoed when at least the fixed header
+// was readable, zero otherwise) so callers can still address the error
+// reply. Size checks are exact: truncated and trailing bytes are both
+// kMalformedFrame.
+WireError DecodeFrame(const uint8_t* data, size_t size, DecodedMessage* out,
+                      std::string* error_message);
+
+}  // namespace rpc
+}  // namespace dgt
+
+#endif  // DGT_RPC_WIRE_H_

@@ -1,0 +1,160 @@
+// The networked bit-identity contract, live-folding edition: a paced
+// ReputationService runs behind an RpcServer while the test submits
+// trust updates OVER THE WIRE at every epoch boundary; a control service
+// replays the identical schedule in-process. Every score served over
+// RPC must be EXPECT_EQ (bit-identical) to the control's — doubles
+// travel as IEEE-754 bits, the snapshot store is deterministic per
+// schedule, and nothing on the wire path may perturb either. This is
+// the stronger sibling of dgt_loadgen's frozen-snapshot smoke check:
+// here updates fold while rounds are still running.
+
+#include <memory>
+#include <vector>
+
+#include "rpc/client.h"
+#include "rpc/server.h"
+#include "serve/service.h"
+#include "serve/workload.h"
+#include "test_util.h"
+#include "gtest/gtest.h"
+
+namespace dgt {
+namespace rpc {
+namespace {
+
+using testing_util::FillTrust;
+using testing_util::MakePaGraph;
+
+constexpr uint32_t kNodes = 48;
+constexpr uint32_t kRounds = 4;
+constexpr uint32_t kUpdatesPerEpoch = 12;
+constexpr uint64_t kUpdateSeedBase = 7000;
+
+ReputationServiceOptions PacedOptions() {
+  ReputationServiceOptions o;
+  o.system.aggregation.gossip.xi = 1e-3;
+  o.system.base_seed = 17;
+  o.num_rounds = kRounds;
+  o.paced = true;
+  return o;
+}
+
+TEST(RpcEndToEndTest, ScoresServedOverWireMatchInProcessBitwise) {
+  Graph g = MakePaGraph(kNodes, 2, 91);
+  TrustMatrix trust(kNodes);
+  FillTrust(g, &trust, 5);
+
+  // The served side: paced service + RPC server, updates arrive via a
+  // client connection.
+  ReputationService served(&g, trust, PacedOptions());
+  const uint32_t pacer_id = served.RegisterReader();
+  RpcServer server(&served, RpcServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(served.Start().ok());
+
+  Result<RpcClient> client = RpcClient::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  RpcClient& rpc = client.value();
+
+  // The control side: same graph, trust and options, updates submitted
+  // directly — the in-process ground truth.
+  ReputationService control(&g, trust, PacedOptions());
+  const uint32_t control_pacer = control.RegisterReader();
+  ASSERT_TRUE(control.Start().ok());
+
+  uint64_t last = 0;
+  for (;;) {
+    const uint64_t epoch = served.AwaitEpochAfter(last);
+    const uint64_t control_epoch = control.AwaitEpochAfter(last);
+    ASSERT_EQ(epoch, control_epoch);
+    if (epoch == 0) break;
+    if (epoch < kRounds) {
+      for (const TrustUpdate& u : MakeDistinctTrustUpdates(
+               kNodes, kUpdateSeedBase + epoch, kUpdatesPerEpoch)) {
+        // Over the wire for the served service... the RPC call returns
+        // only after the server has enqueued the update, so acking the
+        // epoch below cannot race the submission.
+        ASSERT_TRUE(rpc.SubmitTrustUpdate(u.observer, u.target, u.value).ok())
+            << "epoch " << epoch;
+        // ... directly for the control.
+        ASSERT_TRUE(
+            control.SubmitTrustUpdate(u.observer, u.target, u.value).ok());
+      }
+    }
+    served.AckEpoch(pacer_id, epoch);
+    control.AckEpoch(control_pacer, epoch);
+    last = epoch;
+  }
+  served.AwaitCompletion();
+  control.AwaitCompletion();
+  ASSERT_TRUE(served.driver_status().ok());
+  ASSERT_TRUE(control.driver_status().ok());
+  ASSERT_EQ(served.epoch(), kRounds);
+  ASSERT_EQ(rpc.Ping().value_or(0), kRounds);
+
+  // Every point score, bitwise.
+  for (NodeId i = 0; i < kNodes; ++i) {
+    for (NodeId j = 0; j < kNodes; ++j) {
+      Result<PointQueryReply> over_wire = rpc.QueryPoint(i, j);
+      Result<PointQueryResult> local = control.QueryPoint(i, j);
+      ASSERT_TRUE(over_wire.ok() && local.ok()) << i << "," << j;
+      ASSERT_EQ(over_wire.value().epoch, local.value().epoch);
+      ASSERT_EQ(over_wire.value().score, local.value().score)
+          << "observer " << i << " target " << j;
+    }
+  }
+
+  // Batch and top-k shapes agree too (same snapshot, same semantics).
+  std::vector<NodeId> all(kNodes);
+  for (uint32_t j = 0; j < kNodes; ++j) all[j] = static_cast<NodeId>(j);
+  for (NodeId i = 0; i < kNodes; i += 7) {
+    Result<BatchQueryReply> wire_b = rpc.QueryBatch(i, all);
+    Result<BatchQueryResult> local_b = control.QueryBatch(i, all);
+    ASSERT_TRUE(wire_b.ok() && local_b.ok());
+    EXPECT_EQ(wire_b.value().scores, local_b.value().scores);
+
+    Result<TopKQueryReply> wire_k = rpc.QueryTopK(i, 8);
+    Result<TopKQueryResult> local_k = control.QueryTopK(i, 8);
+    ASSERT_TRUE(wire_k.ok() && local_k.ok());
+    EXPECT_EQ(wire_k.value().ids, local_k.value().ids);
+    EXPECT_EQ(wire_k.value().scores, local_k.value().scores);
+  }
+
+  server.Stop();
+}
+
+TEST(RpcEndToEndTest, InvalidUpdatesOverWireAreRejectedWithNamedCodes) {
+  Graph g = MakePaGraph(16, 2, 91);
+  TrustMatrix trust(16);
+  FillTrust(g, &trust, 5);
+
+  ReputationServiceOptions opts;
+  opts.system.aggregation.gossip.xi = 1e-3;
+  opts.system.base_seed = 17;
+  opts.num_rounds = 1;
+  ReputationService service(&g, trust, opts);
+  ASSERT_TRUE(service.Start().ok());
+  service.AwaitCompletion();
+
+  RpcServer server(&service, RpcServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Result<RpcClient> client = RpcClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  RpcClient& rpc = client.value();
+
+  EXPECT_FALSE(rpc.SubmitTrustUpdate(0, 99, 0.5).ok());  // target range
+  EXPECT_EQ(rpc.last_wire_error(), WireError::kOutOfRange);
+
+  EXPECT_FALSE(rpc.SubmitTrustUpdate(2, 2, 0.5).ok());  // self-opinion
+  EXPECT_EQ(rpc.last_wire_error(), WireError::kInvalidArgument);
+
+  EXPECT_FALSE(rpc.SubmitTrustErase(0, 99).ok());  // erase validates too
+  EXPECT_EQ(rpc.last_wire_error(), WireError::kOutOfRange);
+
+  EXPECT_TRUE(rpc.SubmitTrustErase(0, 1).ok());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace dgt

@@ -1,0 +1,384 @@
+// dgt_loadgen: network load generator and correctness checker for the
+// RPC serving front-end. Drives a configurable mix of point / batch /
+// top-k / trust-update traffic from N closed-loop connections, reports
+// p50/p99/p999 latency per operation type plus saturation throughput,
+// and then runs a verification pass: every observer's full score row is
+// fetched over the wire and compared BITWISE against an in-process
+// replay of the identical canned schedule (tools/smoke_workload.h). Any
+// mismatch is a hard failure — the wire protocol carries IEEE-754 bits
+// verbatim, so served scores must equal in-process scores exactly.
+//
+// Results land in BENCH_serve_network.json (bench_util::BenchJsonWriter)
+// and CI gates the deterministic request/verify counts against
+// ci/bench_baselines/BENCH_serve_network.json; latency percentiles and
+// throughput use the advisory _us/_ms/_per_sec suffixes and never gate.
+//
+// Flags:
+//   --smoke           canned smoke run: 2 connections x 600 requests
+//   --port=P          server port; 0 (default) self-hosts the canned
+//                     server in-process — the ctest / no-setup mode
+//   --connections=C   concurrent client connections (default 2)
+//   --requests=R      requests per connection (default 600)
+//   --mix=p,b,t,u     ops per traffic block: point,batch,topk,update
+//                     (default 8,1,1,1)
+//   --retry_ms=MS     connect retry budget while the server binds
+//                     (default 2000; CI uses 30000)
+//   --nodes=N, --rounds=R   must match the server's canned config
+//   --out_dir=PATH    bench output directory (common/bench_output.h)
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "rpc/client.h"
+#include "rpc/server.h"
+#include "smoke_workload.h"
+
+namespace {
+
+using namespace dgt;
+
+struct LoadgenFlags {
+  uint16_t port = 0;
+  uint32_t connections = 2;
+  uint32_t requests = 600;
+  uint32_t mix[4] = {8, 1, 1, 1};  // point, batch, topk, update per block
+  int retry_ms = 2000;
+  tools::CannedServeConfig cfg;
+};
+
+// Per-operation-type accounting for one connection thread; merged after
+// join (LatencyRecorder is not thread-safe).
+struct ConnStats {
+  uint64_t ok[4] = {0, 0, 0, 0};
+  uint64_t backpressure = 0;   // WireError::kBackpressure replies
+  uint64_t wire_errors = 0;    // any other error reply
+  uint64_t transport_errors = 0;
+  bench_util::LatencyRecorder latency[4];
+};
+
+constexpr const char* kOpNames[4] = {"point", "batch", "topk", "update"};
+constexpr uint32_t kBatchTargets = 16;
+constexpr uint32_t kTopK = 8;
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Classifies one finished call: records latency and buckets the outcome
+// by the wire error the client retained.
+void Account(ConnStats* s, int op, double us, bool ok, rpc::WireError err) {
+  s->latency[op].Record(us);
+  if (ok) {
+    ++s->ok[op];
+  } else if (err == rpc::WireError::kBackpressure) {
+    ++s->backpressure;
+  } else if (err == rpc::WireError::kInternal) {
+    ++s->transport_errors;
+  } else {
+    ++s->wire_errors;
+  }
+}
+
+// One closed-loop connection: blocks of mix[0] point + mix[1] batch +
+// mix[2] topk + mix[3] update calls until the request budget is spent.
+// Everything is driven by a per-connection seed, so the op sequence (and
+// with it every deterministic count in the bench JSON) replays exactly.
+void RunConnection(const LoadgenFlags& flags, uint32_t conn_index,
+                   ConnStats* stats) {
+  Result<rpc::RpcClient> client =
+      rpc::RpcClient::Connect(flags.port, flags.retry_ms);
+  if (!client.ok()) {
+    std::cerr << "connection " << conn_index
+              << " failed: " << client.status().ToString() << "\n";
+    ++stats->transport_errors;
+    return;
+  }
+  rpc::RpcClient rpc = std::move(client).value();
+  const uint32_t n = flags.cfg.nodes;
+  Rng rng(17000 + conn_index);
+
+  uint32_t done = 0;
+  while (done < flags.requests) {
+    for (int op = 0; op < 4 && done < flags.requests; ++op) {
+      for (uint32_t rep = 0; rep < flags.mix[op] && done < flags.requests;
+           ++rep, ++done) {
+        const auto start = std::chrono::steady_clock::now();
+        bool ok = false;
+        switch (op) {
+          case 0: {
+            const NodeId i = static_cast<NodeId>(rng.NextBelow(n));
+            const NodeId j = static_cast<NodeId>(rng.NextBelow(n));
+            ok = rpc.QueryPoint(i, j).ok();
+            break;
+          }
+          case 1: {
+            std::vector<NodeId> targets(kBatchTargets);
+            for (auto& t : targets) {
+              t = static_cast<NodeId>(rng.NextBelow(n));
+            }
+            ok = rpc.QueryBatch(static_cast<NodeId>(rng.NextBelow(n)),
+                                targets)
+                     .ok();
+            break;
+          }
+          case 2: {
+            ok = rpc.QueryTopK(static_cast<NodeId>(rng.NextBelow(n)), kTopK)
+                     .ok();
+            break;
+          }
+          case 3: {
+            // Valid distinct pair; the server enqueues it but the canned
+            // round budget is spent, so it never folds and the served
+            // scores stay frozen for the verification pass.
+            const NodeId o = static_cast<NodeId>(rng.NextBelow(n));
+            const NodeId t =
+                static_cast<NodeId>((o + 1 + rng.NextBelow(n - 1)) % n);
+            ok = rpc.SubmitTrustUpdate(o, t, rng.NextDouble()).ok();
+            break;
+          }
+        }
+        Account(stats, op, ElapsedUs(start), ok, rpc.last_wire_error());
+      }
+    }
+  }
+}
+
+// Fetches every observer's full score row over the wire and compares it
+// bitwise against the in-process control service. Returns mismatch
+// count; sets *queries to the number of row comparisons performed.
+uint64_t VerifyAgainstControl(uint16_t port, int retry_ms,
+                              const ReputationService& control,
+                              uint64_t* queries) {
+  *queries = 0;
+  Result<rpc::RpcClient> client = rpc::RpcClient::Connect(port, retry_ms);
+  if (!client.ok()) {
+    std::cerr << "verify connect failed: " << client.status().ToString()
+              << "\n";
+    return 1;
+  }
+  rpc::RpcClient rpc = std::move(client).value();
+  const uint32_t n = control.graph().num_nodes();
+  std::vector<NodeId> all(n);
+  for (uint32_t j = 0; j < n; ++j) all[j] = static_cast<NodeId>(j);
+
+  uint64_t mismatches = 0;
+  for (uint32_t o = 0; o < n; ++o) {
+    Result<rpc::BatchQueryReply> served =
+        rpc.QueryBatch(static_cast<NodeId>(o), all);
+    Result<BatchQueryResult> local =
+        control.QueryBatch(static_cast<NodeId>(o), all);
+    ++*queries;
+    if (!served.ok() || !local.ok()) {
+      std::cerr << "verify row " << o << ": served="
+                << (served.ok() ? "ok" : served.status().ToString())
+                << " local="
+                << (local.ok() ? "ok" : local.status().ToString()) << "\n";
+      ++mismatches;
+      continue;
+    }
+    if (served.value().epoch != local.value().epoch ||
+        served.value().scores.size() != local.value().scores.size() ||
+        std::memcmp(served.value().scores.data(),
+                    local.value().scores.data(),
+                    local.value().scores.size() * sizeof(double)) != 0) {
+      std::cerr << "verify row " << o << ": served scores differ from "
+                << "in-process scores (epoch " << served.value().epoch
+                << " vs " << local.value().epoch << ")\n";
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+bool ParseUintFlag(const char* arg, const char* name, uint64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_util::InitOutputDir(argc, argv);
+  LoadgenFlags flags;
+  uint64_t v = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      flags.connections = 2;
+      flags.requests = 600;
+    } else if (ParseUintFlag(argv[i], "--port", &v)) {
+      flags.port = static_cast<uint16_t>(v);
+    } else if (ParseUintFlag(argv[i], "--connections", &v)) {
+      flags.connections = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(argv[i], "--requests", &v)) {
+      flags.requests = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(argv[i], "--retry_ms", &v)) {
+      flags.retry_ms = static_cast<int>(v);
+    } else if (ParseUintFlag(argv[i], "--nodes", &v)) {
+      flags.cfg.nodes = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(argv[i], "--rounds", &v)) {
+      flags.cfg.rounds = static_cast<uint32_t>(v);
+    } else if (std::strncmp(argv[i], "--mix=", 6) == 0) {
+      if (std::sscanf(argv[i] + 6, "%u,%u,%u,%u", &flags.mix[0],
+                      &flags.mix[1], &flags.mix[2], &flags.mix[3]) != 4 ||
+          flags.mix[0] + flags.mix[1] + flags.mix[2] + flags.mix[3] == 0) {
+        std::cerr << "--mix wants four comma-separated counts\n";
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--out_dir", 9) == 0) {
+      if (std::strchr(argv[i], '=') == nullptr) ++i;  // value form
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << "\n";
+      return 1;
+    }
+  }
+
+  // The in-process control replay — the ground truth for verification.
+  // When self-hosting (--port=0) it doubles as the served service.
+  std::cout << "replaying canned schedule in-process (n=" << flags.cfg.nodes
+            << ", rounds=" << flags.cfg.rounds << ") ...\n";
+  Result<tools::CannedService> canned =
+      tools::RunCannedSchedule(flags.cfg);
+  if (!canned.ok()) {
+    std::cerr << "canned replay failed: " << canned.status().ToString()
+              << "\n";
+    return 1;
+  }
+  tools::CannedService control = std::move(canned).value();
+
+  std::unique_ptr<rpc::RpcServer> self_hosted;
+  if (flags.port == 0) {
+    rpc::RpcServerOptions server_opts;
+    server_opts.worker_threads = 2;
+    self_hosted = std::make_unique<rpc::RpcServer>(control.service.get(),
+                                                   server_opts);
+    Status started = self_hosted->Start();
+    if (!started.ok()) {
+      std::cerr << "self-hosted server failed: " << started.ToString()
+                << "\n";
+      return 1;
+    }
+    flags.port = self_hosted->port();
+    std::cout << "self-hosting canned server on 127.0.0.1:" << flags.port
+              << "\n";
+  }
+
+  // Readiness + config probe: the served epoch must equal the canned
+  // round budget, or the server is running a different configuration and
+  // the bitwise comparison below would be meaningless.
+  {
+    Result<rpc::RpcClient> probe =
+        rpc::RpcClient::Connect(flags.port, flags.retry_ms);
+    if (!probe.ok()) {
+      std::cerr << "server not reachable: " << probe.status().ToString()
+                << "\n";
+      return 1;
+    }
+    Result<uint64_t> epoch = probe.value().Ping();
+    if (!epoch.ok() || epoch.value() != flags.cfg.rounds) {
+      std::cerr << "server epoch "
+                << (epoch.ok() ? std::to_string(epoch.value())
+                               : epoch.status().ToString())
+                << " != expected " << flags.cfg.rounds
+                << " (mismatched canned config?)\n";
+      return 1;
+    }
+  }
+
+  // --- traffic phase ---
+  std::vector<ConnStats> per_conn(flags.connections);
+  std::vector<std::thread> threads;
+  bench_util::WallTimer timer;
+  for (uint32_t c = 0; c < flags.connections; ++c) {
+    threads.emplace_back(RunConnection, std::cref(flags), c, &per_conn[c]);
+  }
+  for (auto& t : threads) t.join();
+  const double wall_ms = timer.ElapsedMs();
+
+  ConnStats total;
+  for (const ConnStats& s : per_conn) {
+    for (int op = 0; op < 4; ++op) {
+      total.ok[op] += s.ok[op];
+      total.latency[op].Merge(s.latency[op]);
+    }
+    total.backpressure += s.backpressure;
+    total.wire_errors += s.wire_errors;
+    total.transport_errors += s.transport_errors;
+  }
+  const uint64_t total_requests =
+      static_cast<uint64_t>(flags.connections) * flags.requests;
+  const double req_per_sec =
+      wall_ms > 0.0 ? 1000.0 * static_cast<double>(total_requests) / wall_ms
+                    : 0.0;
+
+  // --- verification phase ---
+  uint64_t verify_queries = 0;
+  const uint64_t mismatches = VerifyAgainstControl(
+      flags.port, flags.retry_ms, *control.service, &verify_queries);
+
+  TableWriter table("== dgt_loadgen: latency by operation type ==");
+  table.SetHeader({"op", "ok", "p50 us", "p99 us", "p999 us", "mean us"});
+  for (int op = 0; op < 4; ++op) {
+    const auto& lat = total.latency[op];
+    table.AddRow({kOpNames[op], std::to_string(total.ok[op]),
+                  FormatDouble(lat.Percentile(50.0), 1),
+                  FormatDouble(lat.Percentile(99.0), 1),
+                  FormatDouble(lat.Percentile(99.9), 1),
+                  FormatDouble(lat.PercentileFields("x")[3].second, 1)});
+  }
+  bench_util::Emit(table, "serve_network.csv");
+  std::cout << total_requests << " requests over " << flags.connections
+            << " connections in " << FormatDouble(wall_ms, 1) << " ms ("
+            << FormatDouble(req_per_sec, 0) << " req/s); "
+            << total.backpressure << " backpressure, " << total.wire_errors
+            << " wire errors, " << total.transport_errors
+            << " transport errors; verify: " << mismatches << "/"
+            << verify_queries << " rows mismatched\n";
+
+  bench_util::BenchJsonWriter json("serve_network");
+  std::vector<std::pair<std::string, double>> point = {
+      {"n", static_cast<double>(flags.cfg.nodes)},
+      {"connections", static_cast<double>(flags.connections)},
+      {"point_ok_requests", static_cast<double>(total.ok[0])},
+      {"batch_ok_requests", static_cast<double>(total.ok[1])},
+      {"topk_ok_requests", static_cast<double>(total.ok[2])},
+      {"update_ok_requests", static_cast<double>(total.ok[3])},
+      {"backpressure_count", static_cast<double>(total.backpressure)},
+      {"wire_error_count", static_cast<double>(total.wire_errors)},
+      {"transport_error_count",
+       static_cast<double>(total.transport_errors)},
+      {"verify_row_queries", static_cast<double>(verify_queries)},
+      {"verify_mismatch_count", static_cast<double>(mismatches)},
+      {"served_epochs", static_cast<double>(flags.cfg.rounds)},
+      {"wall_ms", wall_ms},
+      {"requests_per_sec", req_per_sec},
+  };
+  for (int op = 0; op < 4; ++op) {
+    for (auto& field : total.latency[op].PercentileFields(kOpNames[op])) {
+      point.push_back(std::move(field));
+    }
+  }
+  json.AddPoint(std::move(point));
+  json.Write();
+
+  if (self_hosted) self_hosted->Stop();
+  if (mismatches != 0 || total.wire_errors != 0 ||
+      total.transport_errors != 0) {
+    std::cerr << "FAILED: served traffic deviated from the in-process "
+                 "ground truth\n";
+    return 1;
+  }
+  std::cout << "ok: every served score row is bit-identical to the "
+               "in-process replay\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// dgt_reputation_server: standalone serving daemon. Runs the canned
+// deterministic schedule (tools/smoke_workload.h) to completion, THEN
+// binds the RPC port and serves queries against the frozen final
+// snapshot. Binding after the schedule finishes makes the bound port
+// itself the readiness signal — a client that connects (dgt_loadgen
+// retries until its --retry_ms budget is spent) is guaranteed to see the
+// final epoch, which is what makes cross-process bit-identity checkable.
+//
+// Trust updates submitted over the wire are validated and enqueued but
+// never folded (the round budget is spent); the live-folding path is
+// exercised in-process by tests/rpc/end_to_end_test.cc instead, where
+// the test controls epoch pacing on both sides.
+//
+// Flags:
+//   --smoke            accept the canned smoke defaults explicitly (the
+//                      flag exists so CI invocations document intent)
+//   --port=P           TCP port on 127.0.0.1 (default 0 = ephemeral,
+//                      printed after binding)
+//   --nodes=N          override CannedServeConfig::nodes
+//   --rounds=R         override CannedServeConfig::rounds
+//   --workers=W        RPC worker threads (default 2)
+//   --serve_seconds=S  exit after S seconds of serving (default 0 =
+//                      serve until SIGINT/SIGTERM)
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "rpc/server.h"
+#include "smoke_workload.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+bool ParseUintFlag(const char* arg, const char* name, uint64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dgt;
+
+  tools::CannedServeConfig cfg;
+  rpc::RpcServerOptions server_opts;
+  server_opts.worker_threads = 2;
+  uint64_t serve_seconds = 0;
+  uint64_t v = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) continue;  // canned defaults
+    if (ParseUintFlag(argv[i], "--port", &v)) {
+      server_opts.port = static_cast<uint16_t>(v);
+    } else if (ParseUintFlag(argv[i], "--nodes", &v)) {
+      cfg.nodes = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(argv[i], "--rounds", &v)) {
+      cfg.rounds = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(argv[i], "--workers", &v)) {
+      server_opts.worker_threads = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(argv[i], "--serve_seconds", &v)) {
+      serve_seconds = v;
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "running canned schedule: n=" << cfg.nodes
+            << " rounds=" << cfg.rounds
+            << " updates/epoch=" << cfg.updates_per_epoch << " ...\n";
+  Result<tools::CannedService> canned = tools::RunCannedSchedule(cfg);
+  if (!canned.ok()) {
+    std::cerr << "canned schedule failed: " << canned.status().ToString()
+              << "\n";
+    return 1;
+  }
+  tools::CannedService run = std::move(canned).value();
+
+  rpc::RpcServer server(run.service.get(), server_opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "server failed to start: " << started.ToString() << "\n";
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  // The README/CI readiness line: the port only appears once the final
+  // epoch is live.
+  std::cout << "dgt_reputation_server listening on 127.0.0.1:"
+            << server.port() << " (epoch " << run.service->epoch() << ", "
+            << server.worker_threads() << " workers)" << std::endl;
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(serve_seconds);
+  while (!g_stop.load()) {
+    if (serve_seconds > 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  server.Stop();
+  std::cout << "served " << server.replies_sent() << " replies ("
+            << server.error_replies_sent() << " errors, "
+            << server.requests_rejected() << " backpressure-rejected) over "
+            << server.connections_accepted() << " connections; "
+            << server.batches_drained() << " worker batches, max batch "
+            << server.max_batch_observed() << "\n";
+  return 0;
+}

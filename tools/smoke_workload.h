@@ -1,0 +1,123 @@
+// The canned deterministic serving workload shared by the networked
+// tools. dgt_reputation_server runs this schedule to completion before it
+// binds its port, and dgt_loadgen replays the *identical* schedule
+// in-process to verify that every score served over the wire is
+// bit-identical to the in-process answer (ISSUE 8 acceptance; see
+// docs/SERVING.md, "The smoke bit-identity protocol"). Both binaries
+// compile this one definition, so "same schedule" is enforced by the
+// linker rather than by convention.
+//
+// Determinism recipe (mirrors bench_serve_throughput.cc): a paced
+// service, one writer that submits a distinct-key update batch at every
+// epoch boundary except the last, and a fixed round budget. Every count
+// and every served score is then a pure function of CannedServeConfig on
+// any machine.
+
+#ifndef DGT_TOOLS_SMOKE_WORKLOAD_H_
+#define DGT_TOOLS_SMOKE_WORKLOAD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "bench_util.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "serve/service.h"
+#include "serve/workload.h"
+
+namespace dgt {
+namespace tools {
+
+// The full configuration of the canned run. The defaults are the --smoke
+// configuration (sized like bench_serve_throughput's smoke point); both
+// binaries must be launched with the same values or the loadgen's
+// verification pass fails loudly.
+struct CannedServeConfig {
+  uint32_t nodes = 192;
+  uint32_t edges_per_node = 2;    // PA attachment degree
+  uint32_t opinions_per_node = 16;
+  uint32_t rounds = 3;
+  uint32_t updates_per_epoch = 40;
+  uint32_t gossip_threads = 2;
+  double xi = 1e-3;
+  uint64_t graph_seed = 42;
+  uint64_t trust_seed = 11;
+  uint64_t system_seed = 7;
+  uint64_t update_seed_base = 5000;  // epoch e folds seed base + e
+};
+
+// A finished canned run: the graph (heap-allocated — the service borrows
+// its address) and the service, stopped at its final epoch with the last
+// snapshot published. Updates submitted after this point are validated
+// and enqueued but never folded (the round budget is spent), so the
+// served scores stay frozen — exactly what makes the loadgen's
+// cross-process comparison meaningful.
+struct CannedService {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<ReputationService> service;
+};
+
+// Builds the graph and sparse trust state, runs the paced schedule to
+// completion and returns the frozen service. Any round error or update
+// rejection is a hard error: the canned configuration is sized so
+// neither can happen, and a silent deviation would invalidate the
+// bit-identity check downstream.
+inline Result<CannedService> RunCannedSchedule(const CannedServeConfig& cfg) {
+  CannedService out;
+  out.graph = std::make_unique<Graph>(bench_util::MustMakePaGraph(
+      cfg.nodes, cfg.edges_per_node, cfg.graph_seed));
+  TrustMatrix trust = bench_util::MakeSparseTrust(
+      cfg.nodes, cfg.opinions_per_node, cfg.trust_seed);
+
+  ReputationServiceOptions opts;
+  opts.system.aggregation.gossip.xi = cfg.xi;
+  opts.system.aggregation.gossip.num_threads = cfg.gossip_threads;
+  opts.system.base_seed = cfg.system_seed;
+  opts.num_rounds = cfg.rounds;
+  opts.paced = true;
+  opts.update_queue_capacity = std::max<size_t>(
+      4096, 2 * static_cast<size_t>(cfg.updates_per_epoch));
+
+  out.service = std::make_unique<ReputationService>(
+      out.graph.get(), std::move(trust), opts);
+  const uint32_t writer_id = out.service->RegisterReader();
+  DGT_RETURN_IF_ERROR(out.service->Start());
+
+  uint64_t last = 0;
+  for (;;) {
+    const uint64_t epoch = out.service->AwaitEpochAfter(last);
+    if (epoch == 0) break;
+    if (epoch < cfg.rounds) {
+      for (const TrustUpdate& u : MakeDistinctTrustUpdates(
+               cfg.nodes, cfg.update_seed_base + epoch,
+               cfg.updates_per_epoch)) {
+        DGT_RETURN_IF_ERROR(
+            out.service->SubmitTrustUpdate(u.observer, u.target, u.value));
+      }
+    }
+    out.service->AckEpoch(writer_id, epoch);
+    last = epoch;
+  }
+  out.service->AwaitCompletion();
+  DGT_RETURN_IF_ERROR(out.service->driver_status());
+  if (out.service->updates_rejected() != 0) {
+    return Status::Internal(
+        std::to_string(out.service->updates_rejected()) +
+        " canned updates rejected (queue sizing bug)");
+  }
+  if (out.service->epoch() != cfg.rounds) {
+    return Status::Internal(
+        "canned run stopped at epoch " +
+        std::to_string(out.service->epoch()) + ", expected " +
+        std::to_string(cfg.rounds));
+  }
+  return out;
+}
+
+}  // namespace tools
+}  // namespace dgt
+
+#endif  // DGT_TOOLS_SMOKE_WORKLOAD_H_
