@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/table_writer.h"
 #include "graph/pa_generator.h"
+#include "obs/metrics.h"
 #include "trust/trust_estimator.h"
 #include "trust/trust_matrix.h"
 
@@ -97,54 +98,50 @@ class BenchJsonWriter : public dgt::BenchJsonWriter {
       : dgt::BenchJsonWriter(std::move(bench_name), OutDir()) {}
 };
 
-// Latency sample accumulator with the percentile fields the baseline
-// checker treats as advisory. Benches that measure per-request latency
-// record microseconds here and splice PercentileFields("point") into
-// their BenchJsonWriter point instead of hand-rolling percentile math —
-// the emitted suffixes (_p50_us/_p99_us/_p999_us/_mean_us) are advisory
-// in scripts/check_bench_baseline.py, so latency is recorded without
-// ever gating CI.
+// Latency accumulator with the percentile fields the baseline checker
+// treats as advisory. A thin veneer over the obs/ log-linear histogram
+// snapshot: O(1) memory instead of one double per sample, percentiles
+// within the bucket width (<= 6.25%) of the exact nearest-rank value,
+// and the same mergeable representation the serving layer exports over
+// the stats RPC — so client-side and server-side latency distributions
+// fold together. Record is single-threaded; per-thread recorders Merge
+// after join. The emitted suffixes (_p50_us/_p99_us/_p999_us/_mean_us)
+// are advisory in scripts/check_bench_baseline.py, so latency is
+// recorded without ever gating CI.
 class LatencyRecorder {
  public:
-  void Record(double us) { samples_.push_back(us); }
-  // Folds another recorder's samples in (per-thread recorders merged
-  // after join — Record is not thread-safe).
-  void Merge(const LatencyRecorder& other) {
-    samples_.insert(samples_.end(), other.samples_.begin(),
-                    other.samples_.end());
+  // Records a microsecond sample (rounded to the nearest integer unit;
+  // negatives clamp to 0).
+  void Record(double us) {
+    if (snapshot_.buckets.empty()) {
+      snapshot_.buckets.resize(obs::kHistogramBuckets);
+    }
+    const uint64_t v = us <= 0.0 ? 0 : static_cast<uint64_t>(us + 0.5);
+    ++snapshot_.buckets[obs::HistogramBucketIndex(v)];
+    ++snapshot_.count;
+    snapshot_.sum += v;
   }
-  size_t count() const { return samples_.size(); }
+  void Merge(const LatencyRecorder& other) { snapshot_.Merge(other.snapshot_); }
+  // Folds a histogram fetched from elsewhere (a server's stats reply).
+  void Merge(const obs::HistogramSnapshot& other) { snapshot_.Merge(other); }
+  size_t count() const { return snapshot_.count; }
 
-  // Nearest-rank percentile (p in [0, 100]) over the sample; 0 when
-  // empty. ceil(p/100 * n)-th smallest, the standard nearest-rank
-  // definition — p999 means p = 99.9.
-  double Percentile(double p) const {
-    if (samples_.empty()) return 0.0;
-    std::vector<double> sorted(samples_);
-    std::sort(sorted.begin(), sorted.end());
-    const double want = p / 100.0 * static_cast<double>(sorted.size());
-    size_t rank = static_cast<size_t>(want);
-    if (static_cast<double>(rank) < want) ++rank;  // ceil
-    if (rank == 0) rank = 1;
-    if (rank > sorted.size()) rank = sorted.size();
-    return sorted[rank - 1];
-  }
+  // Nearest-rank percentile (p in [0, 100]); 0 when empty. p999 means
+  // p = 99.9. Reported at log-bucket resolution (obs/metrics.h).
+  double Percentile(double p) const { return snapshot_.ValueAtPercentile(p); }
 
   // "<prefix>_p50_us", "<prefix>_p99_us", "<prefix>_p999_us" and
   // "<prefix>_mean_us", ready to splice into a BenchJsonWriter point.
   std::vector<std::pair<std::string, double>> PercentileFields(
       const std::string& prefix) const {
-    double mean = 0.0;
-    for (double s : samples_) mean += s;
-    if (!samples_.empty()) mean /= static_cast<double>(samples_.size());
     return {{prefix + "_p50_us", Percentile(50.0)},
             {prefix + "_p99_us", Percentile(99.0)},
             {prefix + "_p999_us", Percentile(99.9)},
-            {prefix + "_mean_us", mean}};
+            {prefix + "_mean_us", snapshot_.Mean()}};
   }
 
  private:
-  std::vector<double> samples_;
+  obs::HistogramSnapshot snapshot_;
 };
 
 // Sparse direct-trust state for the large-N sweeps: every node holds

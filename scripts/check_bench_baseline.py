@@ -16,6 +16,10 @@ Field classes:
     otherwise the check FAILS. These counts are deterministic per
     seed/configuration, so drift means the algorithm (or the workload)
     changed behaviour.
+  - metric fields (cont.): "_errors", "_depth" and "_folds" cover the
+    server-side counters dgt_loadgen fetches over the stats RPC —
+    error totals, end-of-run queue depth and fold counts are exact
+    for the canned schedule.
   - advisory fields: names ending in "_ms" (wall-clock), "_per_sec"
     (rates), "_mb" (memory), "_rms" (error metrics that go through
     libm) or the latency-percentile suffixes "_p50_us" / "_p99_us" /
@@ -38,7 +42,12 @@ import sys
 METRIC_SUFFIXES = ("_steps", "_messages", "_nnz", "_queries", "_rounds",
                    "_updates", "_requests", "_served", "_refused",
                    "_resets", "_arrivals", "_epochs", "_count",
-                   "_sim_time")
+                   "_sim_time",
+                   # Server-side counters fetched over the stats RPC
+                   # (dgt_loadgen's end-of-run cross-check): error
+                   # totals, end-of-run queue depths and fold counts
+                   # are deterministic for the canned schedule.
+                   "_errors", "_depth", "_folds")
 ADVISORY_SUFFIXES = ("_ms", "_per_sec", "_mb", "_rms",
                      "_p50_us", "_p99_us", "_p999_us", "_mean_us")
 

@@ -15,6 +15,11 @@ Result<Histogram> Histogram::Create(double lo, double hi, uint32_t bins) {
 void Histogram::Add(double value) {
   double pos = (value - lo_) / (hi_ - lo_) * bin_count();
   int64_t bin = static_cast<int64_t>(std::floor(pos));
+  if (bin < 0) {
+    ++underflow_;
+  } else if (bin >= static_cast<int64_t>(bin_count())) {
+    ++overflow_;
+  }
   bin = std::clamp<int64_t>(bin, 0, bin_count() - 1);
   ++counts_[static_cast<uint32_t>(bin)];
   ++total_;
@@ -42,6 +47,10 @@ void Histogram::Print(std::ostream& os, uint32_t width) const {
                                     static_cast<double>(max_count) * width);
     os << label << " |" << std::string(bar, '#') << ' ' << counts_[b]
        << '\n';
+  }
+  if (underflow_ != 0 || overflow_ != 0) {
+    os << "clamped out of range: " << underflow_ << " underflow, "
+       << overflow_ << " overflow\n";
   }
 }
 

@@ -17,7 +17,10 @@ namespace dgt {
 class Histogram {
  public:
   // Equal-width bins over [lo, hi); values outside are clamped into the
-  // first/last bin. Fails with InvalidArgument on hi <= lo or zero bins.
+  // first/last bin, with the clamp counted in underflow_count() /
+  // overflow_count() so a mis-sized range is visible instead of silently
+  // fattening the edge bins. Fails with InvalidArgument on hi <= lo or
+  // zero bins.
   static Result<Histogram> Create(double lo, double hi, uint32_t bins);
 
   void Add(double value);
@@ -29,7 +32,15 @@ class Histogram {
   // Inclusive lower edge of the bin.
   double BinLow(uint32_t bin) const;
 
-  // Renders "lo..hi | #### count" rows, bars scaled to `width` chars.
+  // Values below lo (clamped into the first bin) / at or above hi
+  // (clamped into the last bin). Both are included in total_count() and
+  // the edge-bin counts — these counters trace the clamping, they do not
+  // change it.
+  uint64_t underflow_count() const { return underflow_; }
+  uint64_t overflow_count() const { return overflow_; }
+
+  // Renders "lo..hi | #### count" rows, bars scaled to `width` chars,
+  // followed by "underflow/overflow" totals when any value was clamped.
   void Print(std::ostream& os, uint32_t width = 40) const;
 
  private:
@@ -40,6 +51,8 @@ class Histogram {
   double hi_;
   std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
 };
 
 // Complementary CDF of an integer sample: ccdf[k] = P(X >= k) for

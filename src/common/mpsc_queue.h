@@ -43,6 +43,7 @@ class BoundedMpscQueue {
       return false;
     }
     items_.push_back(std::move(value));
+    if (items_.size() > peak_depth_) peak_depth_ = items_.size();
     return true;
   }
 
@@ -72,11 +73,19 @@ class BoundedMpscQueue {
     return rejected_;
   }
 
+  // High-water mark of size() since construction — how close the queue
+  // came to its backpressure threshold (surfaced as a gauge by owners).
+  size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_depth_;
+  }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
   std::deque<T> items_;
   uint64_t rejected_ = 0;
+  size_t peak_depth_ = 0;
 };
 
 // BoundedWorkQueue: the same bounded-TryPush / explicit-backpressure
@@ -110,6 +119,7 @@ class BoundedWorkQueue {
         return false;
       }
       items_.push_back(std::move(value));
+      if (items_.size() > peak_depth_) peak_depth_ = items_.size();
     }
     cv_.notify_one();
     return true;
@@ -166,6 +176,12 @@ class BoundedWorkQueue {
     return rejected_;
   }
 
+  // High-water mark of size() since construction, as in BoundedMpscQueue.
+  size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_depth_;
+  }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
@@ -173,6 +189,7 @@ class BoundedWorkQueue {
   std::deque<T> items_;
   bool closed_ = false;
   uint64_t rejected_ = 0;
+  size_t peak_depth_ = 0;
 };
 
 }  // namespace dgt

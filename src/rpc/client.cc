@@ -107,5 +107,9 @@ Result<uint64_t> RpcClient::Ping() {
   return reply.epoch;
 }
 
+Result<StatsResponse> RpcClient::FetchStats() {
+  return Call<StatsResponse>(StatsRequest{});
+}
+
 }  // namespace rpc
 }  // namespace dgt

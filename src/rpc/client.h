@@ -45,6 +45,10 @@ class RpcClient {
   // Liveness probe; returns the server's current epoch (0 before the
   // first round lands).
   Result<uint64_t> Ping();
+  // Full server-side metrics snapshot (the wire form of the server's
+  // obs registry; densify with MetricsFromStats). The loadgen uses this
+  // to cross-check server counters against its own sent counts.
+  Result<StatsResponse> FetchStats();
 
   // kOk after a successful call; the server-reported code after an error
   // reply; kInternal after a transport-level failure.

@@ -1,6 +1,7 @@
 #include "rpc/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -23,6 +24,17 @@ WireError WireErrorFromStatus(const Status& s) {
   }
 }
 
+// Registry-name stems for request types 1..6 and error codes 1..10, in
+// enum order (docs/SERVING.md metric table).
+constexpr const char* kRequestMetricNames[] = {
+    "point_query", "batch_query", "topk_query", "trust_update", "ping",
+    "stats"};
+constexpr const char* kErrorMetricNames[] = {
+    "backpressure",    "invalid_argument", "out_of_range",
+    "not_ready",       "update_rejected",  "malformed_frame",
+    "version_mismatch", "unknown_type",    "shutting_down",
+    "internal"};
+
 }  // namespace
 
 RpcServer::RpcServer(ReputationService* service, RpcServerOptions options)
@@ -33,6 +45,23 @@ RpcServer::RpcServer(ReputationService* service, RpcServerOptions options)
       ClampThreadsToHardware(options_.worker_threads, "rpc worker pool");
   if (options_.max_batch == 0) options_.max_batch = 1;
   workers_held_ = options_.hold_workers;
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+                                         : &obs::MetricsRegistry::Global();
+  static_assert(sizeof(kRequestMetricNames) / sizeof(kRequestMetricNames[0]) ==
+                kNumRequestTypes);
+  static_assert(sizeof(kErrorMetricNames) / sizeof(kErrorMetricNames[0]) ==
+                kNumErrorCodes);
+  for (size_t i = 0; i < kNumRequestTypes; ++i) {
+    const std::string stem = kRequestMetricNames[i];
+    requests_by_type_[i] = metrics_->GetCounter("rpc_requests_" + stem);
+    service_latency_[i] = metrics_->GetHistogram("rpc_service_" + stem + "_us");
+  }
+  for (size_t i = 0; i < kNumErrorCodes; ++i) {
+    errors_by_code_[i] =
+        metrics_->GetCounter(std::string("rpc_errors_") + kErrorMetricNames[i]);
+  }
+  batch_size_hist_ = metrics_->GetHistogram("rpc_batch_size");
+  connections_counter_ = metrics_->GetCounter("rpc_connections_accepted");
 }
 
 RpcServer::~RpcServer() { Stop(); }
@@ -43,6 +72,17 @@ Status RpcServer::Start() {
   }
   DGT_ASSIGN_OR_RETURN(listen_fd_, ListenLoopback(options_.port));
   DGT_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
+  // Queue state is sampled at snapshot time, not pushed on every
+  // enqueue — the admission path stays a single TryPush.
+  queue_depth_token_ = metrics_->SetCallbackGauge(
+      "rpc_queue_depth",
+      [this] { return static_cast<int64_t>(queue_.size()); });
+  queue_peak_token_ = metrics_->SetCallbackGauge(
+      "rpc_queue_peak_depth",
+      [this] { return static_cast<int64_t>(queue_.peak_depth()); });
+  queue_rejected_token_ = metrics_->SetCallbackGauge(
+      "rpc_queue_rejected",
+      [this] { return static_cast<int64_t>(queue_.rejected()); });
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   workers_.reserve(options_.worker_threads);
   for (uint32_t i = 0; i < options_.worker_threads; ++i) {
@@ -83,6 +123,10 @@ void RpcServer::Stop() {
     std::lock_guard<std::mutex> lock(conns_mu_);
     connections_.clear();
   }
+  // The gauges sample queue_; unhook them before this object can die.
+  metrics_->RemoveCallbackGauge("rpc_queue_depth", queue_depth_token_);
+  metrics_->RemoveCallbackGauge("rpc_queue_peak_depth", queue_peak_token_);
+  metrics_->RemoveCallbackGauge("rpc_queue_rejected", queue_rejected_token_);
   listen_fd_.Reset();
 }
 
@@ -102,6 +146,7 @@ void RpcServer::AcceptLoop() {
     auto conn = std::make_shared<Connection>();
     conn->fd = std::move(accepted).value();
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_counter_->Increment();
     std::lock_guard<std::mutex> lock(conns_mu_);
     if (stopping_.load()) return;  // raced Stop(); drop the connection
     connections_.push_back(conn);
@@ -118,10 +163,8 @@ void RpcServer::ReaderLoop(std::shared_ptr<Connection> conn) {
       // closing — the stream offers no id to echo.
       if (frame.status().code() == StatusCode::kIoError && !stopping_.load()) {
         frames_rejected_.fetch_add(1, std::memory_order_relaxed);
-        SendReply(conn,
-                  EncodeError(0, WireError::kMalformedFrame,
-                              frame.status().message()),
-                  /*is_error=*/true);
+        SendError(conn, 0, WireError::kMalformedFrame,
+                  frame.status().message());
       }
       break;
     }
@@ -130,9 +173,7 @@ void RpcServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     const WireError decode_error =
         DecodeFrame(frame->data(), frame->size(), &msg, &reason);
     if (decode_error != WireError::kOk) {
-      SendReply(conn,
-                EncodeError(msg.header.request_id, decode_error, reason),
-                /*is_error=*/true);
+      SendError(conn, msg.header.request_id, decode_error, reason);
       if (decode_error == WireError::kMalformedFrame ||
           decode_error == WireError::kVersionMismatch) {
         // The byte stream can no longer be trusted; drop the connection.
@@ -145,35 +186,37 @@ void RpcServer::ReaderLoop(std::shared_ptr<Connection> conn) {
         static_cast<uint8_t>(msg.header.type) <
         static_cast<uint8_t>(MessageType::kPointQueryReply);
     if (!is_request) {
-      SendReply(conn,
-                EncodeError(msg.header.request_id, WireError::kUnknownType,
-                            std::string(MessageTypeName(msg.header.type)) +
-                                " is a reply type, not a request"),
-                /*is_error=*/true);
+      SendError(conn, msg.header.request_id, WireError::kUnknownType,
+                std::string(MessageTypeName(msg.header.type)) +
+                    " is a reply type, not a request");
       continue;
     }
+    // Counted at decode time, before admission control and before the
+    // shutdown check, so the per-type counters equal the client's sent
+    // counts exactly — even for requests answered with Backpressure.
+    // That equality is the loadgen's hard-gated counter oracle. A stats
+    // request therefore counts itself: the increment lands before any
+    // worker can snapshot the registry for its reply.
+    requests_by_type_[static_cast<uint8_t>(msg.header.type) - 1]->Increment();
     if (stopping_.load()) {
-      SendReply(conn,
-                EncodeError(msg.header.request_id, WireError::kShuttingDown,
-                            "server is shutting down"),
-                /*is_error=*/true);
+      SendError(conn, msg.header.request_id, WireError::kShuttingDown,
+                "server is shutting down");
       break;
     }
     Request req;
     req.conn = conn;
     req.request_id = msg.header.request_id;
     req.body = std::move(msg.body);
+    const uint64_t request_id = req.request_id;
     if (queue_.TryPush(std::move(req))) {
       requests_enqueued_.fetch_add(1, std::memory_order_relaxed);
     } else {
       // Admission control: the bounded queue is full (or closing) —
       // explicit backpressure instead of unbounded buffering.
-      SendReply(conn,
-                EncodeError(msg.header.request_id, WireError::kBackpressure,
-                            "request queue full (capacity " +
-                                std::to_string(queue_.capacity()) +
-                                "); retry after backoff"),
-                /*is_error=*/true);
+      SendError(conn, request_id, WireError::kBackpressure,
+                "request queue full (capacity " +
+                    std::to_string(queue_.capacity()) +
+                    "); retry after backoff");
     }
   }
   conn->open.store(false, std::memory_order_relaxed);
@@ -196,6 +239,7 @@ void RpcServer::WorkerLoop() {
     // same immutable epoch (the RCU read-side critical section).
     const std::shared_ptr<const ReputationSnapshot> snap = service_->Snapshot();
     batches_drained_.fetch_add(1, std::memory_order_relaxed);
+    batch_size_hist_->Record(batch.size());
     uint64_t seen = max_batch_observed_.load(std::memory_order_relaxed);
     while (batch.size() > seen &&
            !max_batch_observed_.compare_exchange_weak(
@@ -207,9 +251,25 @@ void RpcServer::WorkerLoop() {
 
 void RpcServer::ProcessRequest(
     const Request& req, const std::shared_ptr<const ReputationSnapshot>& snap) {
+  // The request-body variant lists the request alternatives first, in
+  // MessageType order, so the variant index doubles as the op index into
+  // the per-op latency histograms.
+  const size_t op = req.body.index();
+  const auto start = std::chrono::steady_clock::now();
+  DispatchRequest(req, snap);
+  if (op < kNumRequestTypes) {
+    service_latency_[op]->RecordValue(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+}
+
+void RpcServer::DispatchRequest(
+    const Request& req, const std::shared_ptr<const ReputationSnapshot>& snap) {
   const uint64_t id = req.request_id;
   auto reply_error = [&](WireError error, const std::string& message) {
-    SendReply(req.conn, EncodeError(id, error, message), /*is_error=*/true);
+    SendError(req.conn, id, error, message);
   };
   auto require_snapshot = [&]() -> bool {
     if (snap != nullptr) return true;
@@ -267,9 +327,25 @@ void RpcServer::ProcessRequest(
   } else if (std::get_if<PingRequest>(&req.body) != nullptr) {
     SendReply(req.conn, Encode(id, PingReply{snap ? snap->epoch : 0}),
               /*is_error=*/false);
+  } else if (std::get_if<StatsRequest>(&req.body) != nullptr) {
+    // The snapshot is taken on the worker thread after this request was
+    // counted in the reader, so the reply's own rpc_requests_stats
+    // already includes it.
+    SendReply(req.conn, Encode(id, StatsFromMetrics(metrics_->Snapshot())),
+              /*is_error=*/false);
   } else {
     reply_error(WireError::kInternal, "request body/type mismatch");
   }
+}
+
+void RpcServer::SendError(const std::shared_ptr<Connection>& conn,
+                          uint64_t request_id, WireError error,
+                          const std::string& message) {
+  const size_t code = static_cast<size_t>(error);
+  if (code >= 1 && code <= kNumErrorCodes) {
+    errors_by_code_[code - 1]->Increment();
+  }
+  SendReply(conn, EncodeError(request_id, error, message), /*is_error=*/true);
 }
 
 void RpcServer::SendReply(const std::shared_ptr<Connection>& conn,

@@ -50,6 +50,7 @@
 
 #include "common/mpsc_queue.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "rpc/frame_io.h"
 #include "rpc/wire.h"
 #include "serve/service.h"
@@ -81,6 +82,11 @@ struct RpcServerOptions {
   // bounded queue's admission control can be exercised deterministically
   // (tests/rpc/server_test.cc).
   bool hold_workers = false;
+
+  // Registry the server instruments into (and serves over kStatsRequest);
+  // null uses the process-wide obs::MetricsRegistry::Global(). Tests pass
+  // their own for isolation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class RpcServer {
@@ -159,14 +165,40 @@ class RpcServer {
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Connection> conn);
   void WorkerLoop();
+  // Times DispatchRequest into the per-op service-latency histogram.
   void ProcessRequest(const Request& req,
                       const std::shared_ptr<const ReputationSnapshot>& snap);
+  void DispatchRequest(const Request& req,
+                       const std::shared_ptr<const ReputationSnapshot>& snap);
   void SendReply(const std::shared_ptr<Connection>& conn,
                  const std::vector<uint8_t>& payload, bool is_error);
+  // Encodes + sends an error reply, counting it under the per-error-code
+  // counter (rpc_errors_*). Every error path funnels through here so the
+  // wire counters and the loadgen's client-side accounting can be
+  // compared exactly.
+  void SendError(const std::shared_ptr<Connection>& conn, uint64_t request_id,
+                 WireError error, const std::string& message);
+
+  // Number of request message types (ids 1..kNumRequestTypes) and of
+  // WireError codes past kOk — sizes of the counter arrays below.
+  static constexpr size_t kNumRequestTypes = 6;
+  static constexpr size_t kNumErrorCodes = 10;
 
   ReputationService* service_;
   RpcServerOptions options_;
   uint16_t port_ = 0;
+
+  // Wire-visible instruments (registered at construction; the registry
+  // owns them, so raw pointers are safe for the server's lifetime).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* requests_by_type_[kNumRequestTypes] = {};
+  obs::Counter* errors_by_code_[kNumErrorCodes] = {};
+  obs::LatencyHistogram* service_latency_[kNumRequestTypes] = {};
+  obs::LatencyHistogram* batch_size_hist_ = nullptr;
+  obs::Counter* connections_counter_ = nullptr;
+  uint64_t queue_depth_token_ = 0;
+  uint64_t queue_peak_token_ = 0;
+  uint64_t queue_rejected_token_ = 0;
 
   UniqueFd listen_fd_;
   std::thread accept_thread_;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace dgt {
 namespace rpc {
 namespace {
@@ -117,11 +119,13 @@ std::string_view MessageTypeName(MessageType type) {
     case MessageType::kTopKQueryRequest: return "TopKQueryRequest";
     case MessageType::kTrustUpdateRequest: return "TrustUpdateRequest";
     case MessageType::kPingRequest: return "PingRequest";
+    case MessageType::kStatsRequest: return "StatsRequest";
     case MessageType::kPointQueryReply: return "PointQueryReply";
     case MessageType::kBatchQueryReply: return "BatchQueryReply";
     case MessageType::kTopKQueryReply: return "TopKQueryReply";
     case MessageType::kTrustUpdateReply: return "TrustUpdateReply";
     case MessageType::kPingReply: return "PingReply";
+    case MessageType::kStatsResponse: return "StatsResponse";
     case MessageType::kErrorReply: return "ErrorReply";
   }
   return "?";
@@ -183,6 +187,10 @@ std::vector<uint8_t> Encode(uint64_t request_id, const PingRequest&) {
   return MakeHeader(MessageType::kPingRequest, WireError::kOk, request_id);
 }
 
+std::vector<uint8_t> Encode(uint64_t request_id, const StatsRequest&) {
+  return MakeHeader(MessageType::kStatsRequest, WireError::kOk, request_id);
+}
+
 std::vector<uint8_t> Encode(uint64_t request_id, const PointQueryReply& m) {
   auto out =
       MakeHeader(MessageType::kPointQueryReply, WireError::kOk, request_id);
@@ -218,6 +226,42 @@ std::vector<uint8_t> Encode(uint64_t request_id, const TrustUpdateReply&) {
 std::vector<uint8_t> Encode(uint64_t request_id, const PingReply& m) {
   auto out = MakeHeader(MessageType::kPingReply, WireError::kOk, request_id);
   PutU64(out, m.epoch);
+  return out;
+}
+
+namespace {
+
+void PutName(std::vector<uint8_t>& out, const std::string& name) {
+  PutU32(out, static_cast<uint32_t>(name.size()));
+  out.insert(out.end(), name.begin(), name.end());
+}
+
+}  // namespace
+
+std::vector<uint8_t> Encode(uint64_t request_id, const StatsResponse& m) {
+  auto out =
+      MakeHeader(MessageType::kStatsResponse, WireError::kOk, request_id);
+  PutU32(out, static_cast<uint32_t>(m.counters.size()));
+  for (const auto& [name, value] : m.counters) {
+    PutName(out, name);
+    PutU64(out, value);
+  }
+  PutU32(out, static_cast<uint32_t>(m.gauges.size()));
+  for (const auto& [name, value] : m.gauges) {
+    PutName(out, name);
+    PutU64(out, static_cast<uint64_t>(value));
+  }
+  PutU32(out, static_cast<uint32_t>(m.histograms.size()));
+  for (const auto& [name, h] : m.histograms) {
+    PutName(out, name);
+    PutU64(out, h.count);
+    PutU64(out, h.sum);
+    PutU32(out, static_cast<uint32_t>(h.buckets.size()));
+    for (const auto& [index, count] : h.buckets) {
+      PutU32(out, index);
+      PutU64(out, count);
+    }
+  }
   return out;
 }
 
@@ -301,6 +345,11 @@ WireError DecodeFrame(const uint8_t* data, size_t size, DecodedMessage* out,
       ok = true;
       break;
     }
+    case MessageType::kStatsRequest: {
+      out->body = StatsRequest{};
+      ok = true;
+      break;
+    }
     case MessageType::kPointQueryReply: {
       PointQueryReply m;
       ok = r.TakeU64(&m.epoch) && r.TakeF64(&m.score);
@@ -344,6 +393,58 @@ WireError DecodeFrame(const uint8_t* data, size_t size, DecodedMessage* out,
       out->body = std::move(m);
       break;
     }
+    case MessageType::kStatsResponse: {
+      StatsResponse m;
+      // Entries are parsed strictly sequentially; any truncation fails a
+      // Take and any surplus trips the exact-size check below, so the
+      // every-prefix-is-malformed property holds for this variable-length
+      // body too. Bucket indices must be strictly ascending and within
+      // the obs/ bucket range, so a decoded stat densifies safely.
+      auto take_name = [&r](std::string* name) {
+        uint32_t len = 0;
+        const uint8_t* p = nullptr;
+        if (!r.TakeU32(&len) || !r.TakeBytes(len, &p)) return false;
+        name->assign(reinterpret_cast<const char*>(p), len);
+        return true;
+      };
+      uint32_t n = 0;
+      ok = r.TakeU32(&n);
+      for (uint32_t i = 0; ok && i < n; ++i) {
+        std::string name;
+        uint64_t value = 0;
+        ok = take_name(&name) && r.TakeU64(&value);
+        if (ok) m.counters.emplace_back(std::move(name), value);
+      }
+      ok = ok && r.TakeU32(&n);
+      for (uint32_t i = 0; ok && i < n; ++i) {
+        std::string name;
+        uint64_t bits = 0;
+        ok = take_name(&name) && r.TakeU64(&bits);
+        if (ok) m.gauges.emplace_back(std::move(name),
+                                      static_cast<int64_t>(bits));
+      }
+      ok = ok && r.TakeU32(&n);
+      for (uint32_t i = 0; ok && i < n; ++i) {
+        std::string name;
+        HistogramStat h;
+        uint32_t buckets = 0;
+        ok = take_name(&name) && r.TakeU64(&h.count) && r.TakeU64(&h.sum) &&
+             r.TakeU32(&buckets);
+        int64_t prev_index = -1;
+        for (uint32_t b = 0; ok && b < buckets; ++b) {
+          uint32_t index = 0;
+          uint64_t count = 0;
+          ok = r.TakeU32(&index) && r.TakeU64(&count) &&
+               static_cast<int64_t>(index) > prev_index &&
+               index < obs::kHistogramBuckets;
+          prev_index = index;
+          if (ok) h.buckets.emplace_back(index, count);
+        }
+        if (ok) m.histograms.emplace_back(std::move(name), std::move(h));
+      }
+      out->body = std::move(m);
+      break;
+    }
     case MessageType::kErrorReply: {
       ErrorReply m;
       uint32_t len = 0;
@@ -364,6 +465,46 @@ WireError DecodeFrame(const uint8_t* data, size_t size, DecodedMessage* out,
     return WireError::kMalformedFrame;
   }
   return WireError::kOk;
+}
+
+StatsResponse StatsFromMetrics(const obs::MetricsSnapshot& snapshot) {
+  StatsResponse stats;
+  stats.counters.assign(snapshot.counters.begin(), snapshot.counters.end());
+  stats.gauges.assign(snapshot.gauges.begin(), snapshot.gauges.end());
+  stats.histograms.reserve(snapshot.histograms.size());
+  for (const auto& [name, h] : snapshot.histograms) {
+    HistogramStat stat;
+    stat.count = h.count;
+    stat.sum = h.sum;
+    for (uint32_t i = 0; i < static_cast<uint32_t>(h.buckets.size()); ++i) {
+      if (h.buckets[i] != 0) stat.buckets.emplace_back(i, h.buckets[i]);
+    }
+    stats.histograms.emplace_back(name, std::move(stat));
+  }
+  return stats;
+}
+
+obs::MetricsSnapshot MetricsFromStats(const StatsResponse& stats) {
+  obs::MetricsSnapshot snapshot;
+  for (const auto& [name, value] : stats.counters) {
+    snapshot.counters[name] = value;
+  }
+  for (const auto& [name, value] : stats.gauges) {
+    snapshot.gauges[name] = value;
+  }
+  for (const auto& [name, stat] : stats.histograms) {
+    obs::HistogramSnapshot h;
+    h.count = stat.count;
+    h.sum = stat.sum;
+    if (!stat.buckets.empty()) {
+      h.buckets.resize(obs::kHistogramBuckets);
+      for (const auto& [index, count] : stat.buckets) {
+        h.buckets[index] = count;
+      }
+    }
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
 }
 
 }  // namespace rpc

@@ -40,10 +40,17 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
 #include "graph/graph.h"
+
+namespace dgt {
+namespace obs {
+struct MetricsSnapshot;
+}  // namespace obs
+}  // namespace dgt
 
 namespace dgt {
 namespace rpc {
@@ -64,11 +71,13 @@ enum class MessageType : uint8_t {
   kTopKQueryRequest = 3,
   kTrustUpdateRequest = 4,
   kPingRequest = 5,
+  kStatsRequest = 6,
   kPointQueryReply = 33,
   kBatchQueryReply = 34,
   kTopKQueryReply = 35,
   kTrustUpdateReply = 36,
   kPingReply = 37,
+  kStatsResponse = 38,
   kErrorReply = 63,
 };
 
@@ -99,9 +108,10 @@ enum class WireError : uint8_t {
 inline constexpr MessageType kAllMessageTypes[] = {
     MessageType::kPointQueryRequest, MessageType::kBatchQueryRequest,
     MessageType::kTopKQueryRequest,  MessageType::kTrustUpdateRequest,
-    MessageType::kPingRequest,       MessageType::kPointQueryReply,
-    MessageType::kBatchQueryReply,   MessageType::kTopKQueryReply,
-    MessageType::kTrustUpdateReply,  MessageType::kPingReply,
+    MessageType::kPingRequest,       MessageType::kStatsRequest,
+    MessageType::kPointQueryReply,   MessageType::kBatchQueryReply,
+    MessageType::kTopKQueryReply,    MessageType::kTrustUpdateReply,
+    MessageType::kPingReply,         MessageType::kStatsResponse,
     MessageType::kErrorReply,
 };
 
@@ -157,6 +167,11 @@ struct TrustUpdateRequest {
 // Body: empty. Liveness probe; the reply reports the current epoch.
 struct PingRequest {};
 
+// Body: empty. Asks the server for a full snapshot of its obs/ metrics
+// registry (src/obs/metrics.h) — the wire face of the observability
+// subsystem.
+struct StatsRequest {};
+
 // --- reply bodies (server -> client) ---
 
 // Body: u64 epoch, u64 score bits.
@@ -188,6 +203,29 @@ struct PingReply {
   uint64_t epoch = 0;
 };
 
+// One histogram in a StatsResponse: total count, sum of recorded values,
+// and the nonzero log-linear buckets as sparse (index, count) pairs with
+// strictly ascending indices < obs::kHistogramBuckets (enforced by
+// DecodeFrame, so a decoded stat is always safe to densify).
+// Wire layout: u64 count, u64 sum, u32 n, n x (u32 index, u64 count).
+struct HistogramStat {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;
+};
+
+// Body: three length-prefixed sections in order — counters, gauges,
+// histograms — each a u32 entry count followed by entries of
+// (u32 name_len, name_len x u8 UTF-8 name, payload). Counter payloads
+// are u64 values; gauge payloads are i64 values as two's-complement
+// u64; histogram payloads are HistogramStat (layout above). Entries
+// preserve the registry's sorted-by-name order.
+struct StatsResponse {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramStat>> histograms;
+};
+
 // Body: u32 length, length x u8 UTF-8 reason. The error code itself
 // travels in the frame header.
 struct ErrorReply {
@@ -196,9 +234,9 @@ struct ErrorReply {
 
 using MessageBody =
     std::variant<PointQueryRequest, BatchQueryRequest, TopKQueryRequest,
-                 TrustUpdateRequest, PingRequest, PointQueryReply,
-                 BatchQueryReply, TopKQueryReply, TrustUpdateReply, PingReply,
-                 ErrorReply>;
+                 TrustUpdateRequest, PingRequest, StatsRequest,
+                 PointQueryReply, BatchQueryReply, TopKQueryReply,
+                 TrustUpdateReply, PingReply, StatsResponse, ErrorReply>;
 
 struct DecodedMessage {
   FrameHeader header;
@@ -215,11 +253,13 @@ std::vector<uint8_t> Encode(uint64_t request_id, const BatchQueryRequest& m);
 std::vector<uint8_t> Encode(uint64_t request_id, const TopKQueryRequest& m);
 std::vector<uint8_t> Encode(uint64_t request_id, const TrustUpdateRequest& m);
 std::vector<uint8_t> Encode(uint64_t request_id, const PingRequest& m);
+std::vector<uint8_t> Encode(uint64_t request_id, const StatsRequest& m);
 std::vector<uint8_t> Encode(uint64_t request_id, const PointQueryReply& m);
 std::vector<uint8_t> Encode(uint64_t request_id, const BatchQueryReply& m);
 std::vector<uint8_t> Encode(uint64_t request_id, const TopKQueryReply& m);
 std::vector<uint8_t> Encode(uint64_t request_id, const TrustUpdateReply& m);
 std::vector<uint8_t> Encode(uint64_t request_id, const PingReply& m);
+std::vector<uint8_t> Encode(uint64_t request_id, const StatsResponse& m);
 // The error code lands in the header; the body carries the reason text.
 std::vector<uint8_t> EncodeError(uint64_t request_id, WireError error,
                                  std::string_view message);
@@ -235,6 +275,14 @@ std::vector<uint8_t> EncodeError(uint64_t request_id, WireError error,
 // kMalformedFrame.
 WireError DecodeFrame(const uint8_t* data, size_t size, DecodedMessage* out,
                       std::string* error_message);
+
+// --- stats conversions ---
+// A StatsResponse is the wire form of an obs::MetricsSnapshot; the two
+// round-trip losslessly (empty histograms included). The server encodes
+// with the first, stats consumers (loadgen cross-check, --stats_only
+// dump) densify back with the second.
+StatsResponse StatsFromMetrics(const obs::MetricsSnapshot& snapshot);
+obs::MetricsSnapshot MetricsFromStats(const StatsResponse& stats);
 
 }  // namespace rpc
 }  // namespace dgt

@@ -1,10 +1,21 @@
 #include "serve/round_driver.h"
 
 #include <cassert>
+#include <chrono>
 #include <memory>
 #include <utility>
 
 namespace dgt {
+
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 RoundDriver::RoundDriver(ReputationSystem* system, TrustMatrix* trust,
                          ReputationStore* store, EpochGate* gate,
@@ -86,8 +97,17 @@ void RoundDriver::DriveLoop() {
        ++round) {
     // (a) Fold updates queued since the last boundary — the matrix is
     // stable for the whole round that follows.
-    folded_total += FoldPendingUpdates();
+    const int64_t fold_start_us = SteadyNowMicros();
+    const uint64_t folded = FoldPendingUpdates();
+    folded_total += folded;
     updates_folded_.store(folded_total, std::memory_order_release);
+    if (options_.fold_us_histogram != nullptr) {
+      options_.fold_us_histogram->Record(
+          static_cast<uint64_t>(SteadyNowMicros() - fold_start_us));
+    }
+    if (options_.updates_folded_counter != nullptr && folded > 0) {
+      options_.updates_folded_counter->Increment(folded);
+    }
 
     // (b) One full aggregation round (Delta gating + GCLR gossip).
     Status s = system_->RunRound();
@@ -107,6 +127,10 @@ void RoundDriver::DriveLoop() {
     const uint64_t epoch = snapshot->epoch;
     store_->Publish(std::move(snapshot));
     rounds_completed_.store(epoch, std::memory_order_release);
+    last_publish_us_.store(SteadyNowMicros(), std::memory_order_relaxed);
+    if (options_.epochs_published_counter != nullptr) {
+      options_.epochs_published_counter->Increment();
+    }
 
     // (d) Paced mode: wait for every reader to consume this epoch before
     // the next round starts. AwaitAllAcked returning false means the

@@ -28,6 +28,7 @@
 #include "common/epoch_gate.h"
 #include "common/mpsc_queue.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "reputation/reputation_system.h"
 #include "serve/reputation_store.h"
 #include "trust/trust_matrix.h"
@@ -53,6 +54,15 @@ struct RoundDriverOptions {
   // Gate each published epoch on reader acknowledgements (requires a
   // non-null EpochGate with all readers registered before Start).
   bool paced = false;
+  // Optional registry instruments the driver reports into (wired by
+  // ReputationService; null pointers are skipped). The counters are
+  // deterministic per workload — epochs published and updates folded are
+  // exactly the driver's own rounds_completed()/updates_folded() — which
+  // is what lets the loadgen hard-gate them end-to-end.
+  obs::Counter* epochs_published_counter = nullptr;
+  obs::Counter* updates_folded_counter = nullptr;
+  // Wall time of each round-boundary fold (drain + TrustMatrix writes).
+  obs::LatencyHistogram* fold_us_histogram = nullptr;
 };
 
 class RoundDriver {
@@ -92,6 +102,11 @@ class RoundDriver {
   uint64_t updates_folded() const {
     return updates_folded_.load(std::memory_order_acquire);
   }
+  // steady_clock microseconds of the most recent snapshot publish; 0
+  // before the first. Feeds the serve_snapshot_age_us callback gauge.
+  int64_t last_publish_micros() const {
+    return last_publish_us_.load(std::memory_order_relaxed);
+  }
 
  private:
   void DriveLoop();
@@ -110,6 +125,7 @@ class RoundDriver {
   std::atomic<bool> finished_{false};
   std::atomic<uint64_t> rounds_completed_{0};
   std::atomic<uint64_t> updates_folded_{0};
+  std::atomic<int64_t> last_publish_us_{0};
 
   mutable std::mutex mu_;  // guards started_, joined_, last_status_
   std::mutex join_mu_;     // serialises Join; never taken by the driver

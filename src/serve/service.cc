@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -26,11 +27,25 @@ ReputationService::ReputationService(const Graph* graph,
     : graph_(graph),
       trust_(std::move(initial_trust)),
       options_(ResolveOptions(std::move(options))),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : &obs::MetricsRegistry::Global()),
       system_(graph_, &trust_, options_.system),
       store_(options_.read_shards),
       update_queue_(options_.update_queue_capacity),
       driver_(&system_, &trust_, &store_, &gate_, &update_queue_,
-              RoundDriverOptions{options_.num_rounds, options_.paced}) {}
+              MakeDriverOptions()) {}
+
+RoundDriverOptions ReputationService::MakeDriverOptions() {
+  RoundDriverOptions driver_options;
+  driver_options.num_rounds = options_.num_rounds;
+  driver_options.paced = options_.paced;
+  driver_options.epochs_published_counter =
+      metrics_->GetCounter("serve_epochs_published");
+  driver_options.updates_folded_counter =
+      metrics_->GetCounter("serve_updates_folded");
+  driver_options.fold_us_histogram = metrics_->GetHistogram("serve_fold_us");
+  return driver_options;
+}
 
 ReputationService::~ReputationService() { Stop(); }
 
@@ -38,10 +53,41 @@ Status ReputationService::Start() {
   if (graph_->num_nodes() != trust_.num_nodes()) {
     return Status::FailedPrecondition("graph/trust node count mismatch");
   }
-  return driver_.Start();
+  DGT_RETURN_IF_ERROR(driver_.Start());
+  // Sampled at snapshot time; the driver and queue outlive the gauges
+  // (removed in Stop before members are destroyed).
+  queue_depth_token_ = metrics_->SetCallbackGauge(
+      "serve_update_queue_depth",
+      [this] { return static_cast<int64_t>(update_queue_.size()); });
+  queue_peak_token_ = metrics_->SetCallbackGauge(
+      "serve_update_queue_peak_depth",
+      [this] { return static_cast<int64_t>(update_queue_.peak_depth()); });
+  queue_rejected_token_ = metrics_->SetCallbackGauge(
+      "serve_update_queue_rejected",
+      [this] { return static_cast<int64_t>(update_queue_.rejected()); });
+  snapshot_age_token_ = metrics_->SetCallbackGauge(
+      "serve_snapshot_age_us", [this] {
+        const int64_t last = driver_.last_publish_micros();
+        if (last == 0) return int64_t{0};
+        const int64_t now =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        return now - last;
+      });
+  return Status::OK();
 }
 
-void ReputationService::Stop() { driver_.Stop(); }
+void ReputationService::Stop() {
+  metrics_->RemoveCallbackGauge("serve_update_queue_depth",
+                                queue_depth_token_);
+  metrics_->RemoveCallbackGauge("serve_update_queue_peak_depth",
+                                queue_peak_token_);
+  metrics_->RemoveCallbackGauge("serve_update_queue_rejected",
+                                queue_rejected_token_);
+  metrics_->RemoveCallbackGauge("serve_snapshot_age_us", snapshot_age_token_);
+  driver_.Stop();
+}
 
 void ReputationService::AwaitCompletion() { driver_.Join(); }
 

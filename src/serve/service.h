@@ -32,6 +32,7 @@
 #include "common/mpsc_queue.h"
 #include "common/result.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "reputation/reputation_system.h"
 #include "serve/query.h"
 #include "serve/reputation_store.h"
@@ -61,6 +62,11 @@ struct ReputationServiceOptions {
   // Capacity of the trust-update ingest queue; submissions beyond it are
   // rejected with explicit backpressure until the next round drains it.
   size_t update_queue_capacity = 4096;
+
+  // Registry the service instruments into (serve_* metrics: epochs
+  // published, updates folded, fold wall-time, ingest-queue gauges,
+  // served-snapshot age); null uses obs::MetricsRegistry::Global().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ReputationService {
@@ -136,15 +142,25 @@ class ReputationService {
   const Graph& graph() const { return *graph_; }
 
  private:
+  RoundDriverOptions MakeDriverOptions();
+
   const Graph* graph_;
   TrustMatrix trust_;
   ReputationServiceOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 
   ReputationSystem system_;
   ReputationStore store_;
   EpochGate gate_;
   BoundedMpscQueue<TrustUpdate> update_queue_;
   RoundDriver driver_;
+
+  // Callback-gauge tokens (queue depth/peak/rejected + snapshot age);
+  // registered on Start, removed on Stop before the sampled state dies.
+  uint64_t queue_depth_token_ = 0;
+  uint64_t queue_peak_token_ = 0;
+  uint64_t queue_rejected_token_ = 0;
+  uint64_t snapshot_age_token_ = 0;
 };
 
 }  // namespace dgt

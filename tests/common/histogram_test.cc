@@ -40,6 +40,35 @@ TEST(HistogramTest, OutOfRangeClampedToEdgeBins) {
   EXPECT_EQ(h.BinValue(1), 2u);
 }
 
+// Regression: clamping used to be silent — a mis-sized range fattened
+// the edge bins with no trace. The counters record every clamp without
+// changing the binning (bin counts and total above stay as they were).
+TEST(HistogramTest, ClampingIsCounted) {
+  auto h = Histogram::Create(0.0, 1.0, 2).value();
+  EXPECT_EQ(h.underflow_count(), 0u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  h.Add(-5.0);  // underflow
+  h.Add(0.25);  // in range
+  h.Add(99.0);  // overflow
+  h.Add(1.0);   // hi is exclusive: also overflow
+  EXPECT_EQ(h.underflow_count(), 1u);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_EQ(h.BinValue(0), 2u);
+  EXPECT_EQ(h.BinValue(1), 2u);
+
+  std::ostringstream os;
+  h.Print(os);
+  EXPECT_NE(os.str().find("1 underflow, 2 overflow"), std::string::npos);
+
+  // In-range-only histograms keep the old Print output exactly.
+  auto clean = Histogram::Create(0.0, 1.0, 2).value();
+  clean.Add(0.5);
+  std::ostringstream clean_os;
+  clean.Print(clean_os);
+  EXPECT_EQ(clean_os.str().find("clamped"), std::string::npos);
+}
+
 TEST(HistogramTest, BinEdges) {
   auto h = Histogram::Create(0.0, 10.0, 5).value();
   EXPECT_DOUBLE_EQ(h.BinLow(0), 0.0);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 
 namespace dgt {
 namespace rpc {
@@ -42,6 +43,7 @@ std::vector<std::pair<MessageType, std::vector<uint8_t>>> SampleFrames() {
       {MessageType::kTrustUpdateRequest,
        Encode(id, TrustUpdateRequest{1, 2, 0.625, false})},
       {MessageType::kPingRequest, Encode(id, PingRequest{})},
+      {MessageType::kStatsRequest, Encode(id, StatsRequest{})},
       {MessageType::kPointQueryReply,
        Encode(id, PointQueryReply{6, -0.0})},
       {MessageType::kBatchQueryReply,
@@ -50,6 +52,11 @@ std::vector<std::pair<MessageType, std::vector<uint8_t>>> SampleFrames() {
        Encode(id, TopKQueryReply{6, {8, 1}, {0.9, 0.8999999999999999}})},
       {MessageType::kTrustUpdateReply, Encode(id, TrustUpdateReply{})},
       {MessageType::kPingReply, Encode(id, PingReply{42})},
+      {MessageType::kStatsResponse,
+       Encode(id, StatsResponse{{{"rpc_requests_ping", 3}},
+                                {{"rpc_queue_depth", -2}},
+                                {{"rpc_service_ping_us",
+                                  HistogramStat{4, 100, {{0, 1}, {17, 3}}}}}})},
       {MessageType::kErrorReply,
        EncodeError(id, WireError::kBackpressure, "queue full")},
   };
@@ -113,6 +120,91 @@ TEST(WireProtocolTest, FieldsSurviveBitExactly) {
   EXPECT_EQ(msg.header.error, WireError::kNotReady);
   EXPECT_EQ(std::get<ErrorReply>(msg.body).message,
             "round 1 still running");
+}
+
+TEST(WireProtocolTest, StatsResponseFieldsSurvive) {
+  StatsResponse stats;
+  stats.counters = {{"rpc_requests_point_query", 876},
+                    {"serve_epochs_published", 3}};
+  // Gauges are signed and travel as two's-complement u64.
+  stats.gauges = {{"rpc_queue_depth", 0}, {"serve_snapshot_age_us", -7}};
+  stats.histograms = {
+      {"rpc_service_ping_us",
+       HistogramStat{5, 1234, {{0, 2}, {17, 2}, {obs::kHistogramBuckets - 1,
+                                                 1}}}}};
+  auto frame = Encode(31, stats);
+  DecodedMessage msg;
+  std::string reason;
+  ASSERT_EQ(DecodeFrame(frame.data(), frame.size(), &msg, &reason),
+            WireError::kOk)
+      << reason;
+  const auto& got = std::get<StatsResponse>(msg.body);
+  EXPECT_EQ(got.counters, stats.counters);
+  EXPECT_EQ(got.gauges, stats.gauges);
+  ASSERT_EQ(got.histograms.size(), 1u);
+  EXPECT_EQ(got.histograms[0].first, "rpc_service_ping_us");
+  EXPECT_EQ(got.histograms[0].second.count, 5u);
+  EXPECT_EQ(got.histograms[0].second.sum, 1234u);
+  EXPECT_EQ(got.histograms[0].second.buckets,
+            stats.histograms[0].second.buckets);
+}
+
+TEST(WireProtocolTest, StatsResponseBucketIndicesAreValidated) {
+  // Sparse histogram buckets must be strictly ascending and inside the
+  // shared bucket space, or a decoded response could not be densified.
+  for (const auto& buckets :
+       {std::vector<std::pair<uint32_t, uint64_t>>{{5, 1}, {5, 2}},
+        std::vector<std::pair<uint32_t, uint64_t>>{{9, 1}, {4, 2}},
+        std::vector<std::pair<uint32_t, uint64_t>>{
+            {obs::kHistogramBuckets, 1}}}) {
+    StatsResponse stats;
+    stats.histograms = {{"h", HistogramStat{1, 1, buckets}}};
+    auto frame = Encode(8, stats);
+    DecodedMessage msg;
+    std::string reason;
+    EXPECT_EQ(DecodeFrame(frame.data(), frame.size(), &msg, &reason),
+              WireError::kMalformedFrame);
+  }
+}
+
+TEST(WireProtocolTest, StatsConvertersRoundTripThroughTheSparseForm) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("hits")->Increment(42);
+  registry.GetGauge("depth")->Set(-3);
+  obs::LatencyHistogram* lat = registry.GetHistogram("lat_us");
+  lat->Record(1);
+  lat->Record(1);
+  lat->Record(1000000);
+  registry.GetHistogram("empty_us");  // registered, nothing recorded
+
+  const obs::MetricsSnapshot original = registry.Snapshot();
+  const StatsResponse wire_form = StatsFromMetrics(original);
+  // Sparsification keeps only the three nonzero buckets.
+  ASSERT_EQ(wire_form.histograms.size(), 2u);
+  EXPECT_EQ(wire_form.histograms[1].second.buckets.size(), 2u);
+
+  // Densify after a real encode/decode pass, not just in-process.
+  auto frame = Encode(4, wire_form);
+  DecodedMessage msg;
+  std::string reason;
+  ASSERT_EQ(DecodeFrame(frame.data(), frame.size(), &msg, &reason),
+            WireError::kOk)
+      << reason;
+  const obs::MetricsSnapshot back =
+      MetricsFromStats(std::get<StatsResponse>(msg.body));
+
+  EXPECT_EQ(back.counters, original.counters);
+  EXPECT_EQ(back.gauges, original.gauges);
+  const obs::HistogramSnapshot& lat_back = back.histograms.at("lat_us");
+  const obs::HistogramSnapshot& lat_orig = original.histograms.at("lat_us");
+  EXPECT_EQ(lat_back.count, lat_orig.count);
+  EXPECT_EQ(lat_back.sum, lat_orig.sum);
+  EXPECT_EQ(lat_back.buckets, lat_orig.buckets);
+  // An all-zero histogram travels with no buckets and densifies to none;
+  // its percentiles still read 0.
+  EXPECT_EQ(back.histograms.at("empty_us").count, 0u);
+  EXPECT_DOUBLE_EQ(back.histograms.at("empty_us").ValueAtPercentile(50.0),
+                   0.0);
 }
 
 TEST(WireProtocolTest, EveryTruncationIsMalformed) {

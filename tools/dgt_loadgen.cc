@@ -8,10 +8,20 @@
 // mismatch is a hard failure — the wire protocol carries IEEE-754 bits
 // verbatim, so served scores must equal in-process scores exactly.
 //
+// A final stats phase fetches the server's metrics registry over the
+// stats RPC and hard-compares the server-side per-type request counters
+// against the client-side sent counts. The server increments those
+// counters at frame-decode time — before admission control or shutdown
+// checks can drop a request — so after a clean run every server count
+// must EQUAL the number of requests this process wrote to the wire
+// (this loadgen is the server's only client in CI). Any difference
+// means a request was lost or double-counted and the run fails.
+//
 // Results land in BENCH_serve_network.json (bench_util::BenchJsonWriter)
-// and CI gates the deterministic request/verify counts against
-// ci/bench_baselines/BENCH_serve_network.json; latency percentiles and
-// throughput use the advisory _us/_ms/_per_sec suffixes and never gate.
+// and CI gates the deterministic request/verify/server-counter counts
+// against ci/bench_baselines/BENCH_serve_network.json; latency
+// percentiles, queue peaks and throughput use the advisory
+// _us/_ms/_per_sec suffixes and never gate.
 //
 // Flags:
 //   --smoke           canned smoke run: 2 connections x 600 requests
@@ -24,6 +34,9 @@
 //   --retry_ms=MS     connect retry budget while the server binds
 //                     (default 2000; CI uses 30000)
 //   --nodes=N, --rounds=R   must match the server's canned config
+//   --stats_only      connect to --port, fetch the server's metrics,
+//                     print them as Prometheus text and exit — a CLI
+//                     window into a running dgt_reputation_server
 //   --out_dir=PATH    bench output directory (common/bench_output.h)
 
 #include <chrono>
@@ -36,6 +49,7 @@
 #include <vector>
 
 #include "common/table_writer.h"
+#include "obs/metrics.h"
 #include "rpc/client.h"
 #include "rpc/server.h"
 #include "smoke_workload.h"
@@ -53,9 +67,13 @@ struct LoadgenFlags {
   tools::CannedServeConfig cfg;
 };
 
-// Per-operation-type accounting for one connection thread; merged after
-// join (LatencyRecorder is not thread-safe).
+// Per-operation-type accounting for one connection thread. Each thread
+// records into its own recorders (Record stays single-threaded) and the
+// mergeable histogram snapshots fold together after join. sent[] counts
+// every request written to the wire regardless of reply outcome — the
+// client half of the server-counter cross-check.
 struct ConnStats {
+  uint64_t sent[4] = {0, 0, 0, 0};
   uint64_t ok[4] = {0, 0, 0, 0};
   uint64_t backpressure = 0;   // WireError::kBackpressure replies
   uint64_t wire_errors = 0;    // any other error reply
@@ -76,6 +94,7 @@ double ElapsedUs(std::chrono::steady_clock::time_point start) {
 // Classifies one finished call: records latency and buckets the outcome
 // by the wire error the client retained.
 void Account(ConnStats* s, int op, double us, bool ok, rpc::WireError err) {
+  ++s->sent[op];
   s->latency[op].Record(us);
   if (ok) {
     ++s->ok[op];
@@ -199,6 +218,90 @@ uint64_t VerifyAgainstControl(uint16_t port, int retry_ms,
   return mismatches;
 }
 
+uint64_t CounterOr0(const obs::MetricsSnapshot& m, const std::string& name) {
+  auto it = m.counters.find(name);
+  return it == m.counters.end() ? 0 : it->second;
+}
+
+int64_t GaugeOr0(const obs::MetricsSnapshot& m, const std::string& name) {
+  auto it = m.gauges.find(name);
+  return it == m.gauges.end() ? 0 : it->second;
+}
+
+// Total error replies the server recorded, across every wire error code.
+uint64_t ServerErrorTotal(const obs::MetricsSnapshot& m) {
+  uint64_t total = 0;
+  for (const auto& [name, value] : m.counters) {
+    if (name.rfind("rpc_errors_", 0) == 0) total += value;
+  }
+  return total;
+}
+
+// Hard cross-check: server-side request counters vs client-side sent
+// counts. The server counts at decode time (rpc/server.cc ReaderLoop),
+// ahead of queue admission and shutdown checks, so the relation is exact
+// equality — not "at least" — even for requests that came back with
+// kBackpressure. Returns the number of mismatching counters.
+uint64_t CrossCheckServerCounters(const obs::MetricsSnapshot& m,
+                                  const ConnStats& total,
+                                  uint64_t verify_queries) {
+  const struct {
+    const char* counter;
+    uint64_t expected;
+  } checks[] = {
+      // Traffic-phase sends, plus the verification pass's one batch
+      // query per observer row.
+      {"rpc_requests_point_query", total.sent[0]},
+      {"rpc_requests_batch_query", total.sent[1] + verify_queries},
+      {"rpc_requests_topk_query", total.sent[2]},
+      {"rpc_requests_trust_update", total.sent[3]},
+      // The readiness/config probe pings exactly once.
+      {"rpc_requests_ping", 1},
+      // The stats request counts itself: the reader increments before
+      // the worker snapshots the registry.
+      {"rpc_requests_stats", 1},
+  };
+  uint64_t mismatches = 0;
+  for (const auto& c : checks) {
+    const uint64_t got = CounterOr0(m, c.counter);
+    if (got != c.expected) {
+      std::cerr << "counter mismatch: server " << c.counter << " = " << got
+                << ", client sent " << c.expected << "\n";
+      ++mismatches;
+    }
+  }
+  // Error replies must line up too: every error the server sent was
+  // received (and classified) by exactly one client call.
+  const uint64_t client_errors = total.backpressure + total.wire_errors;
+  const uint64_t server_errors = ServerErrorTotal(m);
+  if (server_errors != client_errors) {
+    std::cerr << "counter mismatch: server sent " << server_errors
+              << " error replies, client received " << client_errors << "\n";
+    ++mismatches;
+  }
+  return mismatches;
+}
+
+// --stats_only: fetch and print the server's registry, nothing else.
+int RunStatsOnly(uint16_t port, int retry_ms) {
+  if (port == 0) {
+    std::cerr << "--stats_only needs an explicit --port\n";
+    return 1;
+  }
+  Result<rpc::RpcClient> client = rpc::RpcClient::Connect(port, retry_ms);
+  if (!client.ok()) {
+    std::cerr << "connect failed: " << client.status().ToString() << "\n";
+    return 1;
+  }
+  Result<rpc::StatsResponse> stats = client.value().FetchStats();
+  if (!stats.ok()) {
+    std::cerr << "stats fetch failed: " << stats.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << rpc::MetricsFromStats(stats.value()).ToPrometheusText();
+  return 0;
+}
+
 bool ParseUintFlag(const char* arg, const char* name, uint64_t* out) {
   const size_t len = std::strlen(name);
   if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
@@ -211,11 +314,14 @@ bool ParseUintFlag(const char* arg, const char* name, uint64_t* out) {
 int main(int argc, char** argv) {
   bench_util::InitOutputDir(argc, argv);
   LoadgenFlags flags;
+  bool stats_only = false;
   uint64_t v = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       flags.connections = 2;
       flags.requests = 600;
+    } else if (std::strcmp(argv[i], "--stats_only") == 0) {
+      stats_only = true;
     } else if (ParseUintFlag(argv[i], "--port", &v)) {
       flags.port = static_cast<uint16_t>(v);
     } else if (ParseUintFlag(argv[i], "--connections", &v)) {
@@ -242,6 +348,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  if (stats_only) return RunStatsOnly(flags.port, flags.retry_ms);
 
   // The in-process control replay — the ground truth for verification.
   // When self-hosting (--port=0) it doubles as the served service.
@@ -308,6 +416,7 @@ int main(int argc, char** argv) {
   ConnStats total;
   for (const ConnStats& s : per_conn) {
     for (int op = 0; op < 4; ++op) {
+      total.sent[op] += s.sent[op];
       total.ok[op] += s.ok[op];
       total.latency[op].Merge(s.latency[op]);
     }
@@ -326,15 +435,48 @@ int main(int argc, char** argv) {
   const uint64_t mismatches = VerifyAgainstControl(
       flags.port, flags.retry_ms, *control.service, &verify_queries);
 
+  // --- stats phase: fetch the server's own counters and cross-check ---
+  uint64_t counter_mismatches = 0;
+  obs::MetricsSnapshot server_metrics;
+  {
+    Result<rpc::RpcClient> stats_client =
+        rpc::RpcClient::Connect(flags.port, flags.retry_ms);
+    Result<rpc::StatsResponse> stats =
+        stats_client.ok() ? stats_client.value().FetchStats()
+                          : Result<rpc::StatsResponse>(stats_client.status());
+    if (!stats.ok()) {
+      std::cerr << "server stats fetch failed: "
+                << stats.status().ToString() << "\n";
+      counter_mismatches = 1;
+    } else {
+      server_metrics = rpc::MetricsFromStats(stats.value());
+      counter_mismatches =
+          CrossCheckServerCounters(server_metrics, total, verify_queries);
+    }
+  }
+
   TableWriter table("== dgt_loadgen: latency by operation type ==");
-  table.SetHeader({"op", "ok", "p50 us", "p99 us", "p999 us", "mean us"});
+  table.SetHeader({"op", "ok", "p50 us", "p99 us", "p999 us", "mean us",
+                   "server p99 us"});
+  // The server exports per-op service latency (queue-to-reply, without
+  // the network) as mergeable histograms; folding one into a fresh
+  // recorder reuses the exact percentile path the client columns use.
+  constexpr const char* kServiceHistograms[4] = {
+      "rpc_service_point_query_us", "rpc_service_batch_query_us",
+      "rpc_service_topk_query_us", "rpc_service_trust_update_us"};
   for (int op = 0; op < 4; ++op) {
     const auto& lat = total.latency[op];
+    bench_util::LatencyRecorder server_lat;
+    auto hist = server_metrics.histograms.find(kServiceHistograms[op]);
+    if (hist != server_metrics.histograms.end()) {
+      server_lat.Merge(hist->second);
+    }
     table.AddRow({kOpNames[op], std::to_string(total.ok[op]),
                   FormatDouble(lat.Percentile(50.0), 1),
                   FormatDouble(lat.Percentile(99.0), 1),
                   FormatDouble(lat.Percentile(99.9), 1),
-                  FormatDouble(lat.PercentileFields("x")[3].second, 1)});
+                  FormatDouble(lat.PercentileFields("x")[3].second, 1),
+                  FormatDouble(server_lat.Percentile(99.0), 1)});
   }
   bench_util::Emit(table, "serve_network.csv");
   std::cout << total_requests << " requests over " << flags.connections
@@ -343,7 +485,8 @@ int main(int argc, char** argv) {
             << total.backpressure << " backpressure, " << total.wire_errors
             << " wire errors, " << total.transport_errors
             << " transport errors; verify: " << mismatches << "/"
-            << verify_queries << " rows mismatched\n";
+            << verify_queries << " rows mismatched; server counters: "
+            << counter_mismatches << " mismatched\n";
 
   bench_util::BenchJsonWriter json("serve_network");
   std::vector<std::pair<std::string, double>> point = {
@@ -360,6 +503,39 @@ int main(int argc, char** argv) {
       {"verify_row_queries", static_cast<double>(verify_queries)},
       {"verify_mismatch_count", static_cast<double>(mismatches)},
       {"served_epochs", static_cast<double>(flags.cfg.rounds)},
+      // Server-side counters fetched over the stats RPC. All of these
+      // are deterministic for the canned schedule + seeded traffic, so
+      // the baseline check hard-gates them: the request counters must
+      // equal the client-side sent counts, the error/queue-depth fields
+      // must stay zero, and the fold/epoch counters pin the server's
+      // canned aggregation run.
+      {"server_point_requests",
+       static_cast<double>(CounterOr0(server_metrics,
+                                      "rpc_requests_point_query"))},
+      {"server_batch_requests",
+       static_cast<double>(CounterOr0(server_metrics,
+                                      "rpc_requests_batch_query"))},
+      {"server_topk_requests",
+       static_cast<double>(CounterOr0(server_metrics,
+                                      "rpc_requests_topk_query"))},
+      {"server_update_requests",
+       static_cast<double>(CounterOr0(server_metrics,
+                                      "rpc_requests_trust_update"))},
+      {"server_ping_requests",
+       static_cast<double>(CounterOr0(server_metrics, "rpc_requests_ping"))},
+      {"server_stats_requests",
+       static_cast<double>(CounterOr0(server_metrics, "rpc_requests_stats"))},
+      {"server_wire_errors",
+       static_cast<double>(ServerErrorTotal(server_metrics))},
+      {"server_queue_depth",
+       static_cast<double>(GaugeOr0(server_metrics, "rpc_queue_depth"))},
+      {"server_update_folds",
+       static_cast<double>(CounterOr0(server_metrics,
+                                      "serve_updates_folded"))},
+      {"server_published_epochs",
+       static_cast<double>(CounterOr0(server_metrics,
+                                      "serve_epochs_published"))},
+      {"counter_mismatch_count", static_cast<double>(counter_mismatches)},
       {"wall_ms", wall_ms},
       {"requests_per_sec", req_per_sec},
   };
@@ -373,12 +549,13 @@ int main(int argc, char** argv) {
 
   if (self_hosted) self_hosted->Stop();
   if (mismatches != 0 || total.wire_errors != 0 ||
-      total.transport_errors != 0) {
+      total.transport_errors != 0 || counter_mismatches != 0) {
     std::cerr << "FAILED: served traffic deviated from the in-process "
                  "ground truth\n";
     return 1;
   }
   std::cout << "ok: every served score row is bit-identical to the "
-               "in-process replay\n";
+               "in-process replay and every server counter matches the "
+               "client-side sent counts\n";
   return 0;
 }

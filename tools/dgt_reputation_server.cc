@@ -21,6 +21,12 @@
 //   --workers=W        RPC worker threads (default 2)
 //   --serve_seconds=S  exit after S seconds of serving (default 0 =
 //                      serve until SIGINT/SIGTERM)
+//   --metrics_dump_seconds=S  every S seconds, dump the process metrics
+//                      registry (request/error counters, queue gauges,
+//                      latency histograms) as Prometheus text to stdout;
+//                      0 (default) disables. The same snapshot is always
+//                      available remotely via the stats RPC
+//                      (dgt_loadgen --stats_only --port=P).
 
 #include <atomic>
 #include <chrono>
@@ -30,6 +36,7 @@
 #include <iostream>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "rpc/server.h"
 #include "smoke_workload.h"
 
@@ -55,6 +62,7 @@ int main(int argc, char** argv) {
   rpc::RpcServerOptions server_opts;
   server_opts.worker_threads = 2;
   uint64_t serve_seconds = 0;
+  uint64_t metrics_dump_seconds = 0;
   uint64_t v = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) continue;  // canned defaults
@@ -68,6 +76,8 @@ int main(int argc, char** argv) {
       server_opts.worker_threads = static_cast<uint32_t>(v);
     } else if (ParseUintFlag(argv[i], "--serve_seconds", &v)) {
       serve_seconds = v;
+    } else if (ParseUintFlag(argv[i], "--metrics_dump_seconds", &v)) {
+      metrics_dump_seconds = v;
     } else {
       std::cerr << "unknown flag: " << argv[i] << "\n";
       return 1;
@@ -101,9 +111,17 @@ int main(int argc, char** argv) {
 
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::seconds(serve_seconds);
+  auto next_dump = std::chrono::steady_clock::now() +
+                   std::chrono::seconds(metrics_dump_seconds);
   while (!g_stop.load()) {
-    if (serve_seconds > 0 && std::chrono::steady_clock::now() >= deadline) {
-      break;
+    const auto now = std::chrono::steady_clock::now();
+    if (serve_seconds > 0 && now >= deadline) break;
+    if (metrics_dump_seconds > 0 && now >= next_dump) {
+      std::cout << "--- metrics ---\n"
+                << obs::MetricsRegistry::Global().Snapshot()
+                       .ToPrometheusText()
+                << std::flush;
+      next_dump = now + std::chrono::seconds(metrics_dump_seconds);
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
