@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for the repo's static-analysis gate.
+
+Reads the file list from the build tree's compile_commands.json (generate
+it with `cmake -B build -S .` — CMAKE_EXPORT_COMPILE_COMMANDS is on by
+default), runs clang-tidy over every first-party translation unit with
+the root .clang-tidy profile, and reports findings.
+
+Two modes:
+
+  full            (default) every finding in every first-party TU is
+                  reported; exit 1 if any.
+  --diff-base REF only findings on lines changed relative to the git ref
+                  are fatal; pre-existing findings are still listed in
+                  the report but do not fail the run. This is the CI
+                  gate: new code must be tidy-clean, old findings are
+                  burned down incrementally.
+
+A plain-text report is always written (--output, default
+clang_tidy_report.txt) so CI can upload it as an artifact.
+
+Exit: 0 clean, 1 fatal findings, 2 bad invocation or missing inputs,
+77 clang-tidy binary unavailable (skip).
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+SKIP = 77
+
+# First-party code only: never lint _deps (FetchContent'd googletest) or
+# anything outside the repo checkout.
+FIRST_PARTY_DIRS = ("src", "tools", "bench", "examples")
+
+FINDING_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<kind>warning|error):\s+(?P<msg>.*)$")
+
+
+def repo_root():
+    out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                         capture_output=True, text=True)
+    if out.returncode != 0:
+        return os.getcwd()
+    return out.stdout.strip()
+
+
+def first_party_sources(build_dir, root):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print("run_clang_tidy: %s not found; configure the build tree "
+              "first (cmake -B %s -S .)" % (db_path, build_dir),
+              file=sys.stderr)
+        return None
+    with open(db_path, encoding="utf-8") as f:
+        db = json.load(f)
+    prefixes = tuple(os.path.join(root, d) + os.sep
+                     for d in FIRST_PARTY_DIRS)
+    files = sorted({entry["file"] for entry in db
+                    if os.path.realpath(entry["file"]).startswith(prefixes)})
+    return files
+
+
+def changed_lines(diff_base, root):
+    """{abs_path: set(line_no)} of lines added/modified vs diff_base."""
+    proc = subprocess.run(
+        ["git", "diff", "-U0", "--no-color", diff_base, "--"],
+        capture_output=True, text=True, cwd=root)
+    if proc.returncode != 0:
+        print("run_clang_tidy: git diff against %r failed:\n%s"
+              % (diff_base, proc.stderr), file=sys.stderr)
+        return None
+    changed = {}
+    current = None
+    for line in proc.stdout.splitlines():
+        if line.startswith("+++ b/"):
+            current = os.path.join(root, line[6:])
+        elif line.startswith("@@") and current:
+            m = re.search(r"\+(\d+)(?:,(\d+))?", line)
+            if m:
+                start = int(m.group(1))
+                count = int(m.group(2)) if m.group(2) is not None else 1
+                changed.setdefault(current, set()).update(
+                    range(start, start + count))
+    return changed
+
+
+def run_one(tidy, build_dir, path):
+    proc = subprocess.run([tidy, "-p", build_dir, "--quiet", path],
+                          capture_output=True, text=True)
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.append((os.path.realpath(m.group("file")),
+                             int(m.group("line")), line))
+    return path, findings, proc.stdout
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(prog="run_clang_tidy")
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: first of "
+                             "clang-tidy, clang-tidy-18..14 on PATH)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, multiprocessing.cpu_count() - 1))
+    parser.add_argument("--diff-base", default=None,
+                        help="git ref; only findings on lines changed "
+                             "since it are fatal")
+    parser.add_argument("--output", default="clang_tidy_report.txt",
+                        help="plain-text report path")
+    args = parser.parse_args(argv)
+
+    tidy = args.clang_tidy
+    if tidy is None:
+        candidates = ["clang-tidy"] + [
+            "clang-tidy-%d" % v for v in range(18, 13, -1)]
+        tidy = next((c for c in candidates if shutil.which(c)), None)
+    if tidy is None or not shutil.which(tidy):
+        print("run_clang_tidy: no clang-tidy binary found; skipping")
+        return SKIP
+
+    root = repo_root()
+    files = first_party_sources(args.build_dir, root)
+    if files is None:
+        return 2
+    if not files:
+        print("run_clang_tidy: no first-party sources in the compilation "
+              "database", file=sys.stderr)
+        return 2
+
+    changed = None
+    if args.diff_base is not None:
+        changed = changed_lines(args.diff_base, root)
+        if changed is None:
+            return 2
+
+    all_findings = []
+    report_chunks = []
+    with multiprocessing.pool.ThreadPool(args.jobs) as pool:
+        results = pool.starmap(
+            run_one, [(tidy, args.build_dir, f) for f in files])
+    for path, findings, raw in results:
+        if findings:
+            report_chunks.append(raw)
+        all_findings.extend(findings)
+
+    fatal = all_findings
+    if changed is not None:
+        fatal = [f for f in all_findings
+                 if f[1] in changed.get(f[0], set())]
+
+    with open(args.output, "w", encoding="utf-8") as f:
+        f.write("".join(report_chunks))
+        f.write("\n%d finding(s) across %d TU(s); %d fatal%s\n"
+                % (len(all_findings), len(files), len(fatal),
+                   "" if changed is None
+                   else " (on lines changed since %s)" % args.diff_base))
+
+    for _, _, line in fatal:
+        print(line)
+    print("run_clang_tidy: %d TU(s), %d finding(s), %d fatal; report: %s"
+          % (len(files), len(all_findings), len(fatal), args.output))
+    return 1 if fatal else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

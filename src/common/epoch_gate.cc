@@ -5,20 +5,20 @@
 namespace dgt {
 
 uint32_t EpochGate::RegisterReader() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   assert(published_ == 0 && "readers must register before the first Publish");
   acked_.push_back(0);
   return static_cast<uint32_t>(acked_.size() - 1);
 }
 
 uint32_t EpochGate::num_readers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<uint32_t>(acked_.size());
 }
 
 void EpochGate::Publish(uint64_t epoch) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     assert(epoch > published_ && "epochs must be strictly increasing");
     published_ = epoch;
   }
@@ -26,8 +26,9 @@ void EpochGate::Publish(uint64_t epoch) {
 }
 
 bool EpochGate::AwaitAllAcked(uint64_t epoch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
+  MutexLock lock(mu_);
+  cv_.wait(lock.native(), [&] {
+    mu_.AssertHeld();  // CV predicates run with the lock held
     if (cancelled_) return true;
     for (uint64_t a : acked_) {
       if (a < epoch) return false;
@@ -41,8 +42,11 @@ bool EpochGate::AwaitAllAcked(uint64_t epoch) {
 }
 
 uint64_t EpochGate::AwaitNewer(uint64_t last_seen) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return cancelled_ || published_ > last_seen; });
+  MutexLock lock(mu_);
+  cv_.wait(lock.native(), [&] {
+    mu_.AssertHeld();  // CV predicates run with the lock held
+    return cancelled_ || published_ > last_seen;
+  });
   // Deliver a pending epoch even when cancelled, so readers drain
   // everything the writer actually published.
   return published_ > last_seen ? published_ : 0;
@@ -50,7 +54,7 @@ uint64_t EpochGate::AwaitNewer(uint64_t last_seen) {
 
 void EpochGate::Ack(uint32_t reader_id, uint64_t epoch) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     assert(reader_id < acked_.size());
     if (epoch > acked_[reader_id]) acked_[reader_id] = epoch;
   }
@@ -59,14 +63,14 @@ void EpochGate::Ack(uint32_t reader_id, uint64_t epoch) {
 
 void EpochGate::Cancel() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cancelled_ = true;
   }
   cv_.notify_all();
 }
 
 bool EpochGate::cancelled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cancelled_;
 }
 

@@ -17,8 +17,9 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dgt {
 
@@ -30,37 +31,38 @@ class EpochGate {
 
   // Adds a reader and returns its id. Must complete before the writer's
   // first Publish (registration is not synchronised against publishing).
-  uint32_t RegisterReader();
+  uint32_t RegisterReader() DGT_EXCLUDES(mu_);
 
-  uint32_t num_readers() const;
+  uint32_t num_readers() const DGT_EXCLUDES(mu_);
 
   // Writer: announces `epoch` (must exceed the previous announcement).
-  void Publish(uint64_t epoch);
+  void Publish(uint64_t epoch) DGT_EXCLUDES(mu_);
 
   // Writer: blocks until every registered reader has acknowledged
   // `epoch` (or newer). Returns false if the gate was cancelled first.
   // Trivially true with zero readers — the gate is then a pass-through.
-  bool AwaitAllAcked(uint64_t epoch);
+  bool AwaitAllAcked(uint64_t epoch) DGT_EXCLUDES(mu_);
 
   // Reader: blocks until the published epoch exceeds `last_seen` and
   // returns it. Returns 0 once the gate is cancelled and no unseen epoch
   // remains (published epochs still pending are delivered first).
-  uint64_t AwaitNewer(uint64_t last_seen);
+  uint64_t AwaitNewer(uint64_t last_seen) DGT_EXCLUDES(mu_);
 
   // Reader `reader_id` has finished consuming `epoch`.
-  void Ack(uint32_t reader_id, uint64_t epoch);
+  void Ack(uint32_t reader_id, uint64_t epoch) DGT_EXCLUDES(mu_);
 
   // Releases all waiters (see class comment). Idempotent.
-  void Cancel();
+  void Cancel() DGT_EXCLUDES(mu_);
 
-  bool cancelled() const;
+  bool cancelled() const DGT_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable cv_;
-  std::vector<uint64_t> acked_;  // acked_[r] = highest epoch reader r acked
-  uint64_t published_ = 0;
-  bool cancelled_ = false;
+  // acked_[r] = highest epoch reader r acked.
+  std::vector<uint64_t> acked_ DGT_GUARDED_BY(mu_);
+  uint64_t published_ DGT_GUARDED_BY(mu_) = 0;
+  bool cancelled_ DGT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dgt

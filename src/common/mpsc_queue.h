@@ -9,6 +9,11 @@
 // pushes are rare next to reads (reads never touch this queue), the
 // consumer drains in O(batch), and the simple implementation is trivially
 // TSan-clean. The serving hot path — snapshot queries — takes no lock.
+//
+// Capability contract (machine-checked via -Wthread-safety): every piece
+// of queue state is DGT_GUARDED_BY(mu_); each public method acquires mu_
+// for its full body and holds no other lock, so any call interleaving
+// from any number of threads is safe.
 
 #ifndef DGT_COMMON_MPSC_QUEUE_H_
 #define DGT_COMMON_MPSC_QUEUE_H_
@@ -17,9 +22,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dgt {
 
@@ -36,8 +42,8 @@ class BoundedMpscQueue {
 
   // Producer side. Returns false (and counts the rejection) when the
   // queue is full — the caller owns the retry policy.
-  bool TryPush(T value) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryPush(T value) DGT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.size() >= capacity_) {
       ++rejected_;
       return false;
@@ -50,8 +56,8 @@ class BoundedMpscQueue {
   // Consumer side: appends everything queued to `out` (preserving
   // per-producer push order) and empties the queue. Returns the number
   // of items drained.
-  size_t DrainInto(std::vector<T>& out) {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t DrainInto(std::vector<T>& out) DGT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     const size_t n = items_.size();
     out.reserve(out.size() + n);
     for (auto& item : items_) out.push_back(std::move(item));
@@ -59,8 +65,8 @@ class BoundedMpscQueue {
     return n;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const DGT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -68,24 +74,24 @@ class BoundedMpscQueue {
 
   // TryPush calls that returned false since construction (backpressure
   // observability for the service's stats).
-  uint64_t rejected() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t rejected() const DGT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return rejected_;
   }
 
   // High-water mark of size() since construction — how close the queue
   // came to its backpressure threshold (surfaced as a gauge by owners).
-  size_t peak_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t peak_depth() const DGT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return peak_depth_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<T> items_;
-  uint64_t rejected_ = 0;
-  size_t peak_depth_ = 0;
+  mutable Mutex mu_;
+  std::deque<T> items_ DGT_GUARDED_BY(mu_);
+  uint64_t rejected_ DGT_GUARDED_BY(mu_) = 0;
+  size_t peak_depth_ DGT_GUARDED_BY(mu_) = 0;
 };
 
 // BoundedWorkQueue: the same bounded-TryPush / explicit-backpressure
@@ -99,6 +105,11 @@ class BoundedMpscQueue {
 // snapshot. Close() wakes every parked consumer for shutdown; items
 // still queued at Close remain poppable so accepted requests are never
 // silently dropped.
+//
+// Capability contract (machine-checked via -Wthread-safety): items_,
+// closed_ and the counters are DGT_GUARDED_BY(mu_); cv_ hand-offs happen
+// with mu_ held (predicates assert the capability) and notifications are
+// issued after release, so no method ever blocks while holding the lock.
 template <typename T>
 class BoundedWorkQueue {
  public:
@@ -111,9 +122,9 @@ class BoundedWorkQueue {
 
   // Producer side. False (counted) when full or closed — the caller owns
   // the backpressure reply.
-  bool TryPush(T value) {
+  bool TryPush(T value) DGT_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) {
         ++rejected_;
         return false;
@@ -127,9 +138,12 @@ class BoundedWorkQueue {
 
   // Consumer side: blocks until an item is available or the queue is
   // closed. Returns false only when closed and drained.
-  bool PopBlocking(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  bool PopBlocking(T* out) DGT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    cv_.wait(lock.native(), [this] {
+      mu_.AssertHeld();  // CV predicates run with the lock held
+      return closed_ || !items_.empty();
+    });
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
@@ -138,8 +152,8 @@ class BoundedWorkQueue {
 
   // Non-blocking batch drain of up to max_items more (FIFO order,
   // appended to *out). Returns the number taken.
-  size_t TryPopUpTo(size_t max_items, std::vector<T>* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t TryPopUpTo(size_t max_items, std::vector<T>* out) DGT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     size_t taken = 0;
     while (taken < max_items && !items_.empty()) {
       out->push_back(std::move(items_.front()));
@@ -150,46 +164,46 @@ class BoundedWorkQueue {
   }
 
   // Rejects future pushes and wakes every parked consumer. Idempotent.
-  void Close() {
+  void Close() DGT_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const DGT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const DGT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
   // TryPush calls that returned false since construction.
-  uint64_t rejected() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t rejected() const DGT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return rejected_;
   }
 
   // High-water mark of size() since construction, as in BoundedMpscQueue.
-  size_t peak_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t peak_depth() const DGT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return peak_depth_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  uint64_t rejected_ = 0;
-  size_t peak_depth_ = 0;
+  std::deque<T> items_ DGT_GUARDED_BY(mu_);
+  bool closed_ DGT_GUARDED_BY(mu_) = false;
+  uint64_t rejected_ DGT_GUARDED_BY(mu_) = 0;
+  size_t peak_depth_ DGT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dgt

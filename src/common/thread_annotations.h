@@ -1,0 +1,111 @@
+// Clang thread-safety (capability) annotations, plus annotation-aware
+// Mutex / MutexLock wrappers over the std types. Under Clang with
+// -Wthread-safety the DGT_* macros expand to the capability attributes,
+// so the locking discipline of every annotated structure is proved at
+// compile time (the static-analysis CI leg promotes the diagnostics to
+// errors with -Werror=thread-safety); under any other compiler they
+// expand to nothing and the wrappers are zero-cost inline veneers over
+// std::mutex / std::unique_lock.
+//
+// Vocabulary (see docs/STATIC_ANALYSIS.md for the full catalogue):
+//   DGT_GUARDED_BY(mu)   - field may only be read/written while holding mu
+//   DGT_PT_GUARDED_BY(mu)- pointee of the field is guarded by mu
+//   DGT_REQUIRES(mu)     - caller must already hold mu
+//   DGT_ACQUIRE(mu)      - function acquires mu and does not release it
+//   DGT_RELEASE(mu)      - function releases mu
+//   DGT_TRY_ACQUIRE(b,mu)- acquires mu iff the function returns b
+//   DGT_EXCLUDES(mu)     - caller must NOT hold mu (deadlock guard)
+//   DGT_ASSERT_CAPABILITY- runtime claim that mu is held (CV predicates)
+//   DGT_NO_THREAD_SAFETY_ANALYSIS - audited opt-out; every use carries a
+//                          written rationale next to it
+//
+// The negative-compilation suite (tests/common/thread_annotations_negative)
+// proves the attributes are live under Clang: unguarded access to a
+// DGT_GUARDED_BY field and double-acquisition of a Mutex must fail to
+// compile there, so these macros can never silently rot into no-ops.
+
+#ifndef DGT_COMMON_THREAD_ANNOTATIONS_H_
+#define DGT_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DGT_THREAD_SAFETY_ANALYSIS_SUPPORTED 1
+#endif
+#endif
+
+#if defined(DGT_THREAD_SAFETY_ANALYSIS_SUPPORTED)
+#define DGT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DGT_THREAD_ANNOTATION_(x)
+#endif
+
+#define DGT_CAPABILITY(name) DGT_THREAD_ANNOTATION_(capability(name))
+#define DGT_SCOPED_CAPABILITY DGT_THREAD_ANNOTATION_(scoped_lockable)
+#define DGT_GUARDED_BY(...) DGT_THREAD_ANNOTATION_(guarded_by(__VA_ARGS__))
+#define DGT_PT_GUARDED_BY(...) \
+  DGT_THREAD_ANNOTATION_(pt_guarded_by(__VA_ARGS__))
+#define DGT_REQUIRES(...) \
+  DGT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define DGT_ACQUIRE(...) \
+  DGT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DGT_RELEASE(...) \
+  DGT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DGT_TRY_ACQUIRE(...) \
+  DGT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define DGT_EXCLUDES(...) DGT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define DGT_ASSERT_CAPABILITY(...) \
+  DGT_THREAD_ANNOTATION_(assert_capability(__VA_ARGS__))
+#define DGT_RETURN_CAPABILITY(x) DGT_THREAD_ANNOTATION_(lock_returned(x))
+#define DGT_NO_THREAD_SAFETY_ANALYSIS \
+  DGT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace dgt {
+
+// std::mutex with the capability attribute, so DGT_GUARDED_BY fields and
+// DGT_REQUIRES contracts can name it. Condition variables keep using the
+// std machinery through native() / MutexLock::native().
+class DGT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DGT_ACQUIRE() { mu_.lock(); }
+  void Unlock() DGT_RELEASE() { mu_.unlock(); }
+  bool TryLock() DGT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Tells the analysis the mutex is held on paths it cannot follow — the
+  // one sanctioned use is condition-variable wait predicates, which run
+  // with the lock held but inside a lambda the analysis treats as a
+  // separate function. Purely an annotation; generates no code.
+  void AssertHeld() const DGT_ASSERT_CAPABILITY(this) {}
+
+  // The wrapped mutex, for std::condition_variable interop.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock over a Mutex, annotation-aware (scoped capability): the
+// analysis knows the capability is held from construction to the end of
+// the enclosing scope. native() exposes the std::unique_lock for
+// std::condition_variable::wait.
+class DGT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DGT_ACQUIRE(mu) : lock_(mu.native()) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() DGT_RELEASE() {}
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace dgt
+
+#endif  // DGT_COMMON_THREAD_ANNOTATIONS_H_

@@ -32,7 +32,7 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -62,8 +62,9 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
+      MutexLock lock(mu_);
+      work_cv_.wait(lock.native(), [&] {
+        mu_.AssertHeld();  // CV predicates run with the lock held
         return shutdown_ || (job_open_ && job_generation_ != seen_generation);
       });
       if (shutdown_) return;
@@ -75,7 +76,7 @@ void ThreadPool::WorkerLoop() {
     }
     const size_t ran = RunShards();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shards_done_ += ran;
       --workers_in_job_;
       if (shards_done_ == job_shards_ && workers_in_job_ == 0) {
@@ -96,7 +97,7 @@ void ThreadPool::ParallelFor(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_fn_ = &fn;
     job_n_ = n;
     job_shards_ = shards;
@@ -108,9 +109,10 @@ void ThreadPool::ParallelFor(
   work_cv_.notify_all();
   const size_t ran = RunShards();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shards_done_ += ran;
-    done_cv_.wait(lock, [&] {
+    done_cv_.wait(lock.native(), [&] {
+      mu_.AssertHeld();  // CV predicates run with the lock held
       return shards_done_ == job_shards_ && workers_in_job_ == 0;
     });
     job_open_ = false;

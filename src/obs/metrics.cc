@@ -165,21 +165,21 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return slot.get();
@@ -187,7 +187,7 @@ LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 uint64_t MetricsRegistry::SetCallbackGauge(const std::string& name,
                                            std::function<int64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t token = next_token_++;
   callback_gauges_[name] = CallbackGauge{token, std::move(fn)};
   return token;
@@ -195,7 +195,7 @@ uint64_t MetricsRegistry::SetCallbackGauge(const std::string& name,
 
 void MetricsRegistry::RemoveCallbackGauge(const std::string& name,
                                           uint64_t token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = callback_gauges_.find(name);
   if (it != callback_gauges_.end() && it->second.token == token) {
     callback_gauges_.erase(it);
@@ -204,7 +204,7 @@ void MetricsRegistry::RemoveCallbackGauge(const std::string& name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->Value();
   }

@@ -31,9 +31,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dgt {
 namespace obs {
@@ -180,19 +181,20 @@ class MetricsRegistry {
   // instrument into.
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  LatencyHistogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) DGT_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) DGT_EXCLUDES(mu_);
+  LatencyHistogram* GetHistogram(const std::string& name) DGT_EXCLUDES(mu_);
 
   // Registers (or replaces) a gauge computed at snapshot time — queue
   // depths, snapshot staleness. Returns a token the owner passes to
   // RemoveCallbackGauge before the sampled state is destroyed; removal
   // with a stale token (the name was re-registered since) is a no-op.
   uint64_t SetCallbackGauge(const std::string& name,
-                            std::function<int64_t()> fn);
-  void RemoveCallbackGauge(const std::string& name, uint64_t token);
+                            std::function<int64_t()> fn) DGT_EXCLUDES(mu_);
+  void RemoveCallbackGauge(const std::string& name, uint64_t token)
+      DGT_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const DGT_EXCLUDES(mu_);
 
  private:
   struct CallbackGauge {
@@ -200,12 +202,18 @@ class MetricsRegistry {
     std::function<int64_t()> fn;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
-  std::map<std::string, CallbackGauge> callback_gauges_;
-  uint64_t next_token_ = 1;
+  // mu_ guards the name->instrument maps only — never the instruments'
+  // own hot-path state, which stays lock-free by design (class comment).
+  // The unique_ptr targets are stable, so handing out raw pointers while
+  // the maps grow under mu_ is safe.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      DGT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DGT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      DGT_GUARDED_BY(mu_);
+  std::map<std::string, CallbackGauge> callback_gauges_ DGT_GUARDED_BY(mu_);
+  uint64_t next_token_ DGT_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace obs

@@ -62,14 +62,7 @@ void FillYhatRow(
     const std::vector<std::vector<std::pair<NodeId, double>>>& sorted_rows,
     const WeightTable& table, std::vector<double>* yhat_row) {
   std::fill(yhat_row->begin(), yhat_row->end(), 0.0);
-  std::vector<std::pair<NodeId, double>> weights(table.entries().begin(),
-                                                 table.entries().end());
-  std::sort(weights.begin(), weights.end(),
-            [](const std::pair<NodeId, double>& a,
-               const std::pair<NodeId, double>& b) {
-              return a.first < b.first;
-            });
-  for (const auto& [k, w] : weights) {
+  for (const auto& [k, w] : table.SortedEntries()) {
     const double excess = w - 1.0;
     if (excess == 0.0) continue;
     for (const auto& [j, t] : sorted_rows[k]) (*yhat_row)[j] += excess * t;
@@ -97,8 +90,10 @@ NeighborhoodWeighting BuildNeighborhoodWeighting(
   out.yhat.assign(n, 0.0);
   out.excess_den.assign(n, 0.0);
   for (NodeId i = 0; i < n; ++i) {
+    // Sorted iteration: the numerator is a float accumulation, so hash
+    // order would tie the result to the trust matrix's insertion history.
     double num = 0.0;
-    for (const auto& [k, w] : tables[i].entries()) {
+    for (const auto& [k, w] : tables[i].SortedEntries()) {
       num += (w - 1.0) * trust.Get(k, j);
     }
     out.yhat[i] = num;

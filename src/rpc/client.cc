@@ -31,10 +31,12 @@ Status WireErrorToStatus(WireError error, const std::string& message) {
 
 Result<RpcClient> RpcClient::Connect(uint16_t port, int retry_budget_ms) {
   using Clock = std::chrono::steady_clock;
+  // dgt-lint: raw-time-ok(connect-retry deadline; transport, never scores)
   const auto deadline = Clock::now() + std::chrono::milliseconds(retry_budget_ms);
   for (;;) {
     Result<UniqueFd> fd = ConnectLoopback(port);
     if (fd.ok()) return RpcClient(std::move(fd).value());
+    // dgt-lint: raw-time-ok(connect-retry deadline; transport, never scores)
     if (Clock::now() >= deadline) return fd.status();
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }

@@ -44,12 +44,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/mpsc_queue.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "rpc/frame_io.h"
 #include "rpc/wire.h"
@@ -106,13 +106,13 @@ class RpcServer {
 
   // Closes the listener and every connection, drains the queue, joins
   // all threads. Idempotent.
-  void Stop();
+  void Stop() DGT_EXCLUDES(conns_mu_, hold_mu_);
 
   // The bound port (after Start).
   uint16_t port() const { return port_; }
 
   // Unparks workers started with options.hold_workers.
-  void ReleaseWorkers();
+  void ReleaseWorkers() DGT_EXCLUDES(hold_mu_);
 
   // --- observability ---
   uint64_t connections_accepted() const {
@@ -149,10 +149,14 @@ class RpcServer {
   // A live client connection, shared between its reader thread and any
   // worker holding one of its requests. The write mutex serialises reply
   // frames; the fd is shutdown (not closed) on teardown so late replies
-  // fail harmlessly instead of racing a recycled descriptor.
+  // fail harmlessly instead of racing a recycled descriptor. `fd` is
+  // deliberately NOT guarded by write_mu: the reader thread and Stop()
+  // call ShutdownBothEnds without it, which is exactly the "shutdown,
+  // never close, while shared" protocol above — annotating it would
+  // force the teardown paths to take a lock they must not block on.
   struct Connection {
     UniqueFd fd;
-    std::mutex write_mu;
+    Mutex write_mu;
     std::atomic<bool> open{true};
   };
 
@@ -162,9 +166,9 @@ class RpcServer {
     MessageBody body;
   };
 
-  void AcceptLoop();
+  void AcceptLoop() DGT_EXCLUDES(conns_mu_);
   void ReaderLoop(std::shared_ptr<Connection> conn);
-  void WorkerLoop();
+  void WorkerLoop() DGT_EXCLUDES(hold_mu_);
   // Times DispatchRequest into the per-op service-latency histogram.
   void ProcessRequest(const Request& req,
                       const std::shared_ptr<const ReputationSnapshot>& snap);
@@ -201,17 +205,22 @@ class RpcServer {
   uint64_t queue_rejected_token_ = 0;
 
   UniqueFd listen_fd_;
-  std::thread accept_thread_;
-  std::vector<std::thread> workers_;
+  // The RPC front-end owns its thread topology directly (accept thread,
+  // per-connection readers, worker pool) — see the pipeline diagram in
+  // the file comment.
+  std::thread accept_thread_;  // dgt-lint: raw-thread-ok(RpcServer owns the accept thread)
+  std::vector<std::thread> workers_;  // dgt-lint: raw-thread-ok(RpcServer owns its worker pool)
   BoundedWorkQueue<Request> queue_;
 
-  std::mutex conns_mu_;  // guards connections_ and reader_threads_
-  std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> reader_threads_;
+  Mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> connections_
+      DGT_GUARDED_BY(conns_mu_);
+  std::vector<std::thread> reader_threads_  // dgt-lint: raw-thread-ok(RpcServer owns the per-connection reader threads)
+      DGT_GUARDED_BY(conns_mu_);
 
-  std::mutex hold_mu_;
+  Mutex hold_mu_;
   std::condition_variable hold_cv_;
-  bool workers_held_ = false;
+  bool workers_held_ DGT_GUARDED_BY(hold_mu_) = false;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};

@@ -20,6 +20,12 @@
 // and — because successive loads of a single atomic location cannot go
 // backwards in its modification order — each reader observes epochs in
 // monotonically non-decreasing order.
+//
+// Thread-safety analysis note: this class is deliberately mutex-free, so
+// it carries no capability annotations (common/thread_annotations.h has
+// nothing to check here). Its correctness rests on the atomic shared_ptr
+// protocol above and is machine-checked by the TSan CI leg plus the
+// snapshot-consistency stress test, not by -Wthread-safety.
 
 #ifndef DGT_SERVE_REPUTATION_STORE_H_
 #define DGT_SERVE_REPUTATION_STORE_H_

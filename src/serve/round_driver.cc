@@ -10,8 +10,10 @@ namespace dgt {
 namespace {
 
 int64_t SteadyNowMicros() {
+  // dgt-lint: raw-time-ok(observability-only timestamps; never feed scores)
+  const auto now = std::chrono::steady_clock::now();
   return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             now.time_since_epoch())
       .count();
 }
 
@@ -34,7 +36,7 @@ RoundDriver::RoundDriver(ReputationSystem* system, TrustMatrix* trust,
 RoundDriver::~RoundDriver() { Stop(); }
 
 Status RoundDriver::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_) {
     return Status::FailedPrecondition("round driver already started");
   }
@@ -42,6 +44,7 @@ Status RoundDriver::Start() {
     return Status::FailedPrecondition("paced mode requires an epoch gate");
   }
   started_ = true;
+  // dgt-lint: raw-thread-ok(RoundDriver owns the serving layer's driver thread)
   thread_ = std::thread([this] { DriveLoop(); });
   return Status::OK();
 }
@@ -56,18 +59,18 @@ void RoundDriver::Join() {
   // join_mu_ serialises joiners and is never taken by the driver thread,
   // so holding it across join() cannot deadlock against DriveLoop's use
   // of mu_ (e.g. when recording last_status_).
-  std::lock_guard<std::mutex> join_lock(join_mu_);
+  MutexLock join_lock(join_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_ || joined_) return;
   }
   thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   joined_ = true;
 }
 
 Status RoundDriver::last_status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return last_status_;
 }
 
@@ -112,7 +115,7 @@ void RoundDriver::DriveLoop() {
     // (b) One full aggregation round (Delta gating + GCLR gossip).
     Status s = system_->RunRound();
     if (!s.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       last_status_ = std::move(s);
       break;
     }

@@ -21,13 +21,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/epoch_gate.h"
 #include "common/mpsc_queue.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "reputation/reputation_system.h"
 #include "serve/reputation_store.h"
@@ -81,20 +81,20 @@ class RoundDriver {
 
   // Spawns the driver thread. FailedPrecondition if already started or
   // if paced without a gate.
-  Status Start();
+  Status Start() DGT_EXCLUDES(mu_);
 
   // Requests shutdown (cancelling the gate so nobody blocks) and joins.
   // Idempotent; safe after natural completion.
-  void Stop();
+  void Stop() DGT_EXCLUDES(mu_);
 
   // Blocks until the driver thread finishes its fixed round budget (or
   // is stopped). With num_rounds == 0 this only returns after Stop().
-  void Join();
+  void Join() DGT_EXCLUDES(mu_);
 
   bool finished() const { return finished_.load(std::memory_order_acquire); }
 
   // First error RunRound returned, if any (the driver stops on error).
-  Status last_status() const;
+  Status last_status() const DGT_EXCLUDES(mu_);
 
   uint64_t rounds_completed() const {
     return rounds_completed_.load(std::memory_order_acquire);
@@ -109,7 +109,7 @@ class RoundDriver {
   }
 
  private:
-  void DriveLoop();
+  void DriveLoop() DGT_EXCLUDES(mu_);
   // Drains the update queue into the trust matrix; returns #folded.
   uint64_t FoldPendingUpdates();
 
@@ -120,18 +120,23 @@ class RoundDriver {
   BoundedMpscQueue<TrustUpdate>* updates_;
   RoundDriverOptions options_;
 
-  std::thread thread_;
+  // The driver thread itself is deliberately not lock-annotated: it is
+  // written exactly once (under mu_, in Start) and only ever joined under
+  // join_mu_, so annotating it with either capability would overstate the
+  // protocol. Raw std::thread is the point of this class — it IS the
+  // background-thread owner the rest of the serving layer builds on.
+  std::thread thread_;  // dgt-lint: raw-thread-ok(RoundDriver owns the serving layer's driver thread)
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> finished_{false};
   std::atomic<uint64_t> rounds_completed_{0};
   std::atomic<uint64_t> updates_folded_{0};
   std::atomic<int64_t> last_publish_us_{0};
 
-  mutable std::mutex mu_;  // guards started_, joined_, last_status_
-  std::mutex join_mu_;     // serialises Join; never taken by the driver
-  bool started_ = false;
-  bool joined_ = false;
-  Status last_status_;
+  mutable Mutex mu_;
+  Mutex join_mu_;  // serialises Join; never taken by the driver thread
+  bool started_ DGT_GUARDED_BY(mu_) = false;
+  bool joined_ DGT_GUARDED_BY(mu_) = false;
+  Status last_status_ DGT_GUARDED_BY(mu_);
   std::vector<TrustUpdate> drain_buffer_;  // driver-thread only
 };
 

@@ -69,9 +69,11 @@ Status ReputationService::Start() {
       "serve_snapshot_age_us", [this] {
         const int64_t last = driver_.last_publish_micros();
         if (last == 0) return int64_t{0};
+        // dgt-lint: raw-time-ok(snapshot-age gauge; observability only)
+        const auto now_tp = std::chrono::steady_clock::now();
         const int64_t now =
             std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now().time_since_epoch())
+                now_tp.time_since_epoch())
                 .count();
         return now - last;
       });

@@ -27,16 +27,22 @@ Result<WeightTable> WeightTable::Build(const TrustMatrix& trust, NodeId owner,
   }
   std::unordered_map<NodeId, double> entries;
   entries.reserve(trust.RowNnz(owner));
+  std::vector<std::pair<NodeId, double>> sorted_entries;
+  sorted_entries.reserve(trust.RowNnz(owner));
   // Ascending-id iteration keeps the excess-weight accumulation (and
   // therefore every GCLR denominator) a pure function of the matrix
-  // *content*, independent of the hash map's insertion history.
+  // *content*, independent of the hash map's insertion history. The
+  // sorted view is cached so every downstream float accumulation can
+  // iterate it instead of the hash map.
   double total_excess = 0.0;
   for (const auto& [i, t] : trust.SortedRow(owner)) {
     const double w = params.Weight(t);
     entries.emplace(i, w);
+    sorted_entries.emplace_back(i, w);
     total_excess += w - 1.0;
   }
-  return WeightTable(owner, std::move(entries), total_excess);
+  return WeightTable(owner, std::move(entries), std::move(sorted_entries),
+                     total_excess);
 }
 
 double WeightTable::Weight(NodeId i) const {

@@ -7,6 +7,7 @@
 #ifndef DGT_TRUST_WEIGHTS_H_
 #define DGT_TRUST_WEIGHTS_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -58,15 +59,29 @@ class WeightTable {
     return entries_;
   }
 
+  // The same entries in ascending-id order, cached at Build. Every float
+  // accumulation over a node's weights must iterate THIS (or another
+  // sorted view), never entries(): hash-map iteration order is a
+  // function of insertion history, and summing in it makes results
+  // depend on how the trust matrix was built rather than on what it
+  // contains (the determinism bug class tools/dgt_lint.py exists to
+  // catch; see docs/STATIC_ANALYSIS.md).
+  const std::vector<std::pair<NodeId, double>>& SortedEntries() const {
+    return sorted_entries_;
+  }
+
  private:
   WeightTable(NodeId owner, std::unordered_map<NodeId, double> entries,
+              std::vector<std::pair<NodeId, double>> sorted_entries,
               double total_excess)
       : owner_(owner),
         entries_(std::move(entries)),
+        sorted_entries_(std::move(sorted_entries)),
         total_excess_(total_excess) {}
 
   NodeId owner_;
   std::unordered_map<NodeId, double> entries_;
+  std::vector<std::pair<NodeId, double>> sorted_entries_;  // ascending id
   double total_excess_ = 0.0;
 };
 

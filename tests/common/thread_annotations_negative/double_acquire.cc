@@ -1,0 +1,20 @@
+// Negative-compilation case: acquires an annotated Mutex twice on the
+// same path (and the matching double release). Under Clang with
+// -Werror=thread-safety this MUST fail to compile; with the analysis off
+// it must compile (std::mutex would deadlock at runtime — the point of
+// the annotations is that this never gets that far). Driven by
+// run_negative_compile_test.py — never part of any build target.
+#include "common/thread_annotations.h"
+
+namespace dgt {
+
+int DoubleAcquire() {
+  Mutex mu;
+  mu.Lock();
+  mu.Lock();  // second acquisition of a capability already held
+  mu.Unlock();
+  mu.Unlock();
+  return 0;
+}
+
+}  // namespace dgt

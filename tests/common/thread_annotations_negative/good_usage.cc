@@ -1,0 +1,32 @@
+// Negative-compilation control: the same shape as unguarded_access.cc
+// but with correct locking. MUST compile cleanly even under Clang with
+// -Werror=thread-safety — this guards the suite against the trivial
+// failure mode where *everything* fails to compile (say, a broken
+// include path) and the bad cases "fail" for the wrong reason.
+#include "common/thread_annotations.h"
+
+namespace dgt {
+
+class Counter {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+  int value() const {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ DGT_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Counter c;
+  c.Bump();
+  return c.value();
+}
+
+}  // namespace dgt

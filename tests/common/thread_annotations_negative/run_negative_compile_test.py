@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Negative-compilation gate for src/common/thread_annotations.h.
+
+Proves the DGT_* capability attributes are live, not decorative:
+
+  unguarded_access.cc  MUST fail with -Werror=thread-safety
+  double_acquire.cc    MUST fail with -Werror=thread-safety
+  good_usage.cc        MUST pass  with -Werror=thread-safety
+
+and every bad case must *pass* with the analysis off, so a failure can
+only come from the annotations themselves (never a bad include path or a
+typo, which would fail both ways).
+
+Thread-safety analysis is a Clang feature; under any other compiler the
+macros expand to nothing by design, so the suite exits 77 (the ctest
+SKIP_RETURN_CODE) rather than pretending to prove anything.
+
+Usage: run_negative_compile_test.py --compiler CXX --include SRC_DIR
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+SKIP = 77
+HERE = os.path.dirname(os.path.abspath(__file__))
+BAD_CASES = ("unguarded_access.cc", "double_acquire.cc")
+GOOD_CASES = ("good_usage.cc",)
+ANALYSIS_FLAGS = ["-Wthread-safety", "-Werror=thread-safety"]
+
+
+def compiler_is_clang(cxx):
+    try:
+        proc = subprocess.run([cxx, "--version"], capture_output=True,
+                              text=True, timeout=60)
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    return "clang" in (proc.stdout + proc.stderr).lower()
+
+
+def compile_case(cxx, include, case, analysis):
+    cmd = [cxx, "-std=c++17", "-fsyntax-only", "-I", include]
+    if analysis:
+        cmd += ANALYSIS_FLAGS
+    cmd.append(os.path.join(HERE, case))
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    return proc.returncode == 0, proc.stderr
+
+
+def main(argv):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--compiler", required=True)
+    parser.add_argument("--include", required=True,
+                        help="the repo's src/ directory")
+    args = parser.parse_args(argv)
+
+    if not compiler_is_clang(args.compiler):
+        print("SKIP: %s is not Clang; thread-safety analysis unavailable"
+              % args.compiler)
+        return SKIP
+
+    failures = []
+    for case in GOOD_CASES:
+        ok, err = compile_case(args.compiler, args.include, case, True)
+        if not ok:
+            failures.append("%s: control case failed WITH analysis "
+                            "(annotations reject correct code?):\n%s"
+                            % (case, err))
+    for case in BAD_CASES:
+        ok, err = compile_case(args.compiler, args.include, case, False)
+        if not ok:
+            failures.append("%s: failed even WITHOUT analysis (broken "
+                            "fixture, not an annotation catch):\n%s"
+                            % (case, err))
+            continue
+        ok, err = compile_case(args.compiler, args.include, case, True)
+        if ok:
+            failures.append("%s: compiled WITH -Werror=thread-safety — "
+                            "the annotations are dead" % case)
+        elif "thread-safety" not in err:
+            failures.append("%s: failed for a reason other than "
+                            "thread-safety:\n%s" % (case, err))
+        else:
+            print("%s: rejected by the analysis, as required" % case)
+
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print("negative-compilation suite: %d bad case(s) rejected, "
+          "%d control(s) accepted" % (len(BAD_CASES), len(GOOD_CASES)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

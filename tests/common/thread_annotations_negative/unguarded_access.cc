@@ -1,0 +1,27 @@
+// Negative-compilation case: reads and writes a DGT_GUARDED_BY field
+// without holding its mutex. Under Clang with -Werror=thread-safety this
+// file MUST fail to compile; it must compile cleanly with the analysis
+// off (proving the failure comes from the annotations, not a stray
+// syntax error). Driven by run_negative_compile_test.py — this file is
+// never part of any build target.
+#include "common/thread_annotations.h"
+
+namespace dgt {
+
+class Counter {
+ public:
+  void Bump() { ++value_; }             // write without holding mu_
+  int value() const { return value_; }  // read without holding mu_
+
+ private:
+  mutable Mutex mu_;
+  int value_ DGT_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Counter c;
+  c.Bump();
+  return c.value();
+}
+
+}  // namespace dgt

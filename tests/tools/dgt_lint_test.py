@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Golden-corpus tests for tools/dgt_lint.py.
+
+Fixtures live in tests/tools/corpus/ with a .txt suffix so the linter's
+own directory walks (and the repo-tree-clean ctest) never pick them up.
+Each test copies a fixture into a temporary tree under the relative path
+whose exemption behaviour it wants to exercise (src/, common/, tools/,
+tests/), then lints it there.
+
+The hash-order positive corpus embeds the verbatim pre-fix
+WeightTable::TotalExcessWeight loop from PR 5 — the bug that motivated
+the linter — and asserts it is flagged on exactly that line.
+"""
+
+import importlib.util
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TEST_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(TEST_DIR))
+LINT_PATH = os.path.join(REPO_ROOT, "tools", "dgt_lint.py")
+CORPUS_DIR = os.path.join(TEST_DIR, "corpus")
+
+_spec = importlib.util.spec_from_file_location("dgt_lint", LINT_PATH)
+dgt_lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(dgt_lint)
+
+
+def fixture_path(name):
+    return os.path.join(CORPUS_DIR, name)
+
+
+def fixture_lines(name):
+    with open(fixture_path(name), encoding="utf-8") as f:
+        return f.read().splitlines()
+
+
+def line_of(name, needle):
+    """1-based line number of the first fixture line containing needle."""
+    for idx, line in enumerate(fixture_lines(name), start=1):
+        if needle in line:
+            return idx
+    raise AssertionError("%s: no line contains %r" % (name, needle))
+
+
+def lint_fixture(name, rel_path):
+    """Copy corpus fixture `name` to <tmp>/<rel_path> and lint it there."""
+    with tempfile.TemporaryDirectory() as tmp:
+        dst = os.path.join(tmp, rel_path)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        shutil.copyfile(fixture_path(name), dst)
+        return dgt_lint.lint_file(dst)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class HashOrderTest(unittest.TestCase):
+    def test_prefix_total_excess_weight_must_flag(self):
+        # The verbatim PR 5 bug: flagged, on the loop's own line.
+        findings = lint_fixture("hash_order_positive.cc.txt", "src/weights.cc")
+        want_line = line_of("hash_order_positive.cc.txt",
+                            "for (const auto& [i, w] : entries_)")
+        hits = [f for f in findings
+                if f.rule == "hash-order" and f.line == want_line]
+        self.assertEqual(
+            len(hits), 1,
+            "pre-fix TotalExcessWeight loop not flagged; findings: %s"
+            % [str(f) for f in findings])
+        self.assertIn("entries_", hits[0].message)
+
+    def test_all_positive_loops_flagged(self):
+        findings = lint_fixture("hash_order_positive.cc.txt", "src/weights.cc")
+        self.assertEqual(rules_of(findings), ["hash-order"] * 4,
+                         [str(f) for f in findings])
+        got_lines = {f.line for f in findings}
+        for needle in ("for (const auto& [i, w] : entries_)",
+                       "for (const auto& kv : values)",
+                       "for (const auto& [k, w] : table.entries())",
+                       "for (const auto& [k, v] : scores)"):
+            self.assertIn(line_of("hash_order_positive.cc.txt", needle),
+                          got_lines, needle)
+
+    def test_negatives_stay_clean(self):
+        findings = lint_fixture("hash_order_negative.cc.txt", "src/agg.cc")
+        self.assertEqual(findings, [], [str(f) for f in findings])
+
+
+class RawTimeTest(unittest.TestCase):
+    def test_all_sources_flagged_in_src(self):
+        findings = lint_fixture("raw_time_positive.cc.txt", "src/clock.cc")
+        self.assertEqual(rules_of(findings), ["raw-time"] * 4,
+                         [str(f) for f in findings])
+
+    def test_path_exemptions(self):
+        for rel in ("tools/clock.cc", "src/bench_util.cc",
+                    "src/common/rng.h"):
+            findings = lint_fixture("raw_time_positive.cc.txt", rel)
+            self.assertEqual(findings, [],
+                             "%s: %s" % (rel, [str(f) for f in findings]))
+
+
+class RawThreadTest(unittest.TestCase):
+    def test_flagged_in_src(self):
+        findings = lint_fixture("raw_thread_positive.cc.txt", "src/spawn.cc")
+        self.assertEqual(rules_of(findings), ["raw-thread"],
+                         [str(f) for f in findings])
+
+    def test_path_exemptions(self):
+        for rel in ("src/common/spawn.cc", "tests/spawn.cc",
+                    "src/serve/spawn_test.cc"):
+            findings = lint_fixture("raw_thread_positive.cc.txt", rel)
+            self.assertEqual(findings, [],
+                             "%s: %s" % (rel, [str(f) for f in findings]))
+
+
+class FloatEqTest(unittest.TestCase):
+    def test_positives_flagged(self):
+        findings = lint_fixture("float_eq_positive.cc.txt", "src/cmp.cc")
+        self.assertEqual(rules_of(findings), ["float-eq"] * 2,
+                         [str(f) for f in findings])
+        lines = {f.line for f in findings}
+        self.assertIn(line_of("float_eq_positive.cc.txt", "x == 0.5"), lines)
+        self.assertIn(line_of("float_eq_positive.cc.txt", "a != b"), lines)
+
+    def test_negatives_stay_clean(self):
+        findings = lint_fixture("float_eq_negative.cc.txt", "src/cmp.cc")
+        self.assertEqual(findings, [], [str(f) for f in findings])
+
+    def test_test_files_exempt(self):
+        findings = lint_fixture("float_eq_positive.cc.txt", "src/cmp_test.cc")
+        self.assertEqual(findings, [], [str(f) for f in findings])
+
+    def test_python_rule_and_suppression(self):
+        findings = lint_fixture("float_eq.py.txt", "scripts/check.py")
+        self.assertEqual(rules_of(findings), ["float-eq"],
+                         [str(f) for f in findings])
+        self.assertEqual(findings[0].line,
+                         line_of("float_eq.py.txt", "x == 0.25"))
+
+    def test_python_test_files_exempt(self):
+        findings = lint_fixture("float_eq.py.txt", "tests/check.py")
+        self.assertEqual(findings, [], [str(f) for f in findings])
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_valid_suppressions_hold_invalid_ones_do_not(self):
+        findings = lint_fixture("suppression.cc.txt", "src/owner.cc")
+        self.assertEqual(rules_of(findings), ["raw-thread"] * 3,
+                         [str(f) for f in findings])
+        got = {f.line for f in findings}
+        name = "suppression.cc.txt"
+        for suppressed in ("std::thread a", "std::thread b"):
+            self.assertNotIn(line_of(name, suppressed), got, suppressed)
+        for flagged in ("std::thread c", "std::thread d", "std::thread e"):
+            self.assertIn(line_of(name, flagged), got, flagged)
+
+
+class CliTest(unittest.TestCase):
+    def run_cli(self, *argv):
+        return subprocess.run([sys.executable, LINT_PATH, *argv],
+                              capture_output=True, text=True)
+
+    def test_findings_exit_1(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            dst = os.path.join(tmp, "src", "weights.cc")
+            os.makedirs(os.path.dirname(dst))
+            shutil.copyfile(fixture_path("hash_order_positive.cc.txt"), dst)
+            proc = self.run_cli(tmp)
+            self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+            self.assertIn("hash-order", proc.stdout)
+
+    def test_clean_tree_exit_0(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            dst = os.path.join(tmp, "src", "agg.cc")
+            os.makedirs(os.path.dirname(dst))
+            shutil.copyfile(fixture_path("hash_order_negative.cc.txt"), dst)
+            proc = self.run_cli(tmp)
+            self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+            self.assertEqual(proc.stdout, "")
+
+    def test_missing_path_exit_2(self):
+        proc = self.run_cli("/no/such/path/anywhere")
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules", ".")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertEqual(proc.stdout.split(), list(dgt_lint.RULES))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -405,6 +405,7 @@ int main(int argc, char** argv) {
 
   // --- traffic phase ---
   std::vector<ConnStats> per_conn(flags.connections);
+  // dgt-lint: raw-thread-ok(loadgen drives one client thread per connection)
   std::vector<std::thread> threads;
   bench_util::WallTimer timer;
   for (uint32_t c = 0; c < flags.connections; ++c) {
